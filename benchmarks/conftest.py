@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every module in this directory regenerates the data behind one figure or
+table of the paper: it prints the same rows/series the paper reports (run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them), asserts the
+qualitative shape the paper claims, and registers the data-generation
+routine with pytest-benchmark so regressions in runtime are visible too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+
+
+@pytest.fixture(scope="session")
+def estimator() -> EcoChip:
+    """Estimator with the paper's default setup (coal fab, 450 mm wafer)."""
+    return EcoChip()
+
+
+@pytest.fixture(scope="session")
+def estimator_no_waste() -> EcoChip:
+    """Estimator without the wafer-waste term (Fig. 3b comparison)."""
+    return EcoChip(config=EstimatorConfig(include_wafer_waste=False))
+
+
+def print_series(title: str, rows, header: str = "") -> None:
+    """Print a labelled data series the way the artifact scripts do."""
+    print(f"\n--- {title} ---")
+    if header:
+        print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,70 @@
+"""Fig. 2 reproduction: manufacturing CFP vs area, and monolith vs 4-chiplet.
+
+Fig. 2(a): sweep the area of a monolithic SoC in a 10 nm technology up to
+200 mm² and report the manufacturing CFP — the curve must grow
+super-linearly because yield collapses with area.
+
+Fig. 2(b): compare the monolithic NVIDIA GA102 against a 4-chiplet version
+(digital split in two, memory and analog on their own dies) across technology
+nodes — the 4-chiplet design must have lower manufacturing CFP (including
+packaging overheads) at every node.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.manufacturing.chip import ChipManufacturingModel
+from repro.testcases import ga102
+
+AREA_SWEEP_MM2 = [10, 25, 50, 75, 100, 125, 150, 175, 200]
+NODE_SWEEP = [7, 10, 14]
+
+
+def fig2a_data():
+    """(area, manufacturing CFP in g) points of Fig. 2(a)."""
+    model = ChipManufacturingModel()
+    return [(area, model.cfp_for_area(area, 10).total_g) for area in AREA_SWEEP_MM2]
+
+
+def fig2b_data(estimator):
+    """Per-node (monolith, 4-chiplet, normalised ratio) rows of Fig. 2(b)."""
+    rows = []
+    for node in NODE_SWEEP:
+        mono = estimator.estimate(ga102.monolithic(node))
+        four = estimator.estimate(ga102.four_chiplet((node, node, node, node)))
+        mono_mfg = mono.manufacturing_cfp_g + mono.hi_cfp_g
+        four_mfg = four.manufacturing_cfp_g + four.hi_cfp_g
+        rows.append((node, mono_mfg, four_mfg, four_mfg / mono_mfg))
+    return rows
+
+
+def test_fig2a_cfp_vs_area(benchmark):
+    points = benchmark(fig2a_data)
+    print_series(
+        "Fig 2(a): manufacturing CFP vs area (10nm)",
+        [f"  {a:>4} mm2 -> {cfp / 1000:8.2f} kg CO2e" for a, cfp in points],
+    )
+    cfps = [cfp for _, cfp in points]
+    assert cfps == sorted(cfps)
+    # Super-linear: the largest die costs more than 20x the 10 mm2 die
+    # despite being only 20x larger.
+    assert cfps[-1] > 20 * cfps[0]
+    # Per-mm2 footprint grows monotonically (yield-driven).
+    per_mm2 = [cfp / area for area, cfp in points]
+    assert per_mm2 == sorted(per_mm2)
+
+
+def test_fig2b_monolith_vs_4chiplet(benchmark, estimator):
+    rows = benchmark(fig2b_data, estimator)
+    print_series(
+        "Fig 2(b): GA102 monolith vs 4-chiplet manufacturing CFP",
+        [
+            f"  {node:>2}nm  mono={mono / 1000:8.2f} kg  4-chiplet={four / 1000:8.2f} kg  "
+            f"ratio={ratio:5.2f}"
+            for node, mono, four, ratio in rows
+        ],
+    )
+    for node, mono, four, ratio in rows:
+        assert four < mono, f"4-chiplet should win at {node}nm"
+        assert ratio < 1.0

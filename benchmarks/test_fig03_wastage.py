@@ -1,0 +1,68 @@
+"""Fig. 3 reproduction: wafer-periphery wastage for monolith vs 4-chiplet.
+
+Fig. 3(b): manufacturing CFP of the monolithic GA102 and its 4-chiplet
+version with and without accounting for the silicon wasted around the wafer
+periphery (450 mm wafer).  The waste term must (a) increase both, and
+(b) charge more absolute carbon to the monolith, whose huge die packs poorly.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.manufacturing.wafer import WaferModel
+from repro.testcases import ga102
+
+
+def fig3_data(estimator, estimator_no_waste):
+    """Rows: (variant, with-waste Cmfg, without-waste Cmfg)."""
+    rows = []
+    for label, system in (
+        ("monolithic", ga102.monolithic(7)),
+        ("4-chiplet", ga102.four_chiplet((7, 7, 10, 14))),
+    ):
+        with_waste = estimator.estimate(system).manufacturing_cfp_g
+        without = estimator_no_waste.estimate(system).manufacturing_cfp_g
+        rows.append((label, with_waste, without))
+    return rows
+
+
+def fig3a_utilisation_data():
+    """Dies-per-wafer and waste per die across die sizes (Fig. 3a intuition)."""
+    wafer = WaferModel(wafer_diameter_mm=450)
+    return [
+        (area, wafer.dies_per_wafer(area), wafer.wasted_area_per_die_mm2(area))
+        for area in (50, 100, 250, 628)
+    ]
+
+
+def test_fig3b_wastage_comparison(benchmark, estimator, estimator_no_waste):
+    rows = benchmark(fig3_data, estimator, estimator_no_waste)
+    print_series(
+        "Fig 3(b): Cmfg with/without wafer wastage (450mm wafer)",
+        [
+            f"  {label:<12} with={w / 1000:8.2f} kg   without={wo / 1000:8.2f} kg   "
+            f"waste adds {(w - wo) / 1000:6.2f} kg"
+            for label, w, wo in rows
+        ],
+    )
+    (mono_label, mono_with, mono_without), (chip_label, chip_with, chip_without) = rows
+    assert mono_with > mono_without
+    assert chip_with > chip_without
+    # The monolith pays more absolute waste carbon than the whole chiplet set.
+    assert (mono_with - mono_without) > (chip_with - chip_without)
+
+
+def test_fig3a_small_dies_pack_better(benchmark):
+    rows = benchmark(fig3a_utilisation_data)
+    print_series(
+        "Fig 3(a): dies per 450mm wafer and amortised waste per die",
+        [
+            f"  {area:>4} mm2 die -> DPW={dpw:>5d}, waste/die={waste:7.2f} mm2"
+            for area, dpw, waste in rows
+        ],
+    )
+    wastes = [waste for _, _, waste in rows]
+    dpws = [dpw for _, dpw, _ in rows]
+    assert wastes == sorted(wastes)
+    assert dpws == sorted(dpws, reverse=True)

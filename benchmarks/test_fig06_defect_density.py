@@ -1,0 +1,69 @@
+"""Fig. 6 reproduction: defect-density scaling and its effect on total CFP.
+
+Fig. 6(a): normalised defect density across technology nodes — older nodes
+have lower defect densities.
+
+Fig. 6(b): total CFP of a fixed testcase as a function of the defect density
+assumed for its chiplets — higher defect densities mean lower yields and
+higher total CFP.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import print_series
+
+from repro.core.estimator import EcoChip
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyTable
+from repro.testcases import ga102
+
+DEFECT_DENSITY_SWEEP = [0.07, 0.10, 0.15, 0.20, 0.25, 0.30]
+
+
+def fig6a_data():
+    """(node, normalised defect density) rows of Fig. 6(a)."""
+    normalised = DEFAULT_TECHNOLOGY_TABLE.normalised_defect_density(reference=65)
+    return sorted(normalised.items())
+
+
+def fig6b_data():
+    """(defect density, total CFP) for the 3-chiplet GA102 at (7,14,10).
+
+    The sweep overrides the 7 nm defect density (the digital chiplet's node)
+    while keeping everything else fixed.
+    """
+    rows = []
+    for d0 in DEFECT_DENSITY_SWEEP:
+        nodes = []
+        for record in DEFAULT_TECHNOLOGY_TABLE:
+            if record.feature_nm == 7.0:
+                record = dataclasses.replace(record, defect_density_per_cm2=d0)
+            nodes.append(record)
+        estimator = EcoChip(table=TechnologyTable(nodes))
+        report = estimator.estimate(ga102.three_chiplet((7, 14, 10)))
+        rows.append((d0, report.total_cfp_g))
+    return rows
+
+
+def test_fig6a_defect_density_trend(benchmark):
+    rows = benchmark(fig6a_data)
+    print_series(
+        "Fig 6(a): normalised defect density vs node (65nm = 1.0)",
+        [f"  {int(node):>2}nm -> {value:5.2f}x" for node, value in rows],
+    )
+    # Rows ascend in feature size, so normalised density must descend.
+    values = [value for _, value in rows]
+    assert values == sorted(values, reverse=True)
+    assert values[-1] == 1.0
+
+
+def test_fig6b_total_cfp_vs_defect_density(benchmark):
+    rows = benchmark(fig6b_data)
+    print_series(
+        "Fig 6(b): total CFP vs 7nm defect density (GA102 3-chiplet)",
+        [f"  D0={d0:4.2f}/cm2 -> Ctot={cfp / 1000:8.2f} kg" for d0, cfp in rows],
+    )
+    cfps = [cfp for _, cfp in rows]
+    assert cfps == sorted(cfps)
+    assert cfps[-1] > cfps[0]

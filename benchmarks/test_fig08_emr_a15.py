@@ -1,0 +1,60 @@
+"""Fig. 8 reproduction: total CFP of EMR (EMIB) and A15 (RDL) vs monoliths.
+
+Fig. 8(a): the 2-chiplet Emerald Rapids with EMIB packaging against a
+hypothetical monolithic EMR — operational carbon dominates the server CPU.
+
+Fig. 8(b): the 3-chiplet A15 with RDL fanout against the monolithic A15 —
+the mobile SoC is embodied-dominated (the paper and Apple's product report
+put the operational share around 20–40%), so the embodied savings carry over
+to the total.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.testcases import a15, emr
+
+
+def fig8_data(estimator):
+    """Rows keyed by testcase/variant with the embodied/operational split."""
+    systems = {
+        "EMR-monolith": emr.monolithic(10),
+        "EMR-2chiplet-EMIB": emr.two_chiplet((10, 10)),
+        "A15-monolith": a15.monolithic(7),
+        "A15-3chiplet-RDL": a15.three_chiplet((7, 14, 10)),
+    }
+    rows = {}
+    for name, system in systems.items():
+        report = estimator.estimate(system)
+        rows[name] = {
+            "embodied_g": report.embodied_cfp_g,
+            "operational_g": report.operational_cfp_g,
+            "total_g": report.total_cfp_g,
+            "embodied_fraction": report.embodied_fraction,
+        }
+    return rows
+
+
+def test_fig8_emr_and_a15(benchmark, estimator):
+    rows = benchmark(fig8_data, estimator)
+    print_series(
+        "Fig 8: total CFP split (kg CO2e)",
+        [
+            f"  {name:<20} Cemb={r['embodied_g'] / 1000:8.2f}  "
+            f"Cop={r['operational_g'] / 1000:8.2f}  Ctot={r['total_g'] / 1000:8.2f}  "
+            f"embodied={r['embodied_fraction']:5.1%}"
+            for name, r in rows.items()
+        ],
+    )
+    # Fig 8(a): the native 2-chiplet EMR beats the monolith on embodied and
+    # total CFP; the server part is operational-dominated.
+    assert rows["EMR-2chiplet-EMIB"]["embodied_g"] < rows["EMR-monolith"]["embodied_g"]
+    assert rows["EMR-2chiplet-EMIB"]["total_g"] < rows["EMR-monolith"]["total_g"]
+    assert rows["EMR-2chiplet-EMIB"]["embodied_fraction"] < 0.2
+
+    # Fig 8(b): the A15 is embodied-dominated; disaggregation lowers Cemb and
+    # the operational share stays well below half.
+    assert rows["A15-3chiplet-RDL"]["embodied_g"] < rows["A15-monolith"]["embodied_g"]
+    assert rows["A15-monolith"]["embodied_fraction"] > 0.6
+    assert rows["A15-3chiplet-RDL"]["embodied_fraction"] > 0.5

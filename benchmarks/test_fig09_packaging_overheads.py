@@ -1,0 +1,94 @@
+"""Fig. 9 reproduction: HI-related CFP overheads of five packaging types.
+
+The GA102's 500 mm² monolithic digital logic block is split into Nc chiplets
+(all 7 nm) and the HI overhead (``C_HI`` = package + routing/whitespace) is
+evaluated for RDL fanout, silicon bridges (EMIB), passive and active
+interposers, and 3D stacking, with the package interconnect in 65 nm.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging import (
+    ActiveInterposerSpec,
+    PassiveInterposerSpec,
+    RDLFanoutSpec,
+    SiliconBridgeSpec,
+    ThreeDStackSpec,
+)
+
+ARCHITECTURES = {
+    "rdl_fanout": RDLFanoutSpec(),
+    "silicon_bridge": SiliconBridgeSpec(),
+    "passive_interposer": PassiveInterposerSpec(),
+    "active_interposer": ActiveInterposerSpec(),
+    "3d_stack": ThreeDStackSpec(),
+}
+CHIPLET_COUNTS = [2, 4, 6, 8]
+TOTAL_LOGIC_AREA_MM2 = 500.0
+
+
+def digital_block_system(chiplet_count, packaging):
+    chiplets = tuple(
+        Chiplet(
+            f"digital-{i}",
+            "logic",
+            7,
+            area_mm2=TOTAL_LOGIC_AREA_MM2 / chiplet_count,
+            area_reference_node=7,
+        )
+        for i in range(chiplet_count)
+    )
+    return ChipletSystem(
+        name=f"fig9-{chiplet_count}",
+        chiplets=chiplets,
+        packaging=packaging,
+        operating=OperatingSpec(lifetime_years=2, duty_cycle=0.2, average_power_w=250.0),
+    )
+
+
+def fig9_data(estimator):
+    """{architecture: {Nc: C_HI grams}} table of Fig. 9."""
+    table = {}
+    for name, packaging in ARCHITECTURES.items():
+        table[name] = {
+            count: estimator.estimate(digital_block_system(count, packaging)).hi_cfp_g
+            for count in CHIPLET_COUNTS
+        }
+    return table
+
+
+def test_fig9_packaging_architecture_overheads(benchmark, estimator):
+    table = benchmark(fig9_data, estimator)
+    print_series(
+        "Fig 9: C_HI (kg) of packaging architectures vs chiplet count",
+        [
+            f"  {name:<20}" + "".join(
+                f"  Nc={count}: {table[name][count] / 1000:6.2f}" for count in CHIPLET_COUNTS
+            )
+            for name in ARCHITECTURES
+        ],
+    )
+
+    # EMIB has the lowest overhead for the 2-chiplet split.
+    assert table["silicon_bridge"][2] == min(table[name][2] for name in ARCHITECTURES if name != "3d_stack")
+
+    # EMIB overheads grow with the chiplet count (more bridges needed) and
+    # RDL fanout becomes the cheaper 2D option at 6-8 chiplets.
+    assert table["silicon_bridge"][8] > table["silicon_bridge"][2]
+    assert table["rdl_fanout"][6] < table["silicon_bridge"][6]
+    assert table["rdl_fanout"][8] < table["silicon_bridge"][8]
+
+    # Interposer-based packages are the most expensive 2D options, and the
+    # active interposer's routing overhead exceeds the passive one's.
+    for count in CHIPLET_COUNTS:
+        assert table["passive_interposer"][count] > table["rdl_fanout"][count]
+        assert table["active_interposer"][count] >= table["passive_interposer"][count]
+
+    # 3D stacking overhead decreases as the logic is spread over more tiers.
+    threed = [table["3d_stack"][count] for count in CHIPLET_COUNTS]
+    assert threed == sorted(threed, reverse=True)

@@ -1,0 +1,55 @@
+"""Fig. 10 reproduction: Cmfg and C_HI of GA102 as the digital block splits.
+
+Beyond the 3-chiplet GA102, the digital block is split into Nc smaller 7 nm
+chiplets (memory at 10 nm and analog at 14 nm stay fixed) with RDL fanout
+packaging.  Manufacturing CFP falls with Nc (smaller dies, better yields)
+while the HI overhead rises; past a handful of chiplets the net saving
+flattens out.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.disaggregation import nc_sweep
+from repro.testcases import ga102
+
+SPLIT_COUNTS = [1, 2, 3, 4, 6, 8]
+
+
+def fig10_data(estimator):
+    """{Nc: (Cmfg, C_HI)} for the GA102 digital-block split."""
+    system = ga102.three_chiplet((7, 10, 14))
+    results = nc_sweep(system, "digital", SPLIT_COUNTS, estimator=estimator)
+    return {
+        count: (report.manufacturing_cfp_g, report.hi_cfp_g)
+        for count, report in results.items()
+    }
+
+
+def test_fig10_cmfg_and_chi_vs_chiplet_count(benchmark, estimator):
+    data = benchmark(fig10_data, estimator)
+    print_series(
+        "Fig 10: Cmfg and C_HI vs digital-block split count (GA102, RDL fanout)",
+        [
+            f"  Nc={count}:  Cmfg={data[count][0] / 1000:7.2f} kg   "
+            f"C_HI={data[count][1] / 1000:6.2f} kg   "
+            f"sum={(data[count][0] + data[count][1]) / 1000:7.2f} kg"
+            for count in sorted(data)
+        ],
+    )
+    counts = sorted(data)
+    cmfg = [data[c][0] for c in counts]
+    chi = {c: data[c][1] for c in counts}
+
+    # Manufacturing CFP decreases monotonically with the split count.
+    assert cmfg == sorted(cmfg, reverse=True)
+
+    # HI overheads trend upward (compare the ends; floorplan packing adds noise).
+    assert chi[max(counts)] > chi[min(counts)]
+
+    # Diminishing returns: the first split saves far more than the last one.
+    def total(c):
+        return data[c][0] + data[c][1]
+
+    assert (total(1) - total(2)) > (total(6) - total(8))

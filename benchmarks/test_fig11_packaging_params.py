@@ -1,0 +1,84 @@
+"""Fig. 11 reproduction: C_HI of the A15 testcase under packaging-parameter sweeps.
+
+(a) RDL fanout: C_HI vs number of RDL layers (linear increase).
+(b) EMIB: C_HI vs bridge range (fewer bridges, lower C_HI).
+(c) Active interposer: C_HI vs interposer technology node (older is cheaper).
+(d) 3D stacking: C_HI vs TSV pitch (coarser pitch, fewer TSVs, lower C_HI).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_series
+
+from repro.packaging import (
+    ActiveInterposerSpec,
+    RDLFanoutSpec,
+    SiliconBridgeSpec,
+    ThreeDStackSpec,
+)
+from repro.testcases import a15
+
+RDL_LAYERS = [4, 5, 6, 7, 8, 9]
+BRIDGE_RANGES_MM = [2.0, 3.0, 4.0]
+INTERPOSER_NODES = [22, 28, 40, 65]
+TSV_PITCHES_UM = [10, 20, 30, 45]
+
+
+def _chi(estimator, packaging):
+    return estimator.estimate(a15.three_chiplet((7, 14, 10), packaging=packaging)).hi_cfp_g
+
+
+def fig11_data(estimator):
+    return {
+        "rdl_layers": {l: _chi(estimator, RDLFanoutSpec(layers=l)) for l in RDL_LAYERS},
+        "bridge_range": {
+            r: _chi(estimator, SiliconBridgeSpec(bridge_range_mm=r)) for r in BRIDGE_RANGES_MM
+        },
+        "interposer_node": {
+            n: _chi(estimator, ActiveInterposerSpec(technology_nm=n)) for n in INTERPOSER_NODES
+        },
+        "tsv_pitch": {
+            p: _chi(estimator, ThreeDStackSpec(bond_type="tsv", pitch_um=p))
+            for p in TSV_PITCHES_UM
+        },
+    }
+
+
+def test_fig11_packaging_parameter_sweeps(benchmark, estimator):
+    data = benchmark(fig11_data, estimator)
+    print_series(
+        "Fig 11(a): A15 C_HI vs RDL layer count",
+        [f"  L_RDL={l}:  {data['rdl_layers'][l] / 1000:7.3f} kg" for l in RDL_LAYERS],
+    )
+    print_series(
+        "Fig 11(b): A15 C_HI vs EMIB bridge range",
+        [f"  range={r:3.1f}mm:  {data['bridge_range'][r] / 1000:7.3f} kg" for r in BRIDGE_RANGES_MM],
+    )
+    print_series(
+        "Fig 11(c): A15 C_HI vs active-interposer node",
+        [f"  {n:>2}nm:  {data['interposer_node'][n] / 1000:7.3f} kg" for n in INTERPOSER_NODES],
+    )
+    print_series(
+        "Fig 11(d): A15 C_HI vs TSV pitch",
+        [f"  pitch={p:>2}um:  {data['tsv_pitch'][p] / 1000:7.3f} kg" for p in TSV_PITCHES_UM],
+    )
+
+    # (a) linear, increasing in layer count.
+    layers_chi = [data["rdl_layers"][l] for l in RDL_LAYERS]
+    assert layers_chi == sorted(layers_chi)
+    slope_first = data["rdl_layers"][5] - data["rdl_layers"][4]
+    slope_last = data["rdl_layers"][9] - data["rdl_layers"][8]
+    assert slope_first == pytest.approx(slope_last, rel=0.05)
+
+    # (b) decreasing in bridge range.
+    range_chi = [data["bridge_range"][r] for r in BRIDGE_RANGES_MM]
+    assert range_chi == sorted(range_chi, reverse=True)
+
+    # (c) decreasing as the interposer moves to older nodes.
+    node_chi = [data["interposer_node"][n] for n in INTERPOSER_NODES]
+    assert node_chi == sorted(node_chi, reverse=True)
+
+    # (d) decreasing in TSV pitch.
+    pitch_chi = [data["tsv_pitch"][p] for p in TSV_PITCHES_UM]
+    assert pitch_chi == sorted(pitch_chi, reverse=True)

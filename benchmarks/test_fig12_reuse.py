@@ -1,0 +1,105 @@
+"""Fig. 12 reproduction: chiplet reuse — design CFP and Ctot vs volume and lifetime.
+
+Fig. 12(a): design CFP of the 2-chiplet EMR (both chiplets at 7 nm) as the
+ratio of chiplets manufactured to systems shipped (NM/NS) grows — the design
+effort amortises hyperbolically.
+
+Fig. 12(b)-(d): total CFP of GA102, A15 and EMR as a function of the volume
+ratio and the lifetime — operational-dominated parts (GA102, EMR) barely
+move with the ratio but grow with lifetime; the embodied-dominated A15 gains
+the most from amortisation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import print_series
+
+from repro.testcases import a15, emr, ga102
+
+VOLUME_RATIOS = [1, 2, 5, 10, 50]
+BASE_SYSTEM_VOLUME = 100_000
+LIFETIMES_YEARS = [2.0, 5.0]
+
+
+def _with_chiplet_volume(system, ratio):
+    """Set every chiplet's manufactured volume to ratio x the system volume."""
+    chiplets = tuple(
+        dataclasses.replace(c, manufactured_volume=ratio * BASE_SYSTEM_VOLUME)
+        for c in system.chiplets
+    )
+    return system.with_chiplets(chiplets).with_volume(BASE_SYSTEM_VOLUME)
+
+
+def fig12a_data(estimator):
+    """(NM/NS ratio, design CFP grams) for the EMR 2-chiplet at 7 nm."""
+    base = emr.two_chiplet((7, 7))
+    return [
+        (ratio, estimator.estimate(_with_chiplet_volume(base, ratio)).design_cfp_g)
+        for ratio in VOLUME_RATIOS
+    ]
+
+
+def fig12bcd_data(estimator):
+    """{testcase: {(ratio, lifetime): total CFP grams}}."""
+    builders = {
+        "GA102": lambda lifetime: ga102.three_chiplet((7, 7, 7), lifetime_years=lifetime),
+        "A15": lambda lifetime: a15.three_chiplet((7, 7, 7), lifetime_years=lifetime),
+        "EMR": lambda lifetime: emr.two_chiplet((7, 7), lifetime_years=lifetime),
+    }
+    table = {}
+    for name, builder in builders.items():
+        table[name] = {}
+        for lifetime in LIFETIMES_YEARS:
+            for ratio in VOLUME_RATIOS:
+                system = _with_chiplet_volume(builder(lifetime), ratio)
+                table[name][(ratio, lifetime)] = estimator.estimate(system).total_cfp_g
+    return table
+
+
+def test_fig12a_design_cfp_amortisation(benchmark, estimator):
+    rows = benchmark(fig12a_data, estimator)
+    print_series(
+        "Fig 12(a): EMR 2-chiplet design CFP vs NM/NS ratio",
+        [f"  NM/NS={ratio:>3}  Cdes={cfp / 1000:8.2f} kg" for ratio, cfp in rows],
+    )
+    cfps = [cfp for _, cfp in rows]
+    assert cfps == sorted(cfps, reverse=True)
+    # Hyperbolic amortisation: 10x the volume gives ~10x lower chiplet Cdes
+    # (the communication term amortises over NS, not NM, so allow slack).
+    assert cfps[0] / cfps[3] > 5.0
+
+
+def test_fig12bcd_total_cfp_vs_volume_and_lifetime(benchmark, estimator):
+    table = benchmark(fig12bcd_data, estimator)
+    for name in table:
+        print_series(
+            f"Fig 12(b-d): {name} total CFP (kg) vs NM/NS and lifetime",
+            [
+                f"  lifetime={lifetime:g}y  " + "".join(
+                    f"NM/NS={ratio:>3}: {table[name][(ratio, lifetime)] / 1000:9.2f}  "
+                    for ratio in VOLUME_RATIOS
+                )
+                for lifetime in LIFETIMES_YEARS
+            ],
+        )
+
+    for name in table:
+        # Total CFP never increases with the volume ratio and always grows
+        # with lifetime.
+        for lifetime in LIFETIMES_YEARS:
+            series = [table[name][(ratio, lifetime)] for ratio in VOLUME_RATIOS]
+            assert series == sorted(series, reverse=True)
+        for ratio in VOLUME_RATIOS:
+            assert table[name][(ratio, 5.0)] > table[name][(ratio, 2.0)]
+
+    def relative_gain(name):
+        lo = table[name][(VOLUME_RATIOS[0], 2.0)]
+        hi = table[name][(VOLUME_RATIOS[-1], 2.0)]
+        return 1.0 - hi / lo
+
+    # The embodied-dominated A15 benefits most from reuse; the
+    # operational-dominated GA102/EMR benefit least (Fig. 12(b) vs (c)).
+    assert relative_gain("A15") > relative_gain("GA102")
+    assert relative_gain("A15") > relative_gain("EMR")

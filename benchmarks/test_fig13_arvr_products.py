@@ -1,0 +1,76 @@
+"""Fig. 13 reproduction: carbon-delay/power/area products of the AR/VR accelerator.
+
+For each 3D-stacked accelerator configuration (1K/2K series, 1–4 SRAM tiers)
+compute total CFP over a 2-year lifetime and the carbon-delay, carbon-power
+and carbon-area products.  Within a series, adding tiers lowers latency and
+operating power but raises embodied (and total) carbon.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.disaggregation import (
+    carbon_area_product,
+    carbon_delay_product,
+    carbon_power_product,
+)
+from repro.testcases import arvr
+
+SERIES = {
+    "1K": ["3D-1K-2MB", "3D-1K-4MB", "3D-1K-6MB", "3D-1K-8MB"],
+    "2K": ["3D-2K-4MB", "3D-2K-8MB", "3D-2K-12MB", "3D-2K-16MB"],
+}
+
+
+def fig13_data(estimator):
+    """{config: metrics} for every accelerator configuration."""
+    rows = {}
+    for names in SERIES.values():
+        for name in names:
+            config = arvr.config(name)
+            report = estimator.estimate(arvr.system(name))
+            rows[name] = {
+                "tiers": config.sram_tiers,
+                "latency_ms": config.latency_ms,
+                "power_w": config.average_power_w,
+                "embodied_g": report.embodied_cfp_g,
+                "total_g": report.total_cfp_g,
+                "carbon_delay": carbon_delay_product(report, config.latency_ms / 1000.0),
+                "carbon_power": carbon_power_product(report, config.average_power_w),
+                "carbon_area": carbon_area_product(report),
+            }
+    return rows
+
+
+def test_fig13_accelerator_product_curves(benchmark, estimator):
+    rows = benchmark(fig13_data, estimator)
+    print_series(
+        "Fig 13: AR/VR accelerator carbon products (2-year lifetime)",
+        [
+            f"  {name:<12} tiers={r['tiers']}  lat={r['latency_ms']:4.1f}ms  "
+            f"P={r['power_w']:4.2f}W  Ctot={r['total_g'] / 1000:5.2f}kg  "
+            f"CxD={r['carbon_delay']:7.4f}  CxP={r['carbon_power']:6.3f}  "
+            f"CxA={r['carbon_area']:7.1f}"
+            for name, r in rows.items()
+        ],
+    )
+
+    for series, names in SERIES.items():
+        latencies = [rows[n]["latency_ms"] for n in names]
+        powers = [rows[n]["power_w"] for n in names]
+        embodied = [rows[n]["embodied_g"] for n in names]
+        totals = [rows[n]["total_g"] for n in names]
+        # More tiers: latency and power fall, embodied and total carbon rise.
+        assert latencies == sorted(latencies, reverse=True), series
+        assert powers == sorted(powers, reverse=True), series
+        assert embodied == sorted(embodied), series
+        assert totals == sorted(totals), series
+
+    # The 2K series (larger SRAM dies and compute) carries more embodied
+    # carbon than the 1K series at the same tier count.
+    for tier_index in range(4):
+        assert (
+            rows[SERIES["2K"][tier_index]]["embodied_g"]
+            > rows[SERIES["1K"][tier_index]]["embodied_g"]
+        )

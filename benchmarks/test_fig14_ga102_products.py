@@ -1,0 +1,65 @@
+"""Fig. 14 reproduction: carbon-power and carbon-area products for GA102.
+
+The 3-chiplet GA102 with RDL fanout is evaluated across technology-node
+configurations and normalised to its monolithic counterpart.  Older-node
+configurations pay more silicon area and operating power (HI overheads and
+higher supply voltages) but enjoy a lower carbon footprint per unit area;
+the product curves expose that trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.disaggregation import carbon_area_product, carbon_power_product
+from repro.testcases import ga102
+
+CONFIGS = [(7, 7, 7), (7, 10, 10), (7, 14, 10), (10, 10, 10), (10, 14, 14)]
+
+
+def fig14_data(estimator):
+    """Per-configuration power/area/carbon products, normalised to the monolith."""
+    mono = estimator.estimate(ga102.monolithic(7))
+    mono_power = mono.operational.energy.total_power_w
+    mono_area = mono.total_silicon_area_mm2
+    mono_cxp = carbon_power_product(mono)
+    mono_cxa = carbon_area_product(mono)
+
+    rows = {"monolith-7nm": {"power_ratio": 1.0, "area_ratio": 1.0, "cxp_ratio": 1.0, "cxa_ratio": 1.0}}
+    for nodes in CONFIGS:
+        report = estimator.estimate(ga102.three_chiplet(nodes))
+        rows[str(nodes)] = {
+            "power_ratio": report.operational.energy.total_power_w / mono_power,
+            "area_ratio": report.total_silicon_area_mm2 / mono_area,
+            "cxp_ratio": carbon_power_product(report) / mono_cxp,
+            "cxa_ratio": carbon_area_product(report) / mono_cxa,
+        }
+    return rows
+
+
+def test_fig14_carbon_power_and_area_products(benchmark, estimator):
+    rows = benchmark(fig14_data, estimator)
+    print_series(
+        "Fig 14: GA102 power/area/carbon products normalised to the monolith",
+        [
+            f"  {name:<16} power={r['power_ratio']:5.2f}x  area={r['area_ratio']:5.2f}x  "
+            f"CxP={r['cxp_ratio']:5.2f}x  CxA={r['cxa_ratio']:5.2f}x"
+            for name, r in rows.items()
+        ],
+    )
+
+    # Older-node chiplet configurations occupy more silicon than the monolith
+    # and the all-7nm chiplet configuration.
+    assert rows["(10, 10, 10)"]["area_ratio"] > rows["(7, 7, 7)"]["area_ratio"]
+    assert rows["(10, 14, 14)"]["area_ratio"] > 1.0
+
+    # Every chiplet configuration pays a power overhead vs the monolith
+    # (inter-die links, older-node voltages).
+    for name, r in rows.items():
+        if name != "monolith-7nm":
+            assert r["power_ratio"] >= 1.0
+
+    # The mixed configuration still wins on the carbon-power product because
+    # its total carbon drops more than its power rises.
+    assert rows["(7, 14, 10)"]["cxp_ratio"] < rows["(10, 10, 10)"]["cxp_ratio"]
+    assert rows["(7, 14, 10)"]["cxp_ratio"] < 1.05

@@ -1,0 +1,106 @@
+"""Fig. 15 reproduction: dollar cost of GA102 disaggregation.
+
+Fig. 15(a): dollar cost of the 3-chiplet GA102 across technology-node
+configurations — older-node chiplets are cheaper thanks to better yields and
+cheaper wafers, mirroring the carbon trend of Fig. 7.
+
+Fig. 15(b): cost of splitting the GA102 digital block into Nc chiplets —
+silicon cost falls with Nc while assembly cost rises, and the overall swing
+is smaller than the corresponding carbon swing of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.core.disaggregation import split_block
+from repro.cost.model import ChipletCostModel
+from repro.testcases import ga102
+
+NODE_CONFIGS = [(7, 7, 7), (7, 10, 10), (7, 14, 10), (10, 10, 10), (10, 14, 14)]
+SPLIT_COUNTS = [1, 2, 4, 6, 8]
+
+
+def fig15a_data():
+    """{config: (silicon, assembly, nre, total)} dollar costs."""
+    cost_model = ChipletCostModel()
+    rows = {"monolith-7nm": cost_model.estimate(ga102.monolithic(7))}
+    for nodes in NODE_CONFIGS:
+        rows[str(nodes)] = cost_model.estimate(ga102.three_chiplet(nodes))
+    return {
+        name: (r.silicon_cost_usd, r.assembly_cost_usd, r.nre_cost_usd, r.total_cost_usd)
+        for name, r in rows.items()
+    }
+
+
+def fig15b_data():
+    """{Nc: (silicon, assembly, silicon+assembly)} as the digital block splits.
+
+    Like the paper's Fig. 15(b), the comparison focuses on the manufacturing
+    (die) and assembly components; the NRE term is volume policy rather than
+    architecture and is reported separately in Fig. 15(a).
+    """
+    cost_model = ChipletCostModel()
+    base = ga102.three_chiplet((7, 10, 14))
+    digital = base.chiplet("digital")
+    others = [c for c in base.chiplets if c.name != "digital"]
+    rows = {}
+    for count in SPLIT_COUNTS:
+        pieces = split_block(digital, count)
+        system = base.with_chiplets(tuple(pieces) + tuple(others), name=f"cost-Nc{count}")
+        report = cost_model.estimate(system)
+        rows[count] = (
+            report.silicon_cost_usd,
+            report.assembly_cost_usd,
+            report.silicon_cost_usd + report.assembly_cost_usd,
+        )
+    return rows
+
+
+def test_fig15a_cost_across_node_configurations(benchmark):
+    rows = benchmark(fig15a_data)
+    print_series(
+        "Fig 15(a): GA102 dollar cost per node configuration",
+        [
+            f"  {name:<16} silicon=${silicon:8.2f}  assembly=${assembly:7.2f}  "
+            f"NRE=${nre:7.2f}  total=${total:8.2f}"
+            for name, (silicon, assembly, nre, total) in rows.items()
+        ],
+    )
+    # Disaggregation cuts the silicon cost of the huge monolithic die
+    # (better yields, smaller dies), exactly as it cuts Cmfg in Fig. 7.
+    mono_silicon = rows["monolith-7nm"][0]
+    for name, (silicon, _, _, _) in rows.items():
+        if name != "monolith-7nm":
+            assert silicon < mono_silicon, name
+    # Moving the non-scaling memory/analog blocks to older nodes lowers the
+    # cost relative to the all-7nm chiplet split, both on silicon and on the
+    # total — the same trend as Ctot in Fig. 7(d).
+    assert rows["(7, 14, 10)"][0] < rows["(7, 7, 7)"][0]
+    assert rows["(7, 14, 10)"][3] < rows["(7, 7, 7)"][3]
+    assert rows["(10, 14, 14)"][3] < rows["(7, 7, 7)"][3]
+
+
+def test_fig15b_cost_vs_chiplet_count(benchmark):
+    rows = benchmark(fig15b_data)
+    print_series(
+        "Fig 15(b): GA102 cost vs digital-block split count",
+        [
+            f"  Nc={count}:  silicon=${silicon:8.2f}  assembly=${assembly:7.2f}  "
+            f"total=${total:8.2f}"
+            for count, (silicon, assembly, total) in sorted(rows.items())
+        ],
+    )
+    counts = sorted(rows)
+    silicon = [rows[c][0] for c in counts]
+    totals = [rows[c][2] for c in counts]
+    # Silicon cost falls with the split count; assembly cost trends upward
+    # (compare the extremes: floorplan packing adds noise to the middle).
+    assert silicon == sorted(silicon, reverse=True)
+    assert rows[counts[-1]][1] > rows[counts[0]][1]
+    # The combined (die + assembly) cost varies relatively less than the die
+    # cost alone — the growing assembly cost damps the swing, which is the
+    # paper's observation that Fig. 15(b) swings less than Fig. 10.
+    total_swing = (max(totals) - min(totals)) / max(totals)
+    silicon_swing = (max(silicon) - min(silicon)) / max(silicon)
+    assert total_swing < silicon_swing

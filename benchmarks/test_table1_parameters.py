@@ -1,0 +1,58 @@
+"""Table I reproduction: input parameters, their ranges and sources.
+
+Prints the Table I rows and checks that the built-in technology table and
+packaging defaults respect every range.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.packaging import RDLFanoutSpec, SiliconBridgeSpec, ThreeDStackSpec
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE
+from repro.technology.parameters import PARAMETER_RANGES, table_rows
+
+
+def table1_data():
+    """All Table I rows as printable tuples."""
+    return [
+        (row.model, row.name, row.minimum, row.maximum, row.unit, row.source)
+        for row in table_rows()
+    ]
+
+
+def test_table1_parameter_ranges(benchmark):
+    rows = benchmark(table1_data)
+    print_series(
+        "Table I: ECO-CHIP input parameters and ranges",
+        [
+            f"  {model:<13} {name:<24} {str(minimum):>7} - {str(maximum):<7} {unit:<10} {source}"
+            for model, name, minimum, maximum, unit, source in rows
+        ],
+    )
+    assert len(rows) >= 25
+    models = {model for model, *_ in rows}
+    assert {"Cmfg", "Cpackage", "Cmfg,comm", "Cwhitespace", "Cdes", "Coperational"} <= models
+
+
+def test_default_configuration_respects_table1():
+    # Technology table.
+    for node in DEFAULT_TECHNOLOGY_TABLE:
+        assert PARAMETER_RANGES["defect_density"].contains(node.defect_density_per_cm2)
+        assert PARAMETER_RANGES["epa"].contains(node.epa_kwh_per_cm2)
+        assert PARAMETER_RANGES["transistor_density"].contains(node.logic_density_mtr_per_mm2)
+        assert PARAMETER_RANGES["equipment_efficiency"].contains(node.equipment_efficiency)
+        assert PARAMETER_RANGES["epla_rdl"].contains(node.epla_rdl_kwh_per_cm2)
+        assert PARAMETER_RANGES["epla_bridge"].contains(node.epla_bridge_kwh_per_cm2)
+
+    # Packaging defaults.
+    rdl = RDLFanoutSpec()
+    assert PARAMETER_RANGES["rdl_layers"].contains(rdl.layers)
+    assert PARAMETER_RANGES["rdl_tech_nm"].contains(rdl.technology_nm)
+    emib = SiliconBridgeSpec()
+    assert PARAMETER_RANGES["bridge_layers"].contains(emib.bridge_layers)
+    assert PARAMETER_RANGES["bridge_tech_nm"].contains(emib.bridge_technology_nm)
+    threed = ThreeDStackSpec(bond_type="tsv")
+    assert PARAMETER_RANGES["tsv_pitch_um"].contains(threed.pitch_um)
+    hybrid = ThreeDStackSpec(bond_type="hybrid")
+    assert PARAMETER_RANGES["hybrid_bond_pitch_um"].contains(hybrid.pitch_um)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Mobile vs server vs GPU: where do embodied savings matter? (Figs. 8 and 12)
+
+Compares three very different systems — the battery-powered A15, the
+server-class Emerald Rapids CPU and the 450 W GA102 GPU — in terms of the
+embodied/operational split of their total carbon footprint, then sweeps the
+chiplet manufacturing volume to show how design carbon amortises (the
+"reuse" lever of the paper).
+
+Run with::
+
+    python examples/mobile_vs_server.py
+"""
+
+from __future__ import annotations
+
+from repro import EcoChip
+from repro.testcases import a15, emr, ga102
+
+
+def part1_embodied_vs_operational(estimator: EcoChip) -> None:
+    print("=" * 78)
+    print("Part 1 — embodied vs operational carbon, chiplets vs monolith (Fig. 8)")
+    print("=" * 78)
+    pairs = [
+        ("A15 mobile SoC", a15.monolithic(7), a15.three_chiplet((7, 14, 10))),
+        ("EMR server CPU", emr.monolithic(10), emr.two_chiplet((10, 10))),
+        ("GA102 GPU", ga102.monolithic(7), ga102.three_chiplet((7, 14, 10))),
+    ]
+    header = (
+        f"{'testcase':<18} {'variant':<12} {'Cemb kg':>10} {'Cop kg':>10} "
+        f"{'Ctot kg':>10} {'embodied %':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, mono, chiplet in pairs:
+        for label, system in (("monolith", mono), ("chiplets", chiplet)):
+            report = estimator.estimate(system)
+            print(
+                f"{name:<18} {label:<12} {report.embodied_cfp_kg:>10.2f} "
+                f"{report.operational_cfp_kg:>10.2f} {report.total_cfp_kg:>10.2f} "
+                f"{report.embodied_fraction:>10.1%}"
+            )
+        print()
+    print("Low-power devices are embodied-dominated, so chiplet savings translate")
+    print("directly into total-footprint savings; power-hungry parts are")
+    print("operational-dominated and benefit less.")
+
+
+def part2_volume_amortisation(estimator: EcoChip) -> None:
+    print("=" * 78)
+    print("Part 2 — chiplet reuse: design carbon vs manufacturing volume (Fig. 12)")
+    print("=" * 78)
+    volumes = [10_000, 50_000, 100_000, 500_000, 1_000_000]
+    testcases = {
+        "A15 3-chiplet": a15.three_chiplet((7, 14, 10)),
+        "EMR 2-chiplet": emr.two_chiplet((10, 10)),
+        "GA102 3-chiplet": ga102.three_chiplet((7, 14, 10)),
+    }
+    header = f"{'testcase':<18}" + "".join(f"  NS={v // 1000:>5}k" for v in volumes)
+    print(header + "   (Cdes per system, kg)")
+    print("-" * (len(header) + 25))
+    for name, system in testcases.items():
+        row = f"{name:<18}"
+        for volume in volumes:
+            report = estimator.estimate(system.with_volume(volume))
+            row += f"  {report.design_cfp_g / 1000:>8.2f}"
+        print(row)
+
+    print()
+    print(f"{'testcase':<18}" + "".join(f"  NS={v // 1000:>5}k" for v in volumes)
+          + "   (Ctot per system, kg)")
+    print("-" * (len(header) + 25))
+    for name, system in testcases.items():
+        row = f"{name:<18}"
+        for volume in volumes:
+            report = estimator.estimate(system.with_volume(volume))
+            row += f"  {report.total_cfp_kg:>8.2f}"
+        print(row)
+    print("\nDesign carbon amortises hyperbolically with volume; the embodied-")
+    print("dominated A15 sees the biggest relative Ctot improvement.")
+
+
+def main() -> None:
+    estimator = EcoChip()
+    part1_embodied_vs_operational(estimator)
+    print()
+    part2_volume_amortisation(estimator)
+
+
+if __name__ == "__main__":
+    main()

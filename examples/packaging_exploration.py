@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Packaging-architecture exploration (the paper's Fig. 9 and Fig. 11).
+
+Takes the GA102's 500 mm² digital block, splits it into 2–8 chiplets and
+evaluates the HI-related carbon overhead (``C_HI``) of the five supported
+packaging architectures, then sweeps the key parameter of each architecture
+(RDL layer count, EMIB bridge range, interposer node, TSV pitch).
+
+Run with::
+
+    python examples/packaging_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import Chiplet, ChipletSystem, EcoChip, OperatingSpec
+from repro.packaging import (
+    ActiveInterposerSpec,
+    PassiveInterposerSpec,
+    RDLFanoutSpec,
+    SiliconBridgeSpec,
+    ThreeDStackSpec,
+)
+from repro.testcases import a15
+
+ARCHITECTURES = {
+    "RDL fanout": RDLFanoutSpec(),
+    "Silicon bridge (EMIB)": SiliconBridgeSpec(),
+    "Passive interposer": PassiveInterposerSpec(),
+    "Active interposer": ActiveInterposerSpec(),
+    "3D stack (microbump)": ThreeDStackSpec(),
+}
+
+
+def digital_block_system(chiplet_count: int, packaging) -> ChipletSystem:
+    """The 500 mm² GA102 digital block split into equal 7 nm chiplets."""
+    chiplets = tuple(
+        Chiplet(f"digital-{i}", "logic", 7, area_mm2=500.0 / chiplet_count,
+                area_reference_node=7)
+        for i in range(chiplet_count)
+    )
+    return ChipletSystem(
+        name=f"ga102-digital-{chiplet_count}",
+        chiplets=chiplets,
+        packaging=packaging,
+        operating=OperatingSpec(lifetime_years=2, duty_cycle=0.2, average_power_w=250.0),
+    )
+
+
+def part1_architecture_comparison(estimator: EcoChip) -> None:
+    print("=" * 76)
+    print("Part 1 — C_HI of five packaging architectures vs chiplet count (Fig. 9)")
+    print("=" * 76)
+    counts = [2, 4, 6, 8]
+    header = f"{'architecture':<24}" + "".join(f"  Nc={c:<2} (kg)" for c in counts)
+    print(header)
+    print("-" * len(header))
+    for name, packaging in ARCHITECTURES.items():
+        row = f"{name:<24}"
+        for count in counts:
+            report = estimator.estimate(digital_block_system(count, packaging))
+            row += f"  {report.hi_cfp_g / 1000:>9.2f}"
+        print(row)
+    print("\nEMIB wins for few chiplets, RDL fanout for many; interposers carry the")
+    print("footprint of a full-size silicon die and are the most expensive.")
+
+
+def part2_parameter_sweeps(estimator: EcoChip) -> None:
+    print()
+    print("=" * 76)
+    print("Part 2 — packaging parameter sweeps on the A15 testcase (Fig. 11)")
+    print("=" * 76)
+
+    def chi(packaging) -> float:
+        return estimator.estimate(
+            a15.three_chiplet((7, 14, 10), packaging=packaging)
+        ).hi_cfp_g / 1000.0
+
+    print("\n(a) RDL fanout: C_HI vs number of RDL layers")
+    for layers in (4, 5, 6, 7, 8, 9):
+        print(f"    L_RDL = {layers}:  {chi(RDLFanoutSpec(layers=layers)):7.3f} kg")
+
+    print("\n(b) EMIB: C_HI vs bridge range")
+    for range_mm in (2.0, 3.0, 4.0):
+        print(
+            f"    range = {range_mm:3.1f} mm:  "
+            f"{chi(SiliconBridgeSpec(bridge_range_mm=range_mm)):7.3f} kg"
+        )
+
+    print("\n(c) Active interposer: C_HI vs interposer technology node")
+    for node in (22, 28, 40, 65):
+        print(
+            f"    {node:>2} nm interposer:  "
+            f"{chi(ActiveInterposerSpec(technology_nm=node)):7.3f} kg"
+        )
+
+    print("\n(d) 3D stacking: C_HI vs TSV pitch")
+    for pitch in (10, 20, 30, 45):
+        print(
+            f"    pitch = {pitch:>2} um:  "
+            f"{chi(ThreeDStackSpec(bond_type='tsv', pitch_um=pitch)):7.3f} kg"
+        )
+
+
+def main() -> None:
+    estimator = EcoChip()
+    part1_architecture_comparison(estimator)
+    part2_parameter_sweeps(estimator)
+
+
+if __name__ == "__main__":
+    main()

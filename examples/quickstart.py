@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the carbon footprint of a small chiplet-based SoC.
+
+Builds a three-chiplet system (compute + cache + IO), packages it with RDL
+fanout, and prints the full embodied / operational carbon breakdown, then
+compares it against its monolithic counterpart.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Chiplet, ChipletSystem, EcoChip, OperatingSpec
+from repro.core.disaggregation import monolithic_counterpart
+from repro.packaging import RDLFanoutSpec
+
+
+def build_system() -> ChipletSystem:
+    """A hypothetical edge-AI SoC disaggregated into three chiplets."""
+    return ChipletSystem(
+        name="edge-ai-soc",
+        chiplets=(
+            # The compute block stays on the most advanced node.
+            Chiplet("compute", "logic", node=7, area_mm2=90.0),
+            # SRAM barely benefits from 7 nm, so it moves to 14 nm.
+            Chiplet("cache", "memory", node=14, area_mm2=45.0, area_reference_node=7),
+            # Analog/IO does not scale at all; 22 nm is plenty.
+            Chiplet("io", "analog", node=22, area_mm2=20.0, area_reference_node=7),
+        ),
+        packaging=RDLFanoutSpec(layers=5, technology_nm=65),
+        operating=OperatingSpec(
+            lifetime_years=3.0,
+            duty_cycle=0.15,
+            average_power_w=8.0,
+            use_carbon_source="grid_world",
+        ),
+        system_volume=250_000,
+    )
+
+
+def main() -> None:
+    estimator = EcoChip()
+    system = build_system()
+
+    chiplet_report = estimator.estimate(system)
+    mono_report = estimator.estimate(monolithic_counterpart(system, node=7))
+
+    print("=" * 72)
+    print("Chiplet-based implementation")
+    print("=" * 72)
+    print(chiplet_report.summary())
+
+    print()
+    print("=" * 72)
+    print("Monolithic counterpart (everything on 7 nm, one die)")
+    print("=" * 72)
+    print(mono_report.summary())
+
+    saving = 1.0 - chiplet_report.embodied_cfp_g / mono_report.embodied_cfp_g
+    print()
+    print(f"Embodied-carbon saving from disaggregation: {saving:6.1%}")
+    print(
+        f"Total-carbon change over {system.operating.lifetime_years:g} years:   "
+        f"{1.0 - chiplet_report.total_cfp_g / mono_report.total_cfp_g:6.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

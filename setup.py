@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that legacy editable installs
+(``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``) work on machines without network access or the
+``wheel`` package; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""ECO-CHIP reproduction: carbon-footprint estimation of chiplet-based systems.
+
+This library reproduces "ECO-CHIP: Estimation of Carbon Footprint of
+Chiplet-based Architectures for Sustainable VLSI" (HPCA 2024).  The most
+common entry points are re-exported here::
+
+    from repro import Chiplet, ChipletSystem, EcoChip, OperatingSpec
+    from repro.packaging import RDLFanoutSpec
+
+See :mod:`repro.core` for the estimator, :mod:`repro.testcases` for the
+paper's industry testcases and :mod:`repro.cli` for the command-line tool.
+"""
+
+from repro.core.chiplet import Chiplet
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.results import ChipletCarbonReport, SystemCarbonReport
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyNode, TechnologyTable
+from repro.technology.scaling import DesignType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chiplet",
+    "ChipletSystem",
+    "EcoChip",
+    "EstimatorConfig",
+    "ChipletCarbonReport",
+    "SystemCarbonReport",
+    "OperatingSpec",
+    "DEFAULT_TECHNOLOGY_TABLE",
+    "TechnologyNode",
+    "TechnologyTable",
+    "DesignType",
+    "__version__",
+]

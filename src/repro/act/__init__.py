@@ -1,0 +1,21 @@
+"""ACT-style baseline embodied-carbon model.
+
+ECO-CHIP's headline comparison (Fig. 7c) is against ACT, the architectural
+carbon-modelling tool of Gupta et al. (ISCA 2022).  ACT models the embodied
+carbon of each die as manufacturing-energy + gas + material per unit area
+divided by yield — essentially Eq. 6 — but, as Section V-A and the related-
+work section point out, it
+
+* charges a **fixed packaging footprint** (150 g of CO2 per die) regardless
+  of package area, architecture or assembly yield,
+* includes **no design carbon**, and
+* ignores **wafer-periphery silicon waste**.
+
+:class:`~repro.act.model.ActModel` re-implements that accounting so the
+ECO-CHIP-vs-ACT comparison can be reproduced with both models running on the
+same technology parameters.
+"""
+
+from repro.act.model import ActModel, ActReport
+
+__all__ = ["ActModel", "ActReport"]

@@ -1,0 +1,116 @@
+"""ACT baseline: per-die CFPA/yield accounting with a fixed package adder."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.system import ChipletSystem
+from repro.manufacturing.cfpa import CFPAModel
+from repro.manufacturing.yield_model import YieldModel
+from repro.operational.operational_cfp import OperationalCarbonModel
+from repro.technology.carbon_sources import CarbonSource
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyTable
+from repro.technology.scaling import AreaScalingModel
+
+SourceLike = Union[CarbonSource, str, float, int]
+
+#: Fixed per-die packaging footprint that ACT charges (grams of CO2).
+ACT_FIXED_PACKAGE_CFP_G = 150.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ActReport:
+    """Embodied/total carbon as ACT would report it.
+
+    Attributes:
+        system_name: Analysed system.
+        per_die_cfp_g: Manufacturing footprint of each die.
+        packaging_cfp_g: Fixed packaging adder (150 g per die).
+        embodied_cfp_g: Manufacturing + fixed packaging (no design CFP,
+            no wafer waste).
+        operational_cfp_g: Lifetime operational footprint (same model as
+            ECO-CHIP so only the embodied accounting differs).
+        total_cfp_g: Embodied + operational.
+    """
+
+    system_name: str
+    per_die_cfp_g: Dict[str, float]
+    packaging_cfp_g: float
+    embodied_cfp_g: float
+    operational_cfp_g: float
+    total_cfp_g: float
+
+    @property
+    def embodied_cfp_kg(self) -> float:
+        """Embodied footprint in kilograms."""
+        return self.embodied_cfp_g / 1000.0
+
+
+class ActModel:
+    """ACT-style embodied-carbon accounting over the same technology table.
+
+    Args:
+        table: Technology table shared with the ECO-CHIP models.
+        fab_carbon_source: Fab energy source.
+        fixed_package_cfp_g: The per-die packaging constant (150 g in ACT).
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        fab_carbon_source: SourceLike = CarbonSource.COAL,
+        fixed_package_cfp_g: float = ACT_FIXED_PACKAGE_CFP_G,
+    ):
+        if fixed_package_cfp_g < 0:
+            raise ValueError(
+                f"fixed package CFP must be non-negative, got {fixed_package_cfp_g}"
+            )
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.scaling = AreaScalingModel(table=self.table)
+        self.yield_model = YieldModel(table=self.table)
+        self.cfpa_model = CFPAModel(
+            table=self.table,
+            fab_carbon_source=fab_carbon_source,
+            yield_model=self.yield_model,
+        )
+        self.operational_model = OperationalCarbonModel(table=self.table)
+        self.fixed_package_cfp_g = float(fixed_package_cfp_g)
+
+    def die_cfp_g(self, area_mm2: float, node: float) -> float:
+        """ACT per-die manufacturing footprint: CFPA (with yield) times area."""
+        return self.cfpa_model.cfpa_g_per_mm2(area_mm2, node) * area_mm2
+
+    def estimate(self, system: ChipletSystem) -> ActReport:
+        """Embodied/total footprint of ``system`` under ACT's accounting.
+
+        The per-chiplet areas are the *base* areas (ACT knows nothing about
+        routers or PHYs), packaging is the fixed per-die constant, and
+        design carbon and wafer waste are omitted.
+        """
+        per_die: Dict[str, float] = {}
+        total_area = 0.0
+        for chiplet in system.chiplets:
+            area = chiplet.area_at_node(self.scaling)
+            total_area += area
+            per_die[chiplet.name] = self.die_cfp_g(area, float(chiplet.node))
+
+        packaging = self.fixed_package_cfp_g * len(system.chiplets)
+        embodied = sum(per_die.values()) + packaging
+
+        # Operational side: identical energy model, no comm overheads (ACT
+        # has no notion of inter-die communication).
+        operating = system.operating
+        node = float(system.chiplets[0].node)
+        operational = self.operational_model.evaluate(
+            operating, total_area_mm2=total_area, node=node
+        )
+
+        return ActReport(
+            system_name=system.name,
+            per_die_cfp_g=per_die,
+            packaging_cfp_g=packaging,
+            embodied_cfp_g=embodied,
+            operational_cfp_g=operational.lifetime_cfp_g,
+            total_cfp_g=embodied + operational.lifetime_cfp_g,
+        )

@@ -1,0 +1,171 @@
+"""Command-line interface: ``eco-chip --design-dir <dir>``.
+
+Mirrors the released tool's ``python3 src/ECO_chip.py --design_dir …``
+entry point: load a design directory, estimate its total carbon footprint,
+optionally sweep the nodes listed in ``node_list.txt`` for each chiplet, and
+print (or write) the results.
+
+Two additional subcommand-style conveniences are provided:
+
+* ``--testcase <name>`` runs one of the built-in testcases instead of a
+  design directory (see ``--list-testcases``).
+* ``--output <file>`` writes the full JSON report of the base configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.disaggregation import all_node_configurations, node_configuration_sweep
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.results import SystemCarbonReport
+from repro.core.system import ChipletSystem
+from repro.io.loaders import load_design_directory
+from repro.io.writers import write_report
+from repro.testcases.registry import get_testcase, list_testcases
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="eco-chip",
+        description=(
+            "Estimate the embodied and operational carbon footprint of "
+            "monolithic and chiplet-based (heterogeneously integrated) systems."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--design-dir",
+        "--design_dir",
+        dest="design_dir",
+        help="Directory with architecture.json / packageC.json / ... files",
+    )
+    source.add_argument(
+        "--testcase",
+        help="Name of a built-in testcase (see --list-testcases)",
+    )
+    parser.add_argument(
+        "--list-testcases",
+        action="store_true",
+        help="List the built-in testcases and exit",
+    )
+    parser.add_argument(
+        "--sweep-nodes",
+        action="store_true",
+        help=(
+            "Sweep every combination of the nodes in node_list.txt across "
+            "the chiplets (design directories only)"
+        ),
+    )
+    parser.add_argument(
+        "--fab-source",
+        default="coal",
+        help="Energy source of the manufacturing fab (default: coal)",
+    )
+    parser.add_argument(
+        "--wafer-diameter-mm",
+        type=float,
+        default=450.0,
+        help="Wafer diameter in mm (default: 450)",
+    )
+    parser.add_argument(
+        "--no-wafer-waste",
+        action="store_true",
+        help="Exclude wafer-periphery silicon waste from the manufacturing CFP",
+    )
+    parser.add_argument(
+        "--no-design-cfp",
+        action="store_true",
+        help="Exclude the design CFP term (ACT-style embodied accounting)",
+    )
+    parser.add_argument(
+        "--output",
+        help="Write the base-configuration report to this JSON file",
+    )
+    return parser
+
+
+def _estimator_from_args(args: argparse.Namespace) -> EcoChip:
+    config = EstimatorConfig(
+        fab_carbon_source=args.fab_source,
+        package_carbon_source=args.fab_source,
+        design_carbon_source=args.fab_source,
+        wafer_diameter_mm=args.wafer_diameter_mm,
+        include_wafer_waste=not args.no_wafer_waste,
+        include_design=not args.no_design_cfp,
+    )
+    return EcoChip(config=config)
+
+
+def _print_sweep(system: ChipletSystem, nodes: List[float], estimator: EcoChip) -> None:
+    configurations = all_node_configurations(nodes, system.chiplet_count)
+    results = node_configuration_sweep(system, configurations, estimator)
+    header = f"{'configuration':<24} {'Cmfg (kg)':>12} {'Cdes (kg)':>12} {'C_HI (kg)':>12} {'Cemb (kg)':>12} {'Ctot (kg)':>12}"
+    print(header)
+    print("-" * len(header))
+    for config, report in sorted(results.items(), key=lambda item: item[1].total_cfp_g):
+        label = "(" + ",".join(f"{int(n)}" for n in config) + ")"
+        print(
+            f"{label:<24} {report.manufacturing_cfp_g / 1000.0:>12.2f} "
+            f"{report.design_cfp_g / 1000.0:>12.2f} "
+            f"{report.hi_cfp_g / 1000.0:>12.2f} "
+            f"{report.embodied_cfp_g / 1000.0:>12.2f} "
+            f"{report.total_cfp_g / 1000.0:>12.2f}"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_testcases:
+        for name in list_testcases():
+            print(name)
+        return 0
+
+    estimator = _estimator_from_args(args)
+
+    node_sweep: List[float] = []
+    if args.design_dir:
+        try:
+            design = load_design_directory(args.design_dir)
+        except (FileNotFoundError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        system = design.system
+        node_sweep = design.node_sweep
+    elif args.testcase:
+        try:
+            system = get_testcase(args.testcase)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        parser.print_help()
+        return 1
+
+    report: SystemCarbonReport = estimator.estimate(system)
+    print(report.summary())
+
+    if args.output:
+        path = write_report(report, args.output)
+        print(f"\nreport written to {path}")
+
+    if args.sweep_nodes:
+        if not node_sweep:
+            print(
+                "\nno node_list.txt found; skipping the node sweep", file=sys.stderr
+            )
+        else:
+            print("\nNode mix-and-match sweep:")
+            _print_sweep(system, node_sweep, estimator)
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

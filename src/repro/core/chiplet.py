@@ -1,0 +1,111 @@
+"""Chiplet description: the architectural input of ECO-CHIP.
+
+A chiplet is described by its design type (logic / memory / analog), the
+technology node it is implemented in, and its size.  Size can be given
+either as a transistor count (the paper's canonical input) or as a die area
+measured at some reference node (die-shot breakdowns are published as
+areas); the area-scaling model converts between the two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.technology.nodes import NodeKey, _normalise_node_key
+from repro.technology.scaling import AreaScalingModel, DesignType
+
+
+@dataclasses.dataclass(frozen=True)
+class Chiplet:
+    """One chiplet (or one functional block of a monolithic SoC).
+
+    Attributes:
+        name: Unique name within its system.
+        design_type: Block flavour; anything :meth:`DesignType.parse`
+            understands ("logic", "memory", "analog", "digital", "sram", …).
+        node: Technology node the chiplet is implemented in (nm).
+        transistors: Device count.  Either this or ``area_mm2`` must be set.
+        area_mm2: Die area measured at ``area_reference_node``.
+        area_reference_node: Node at which ``area_mm2`` was measured;
+            defaults to ``node``.
+        reused: True when the chiplet is a pre-designed, silicon-proven IP —
+            it then contributes no design carbon.
+        manufactured_volume: ``NM_i``, the number of chiplets of this type
+            manufactured across all systems that use it.  ``None`` defaults
+            to the system volume ``NS``.
+    """
+
+    name: str
+    design_type: "DesignType | str"
+    node: NodeKey
+    transistors: Optional[float] = None
+    area_mm2: Optional[float] = None
+    area_reference_node: Optional[NodeKey] = None
+    reused: bool = False
+    manufactured_volume: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a chiplet needs a non-empty name")
+        object.__setattr__(self, "design_type", DesignType.parse(self.design_type))
+        object.__setattr__(self, "node", _normalise_node_key(self.node))
+        if self.area_reference_node is not None:
+            object.__setattr__(
+                self, "area_reference_node", _normalise_node_key(self.area_reference_node)
+            )
+        if self.transistors is None and self.area_mm2 is None:
+            raise ValueError(
+                f"chiplet {self.name!r}: either transistors or area_mm2 must be given"
+            )
+        if self.transistors is not None and self.transistors <= 0:
+            raise ValueError(
+                f"chiplet {self.name!r}: transistor count must be positive, "
+                f"got {self.transistors}"
+            )
+        if self.area_mm2 is not None and self.area_mm2 <= 0:
+            raise ValueError(
+                f"chiplet {self.name!r}: area must be positive, got {self.area_mm2}"
+            )
+        if self.manufactured_volume is not None and self.manufactured_volume <= 0:
+            raise ValueError(
+                f"chiplet {self.name!r}: manufactured volume must be positive, "
+                f"got {self.manufactured_volume}"
+            )
+
+    # -- size resolution -----------------------------------------------------------
+    def transistor_count(self, scaling: AreaScalingModel) -> float:
+        """Device count, derived from the reference-node area if necessary."""
+        if self.transistors is not None:
+            return self.transistors
+        reference = (
+            self.area_reference_node if self.area_reference_node is not None else self.node
+        )
+        return scaling.transistors_from_area(
+            self.area_mm2, self.design_type, reference  # type: ignore[arg-type]
+        )
+
+    def area_at_node(self, scaling: AreaScalingModel, node: Optional[NodeKey] = None) -> float:
+        """Die area at ``node`` (default: the chiplet's own node)."""
+        target = node if node is not None else self.node
+        return scaling.area_mm2(self.transistor_count(scaling), self.design_type, target)
+
+    # -- convenience ----------------------------------------------------------------
+    def retargeted(self, node: NodeKey) -> "Chiplet":
+        """A copy of this chiplet implemented in a different node.
+
+        The functionality (transistor count or reference-node area) is
+        preserved; only the implementation node changes.  When the size was
+        given as an area without an explicit reference node, the current
+        node is pinned as the reference so the area keeps its meaning.
+        """
+        reference = self.area_reference_node
+        if self.transistors is None and reference is None:
+            reference = self.node
+        return dataclasses.replace(
+            self, node=_normalise_node_key(node), area_reference_node=reference
+        )
+
+    def renamed(self, name: str) -> "Chiplet":
+        """A copy with a different name."""
+        return dataclasses.replace(self, name=name)

@@ -1,0 +1,182 @@
+"""Carbon-aware design-space exploration (Section VI of the paper).
+
+The paper's closing argument is that carbon should be a *first-order
+optimisation metric* alongside performance, power, area and cost.  This
+module provides the search machinery for that: enumerate candidate designs
+(node assignments and/or packaging architectures), evaluate each with the
+ECO-CHIP estimator (and optionally the dollar-cost model), and extract the
+Pareto-optimal set under user-selected objectives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.disaggregation import all_node_configurations
+from repro.core.estimator import EcoChip
+from repro.core.results import SystemCarbonReport
+from repro.core.system import ChipletSystem
+from repro.cost.model import ChipletCostModel, CostReport
+from repro.packaging.registry import PackagingSpec
+
+#: Objective extractors available by name.  Every objective is minimised.
+OBJECTIVES: Dict[str, Callable[["DesignPoint"], float]] = {
+    "total_carbon_g": lambda p: p.carbon.total_cfp_g,
+    "embodied_carbon_g": lambda p: p.carbon.embodied_cfp_g,
+    "manufacturing_carbon_g": lambda p: p.carbon.manufacturing_cfp_g,
+    "operational_carbon_g": lambda p: p.carbon.operational_cfp_g,
+    "silicon_area_mm2": lambda p: p.carbon.total_silicon_area_mm2,
+    "package_area_mm2": lambda p: p.carbon.packaging.package_area_mm2,
+    "power_w": lambda p: p.carbon.operational.energy.total_power_w,
+    "cost_usd": lambda p: p.cost.total_cost_usd if p.cost is not None else float("inf"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated candidate of the design space.
+
+    Attributes:
+        system: The candidate system.
+        carbon: ECO-CHIP carbon report.
+        cost: Optional dollar-cost report (present when the explorer was
+            built with ``include_cost=True``).
+    """
+
+    system: ChipletSystem
+    carbon: SystemCarbonReport
+    cost: Optional[CostReport] = None
+
+    @property
+    def label(self) -> str:
+        """Readable identifier: node tuple + packaging architecture."""
+        nodes = ",".join(f"{int(n)}" for n in self.carbon.node_configuration)
+        return f"({nodes})/{self.carbon.packaging.architecture}"
+
+    def objective(self, name: str) -> float:
+        """Value of the named objective (smaller is better)."""
+        try:
+            extractor = OBJECTIVES[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown objective {name!r}; known objectives: {sorted(OBJECTIVES)}"
+            ) from exc
+        return extractor(self)
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(points: Sequence[DesignPoint], objectives: Sequence[str]) -> List[DesignPoint]:
+    """The non-dominated subset of ``points`` under the named objectives."""
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    vectors = [tuple(point.objective(name) for name in objectives) for point in points]
+    front = []
+    for index, point in enumerate(points):
+        dominated = any(
+            _dominates(vectors[other], vectors[index])
+            for other in range(len(points))
+            if other != index
+        )
+        if not dominated:
+            front.append(point)
+    return front
+
+
+class DesignSpaceExplorer:
+    """Enumerates and evaluates chiplet design spaces.
+
+    Args:
+        estimator: ECO-CHIP estimator to use (a default one is built).
+        include_cost: Also evaluate the dollar-cost model for every point.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[EcoChip] = None,
+        include_cost: bool = False,
+    ):
+        self.estimator = estimator if estimator is not None else EcoChip()
+        self.cost_model = ChipletCostModel(table=self.estimator.table) if include_cost else None
+
+    # -- evaluation -----------------------------------------------------------------
+    def evaluate(self, system: ChipletSystem) -> DesignPoint:
+        """Evaluate one candidate system."""
+        carbon = self.estimator.estimate(system)
+        cost = self.cost_model.estimate(system) if self.cost_model is not None else None
+        return DesignPoint(system=system, carbon=carbon, cost=cost)
+
+    def explore(
+        self,
+        system: ChipletSystem,
+        node_choices: Sequence[float],
+        packaging_choices: Optional[Iterable[PackagingSpec]] = None,
+    ) -> List[DesignPoint]:
+        """Evaluate every node assignment (and optionally packaging choice).
+
+        The search is exhaustive: ``len(node_choices) ** chiplet_count``
+        node assignments times the number of packaging choices.  For the
+        paper-scale problems (3 chiplets, 3–4 nodes, 5 packages) this is a
+        few hundred estimator calls and runs in seconds.
+        """
+        if not node_choices:
+            raise ValueError("at least one node choice is required")
+        packagings: List[Optional[PackagingSpec]] = (
+            list(packaging_choices) if packaging_choices is not None else [None]
+        )
+        if not packagings:
+            raise ValueError("packaging_choices was given but empty")
+
+        points = []
+        for nodes in all_node_configurations(node_choices, system.chiplet_count):
+            candidate = system.with_nodes(*nodes)
+            for packaging in packagings:
+                variant = (
+                    candidate.with_packaging(packaging) if packaging is not None else candidate
+                )
+                points.append(self.evaluate(variant))
+        return points
+
+    # -- selection -------------------------------------------------------------------
+    def best(
+        self,
+        points: Sequence[DesignPoint],
+        objective: str = "total_carbon_g",
+        constraints: Optional[Dict[str, float]] = None,
+    ) -> DesignPoint:
+        """The single best point under ``objective``, subject to upper-bound
+        ``constraints`` on other objectives (e.g. ``{"power_w": 10.0}``).
+
+        Raises:
+            ValueError: when no point satisfies the constraints.
+        """
+        constraints = constraints or {}
+        feasible = [
+            point
+            for point in points
+            if all(point.objective(name) <= bound for name, bound in constraints.items())
+        ]
+        if not feasible:
+            raise ValueError("no design point satisfies the given constraints")
+        return min(feasible, key=lambda point: point.objective(objective))
+
+    def pareto(
+        self, points: Sequence[DesignPoint], objectives: Sequence[str]
+    ) -> List[DesignPoint]:
+        """Pareto-optimal subset of ``points`` (delegates to :func:`pareto_front`)."""
+        return pareto_front(points, objectives)
+
+    def summarise(
+        self, points: Sequence[DesignPoint], objectives: Sequence[str]
+    ) -> List[Tuple[str, Dict[str, float]]]:
+        """(label, {objective: value}) rows, sorted by the first objective."""
+        rows = [
+            (point.label, {name: point.objective(name) for name in objectives})
+            for point in points
+        ]
+        rows.sort(key=lambda row: row[1][objectives[0]])
+        return rows

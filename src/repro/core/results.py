@@ -1,0 +1,191 @@
+"""Result dataclasses produced by the ECO-CHIP estimator."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.design.design_cfp import ChipletDesignResult, SystemDesignResult
+from repro.manufacturing.chip import ManufacturingResult
+from repro.operational.operational_cfp import OperationalResult
+from repro.packaging.base import PackagingResult
+from repro.technology.scaling import DesignType
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipletCarbonReport:
+    """Per-chiplet carbon accounting.
+
+    Attributes:
+        name: Chiplet name.
+        node_nm: Implementation node.
+        design_type: Block flavour.
+        base_area_mm2: Area of the chiplet's own logic at its node.
+        overhead_area_mm2: Extra silicon added by the packaging architecture
+            (routers, PHYs) inside this chiplet.
+        total_area_mm2: ``base + overhead`` — the area that was manufactured.
+        manufacturing: Manufacturing CFP result (Eq. 5) for the total area.
+        design: Design CFP result (Eqs. 12–13) for this chiplet.
+    """
+
+    name: str
+    node_nm: float
+    design_type: DesignType
+    base_area_mm2: float
+    overhead_area_mm2: float
+    total_area_mm2: float
+    manufacturing: ManufacturingResult
+    design: ChipletDesignResult
+
+    @property
+    def manufacturing_cfp_g(self) -> float:
+        """Manufacturing footprint of this chiplet in grams."""
+        return self.manufacturing.total_g
+
+    @property
+    def amortised_design_cfp_g(self) -> float:
+        """Design footprint charged to one system, in grams."""
+        return self.design.amortised_cfp_g
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemCarbonReport:
+    """Complete carbon accounting of one system (the estimator's output).
+
+    All carbon values are grams of CO2-equivalent per manufactured system
+    unless the name says otherwise.
+
+    Attributes:
+        system_name: Name of the analysed system.
+        node_configuration: Tuple of chiplet nodes, e.g. ``(7, 14, 10)``.
+        chiplets: Per-chiplet reports.
+        packaging: Packaging / HI overhead result (``C_HI`` breakdown).
+        design: System-level design CFP result.
+        operational: Operational CFP result.
+        manufacturing_cfp_g: ``Cmfg`` — sum of per-chiplet manufacturing.
+        design_cfp_g: ``Cdes`` — amortised design footprint.
+        hi_cfp_g: ``C_HI`` — package + packaged communication footprint.
+        embodied_cfp_g: ``Cemb = Cmfg + Cdes + C_HI``.
+        operational_cfp_g: ``lifetime x Cop``.
+        total_cfp_g: ``Ctot = Cemb + lifetime x Cop``.
+    """
+
+    system_name: str
+    node_configuration: Tuple[float, ...]
+    chiplets: Tuple[ChipletCarbonReport, ...]
+    packaging: PackagingResult
+    design: SystemDesignResult
+    operational: OperationalResult
+    manufacturing_cfp_g: float
+    design_cfp_g: float
+    hi_cfp_g: float
+    embodied_cfp_g: float
+    operational_cfp_g: float
+    total_cfp_g: float
+
+    # -- convenience accessors ----------------------------------------------------
+    @property
+    def embodied_cfp_kg(self) -> float:
+        """``Cemb`` in kilograms."""
+        return self.embodied_cfp_g / 1000.0
+
+    @property
+    def operational_cfp_kg(self) -> float:
+        """Lifetime operational footprint in kilograms."""
+        return self.operational_cfp_g / 1000.0
+
+    @property
+    def total_cfp_kg(self) -> float:
+        """``Ctot`` in kilograms."""
+        return self.total_cfp_g / 1000.0
+
+    @property
+    def total_silicon_area_mm2(self) -> float:
+        """Total manufactured silicon area across chiplets."""
+        return sum(c.total_area_mm2 for c in self.chiplets)
+
+    @property
+    def embodied_fraction(self) -> float:
+        """Share of the total footprint that is embodied."""
+        if self.total_cfp_g == 0:
+            return 0.0
+        return self.embodied_cfp_g / self.total_cfp_g
+
+    def chiplet(self, name: str) -> ChipletCarbonReport:
+        """Per-chiplet report for ``name``."""
+        for report in self.chiplets:
+            if report.name == name:
+                return report
+        raise KeyError(f"no chiplet named {name!r} in report")
+
+    # -- serialisation ---------------------------------------------------------------
+    def breakdown(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers (grams)."""
+        return {
+            "manufacturing_cfp_g": self.manufacturing_cfp_g,
+            "design_cfp_g": self.design_cfp_g,
+            "hi_cfp_g": self.hi_cfp_g,
+            "embodied_cfp_g": self.embodied_cfp_g,
+            "operational_cfp_g": self.operational_cfp_g,
+            "total_cfp_g": self.total_cfp_g,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dictionary with per-chiplet detail."""
+        return {
+            "system": self.system_name,
+            "node_configuration": list(self.node_configuration),
+            "breakdown_g": self.breakdown(),
+            "packaging": {
+                "architecture": self.packaging.architecture,
+                "package_cfp_g": self.packaging.package_cfp_g,
+                "comm_cfp_g": self.packaging.comm_cfp_g,
+                "package_area_mm2": self.packaging.package_area_mm2,
+                "whitespace_area_mm2": self.packaging.whitespace_area_mm2,
+                "package_yield": self.packaging.package_yield,
+            },
+            "chiplets": [
+                {
+                    "name": c.name,
+                    "node_nm": c.node_nm,
+                    "design_type": c.design_type.value,
+                    "base_area_mm2": c.base_area_mm2,
+                    "overhead_area_mm2": c.overhead_area_mm2,
+                    "total_area_mm2": c.total_area_mm2,
+                    "yield": c.manufacturing.yield_value,
+                    "manufacturing_cfp_g": c.manufacturing_cfp_g,
+                    "design_cfp_g": c.amortised_design_cfp_g,
+                }
+                for c in self.chiplets
+            ],
+            "operational": {
+                "annual_energy_kwh": self.operational.energy.annual_energy_kwh,
+                "annual_cfp_g": self.operational.annual_cfp_g,
+                "lifetime_years": self.operational.lifetime_years,
+                "lifetime_cfp_g": self.operational.lifetime_cfp_g,
+            },
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"System: {self.system_name}",
+            f"  nodes: {tuple(int(n) if float(n).is_integer() else n for n in self.node_configuration)}",
+            f"  packaging: {self.packaging.architecture}",
+            f"  Cmfg  = {self.manufacturing_cfp_g / 1000.0:10.2f} kg CO2e",
+            f"  Cdes  = {self.design_cfp_g / 1000.0:10.2f} kg CO2e (amortised)",
+            f"  C_HI  = {self.hi_cfp_g / 1000.0:10.2f} kg CO2e",
+            f"  Cemb  = {self.embodied_cfp_g / 1000.0:10.2f} kg CO2e",
+            f"  Cop   = {self.operational_cfp_g / 1000.0:10.2f} kg CO2e "
+            f"({self.operational.lifetime_years:g} years)",
+            f"  Ctot  = {self.total_cfp_g / 1000.0:10.2f} kg CO2e",
+            "  chiplets:",
+        ]
+        for c in self.chiplets:
+            lines.append(
+                f"    {c.name:<16} {int(c.node_nm):>3}nm "
+                f"{c.total_area_mm2:8.1f} mm2  "
+                f"yield={c.manufacturing.yield_value:5.2f}  "
+                f"Cmfg={c.manufacturing_cfp_g / 1000.0:8.2f} kg"
+            )
+        return "\n".join(lines)

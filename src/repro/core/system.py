@@ -1,0 +1,121 @@
+"""System description: a set of chiplets, a package and operating conditions."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from repro.core.chiplet import Chiplet
+from repro.operational.energy import OperatingSpec
+from repro.packaging.monolithic import MonolithicSpec
+from repro.packaging.registry import PackagingSpec
+
+#: Default number of systems manufactured (``NS`` in the paper's experiments).
+DEFAULT_SYSTEM_VOLUME = 100_000
+
+#: Default number of design iterations (``Ndes`` in Table I).
+DEFAULT_DESIGN_ITERATIONS = 100
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipletSystem:
+    """A complete system to be analysed by :class:`repro.core.estimator.EcoChip`.
+
+    Attributes:
+        name: System name, used in reports.
+        chiplets: The chiplets (one entry for a monolithic SoC).
+        packaging: Packaging-architecture spec; a single-chiplet system
+            defaults to :class:`MonolithicSpec`.
+        operating: Use-phase operating conditions.
+        system_volume: ``NS``, the number of systems manufactured; design
+            carbon is amortised over it.
+        design_iterations: ``Ndes``, SP&R/analysis iterations per chiplet.
+    """
+
+    name: str
+    chiplets: Tuple[Chiplet, ...]
+    packaging: PackagingSpec = dataclasses.field(default_factory=MonolithicSpec)
+    operating: OperatingSpec = dataclasses.field(default_factory=OperatingSpec)
+    system_volume: float = DEFAULT_SYSTEM_VOLUME
+    design_iterations: int = DEFAULT_DESIGN_ITERATIONS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a system needs a non-empty name")
+        chiplets = tuple(self.chiplets)
+        object.__setattr__(self, "chiplets", chiplets)
+        if not chiplets:
+            raise ValueError(f"system {self.name!r} needs at least one chiplet")
+        names = [c.name for c in chiplets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"system {self.name!r} has duplicate chiplet names: {names}")
+        if self.system_volume <= 0:
+            raise ValueError(
+                f"system volume must be positive, got {self.system_volume}"
+            )
+        if self.design_iterations < 1:
+            raise ValueError(
+                f"design iterations must be >= 1, got {self.design_iterations}"
+            )
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def is_monolithic(self) -> bool:
+        """True when the system is a single die with no advanced packaging."""
+        return len(self.chiplets) == 1 or isinstance(self.packaging, MonolithicSpec)
+
+    @property
+    def chiplet_count(self) -> int:
+        """Number of chiplets."""
+        return len(self.chiplets)
+
+    def chiplet(self, name: str) -> Chiplet:
+        """Return the chiplet called ``name``."""
+        for chiplet in self.chiplets:
+            if chiplet.name == name:
+                return chiplet
+        raise KeyError(f"system {self.name!r} has no chiplet named {name!r}")
+
+    # -- builders --------------------------------------------------------------------
+    def with_packaging(self, packaging: PackagingSpec) -> "ChipletSystem":
+        """A copy with a different packaging architecture."""
+        return dataclasses.replace(self, packaging=packaging)
+
+    def with_operating(self, operating: OperatingSpec) -> "ChipletSystem":
+        """A copy with different operating conditions."""
+        return dataclasses.replace(self, operating=operating)
+
+    def with_chiplets(
+        self, chiplets: Sequence[Chiplet], name: Optional[str] = None
+    ) -> "ChipletSystem":
+        """A copy with a different chiplet set (and optionally a new name)."""
+        return dataclasses.replace(
+            self,
+            chiplets=tuple(chiplets),
+            name=name if name is not None else self.name,
+        )
+
+    def with_nodes(self, *nodes: float) -> "ChipletSystem":
+        """A copy with each chiplet retargeted to the corresponding node.
+
+        ``len(nodes)`` must equal the chiplet count.  This is the
+        "technology mix-and-match" knob: ``system.with_nodes(7, 14, 10)``
+        re-implements the first chiplet in 7 nm, the second in 14 nm and the
+        third in 10 nm.
+        """
+        if len(nodes) != len(self.chiplets):
+            raise ValueError(
+                f"expected {len(self.chiplets)} nodes, got {len(nodes)}"
+            )
+        retargeted = tuple(
+            chiplet.retargeted(node) for chiplet, node in zip(self.chiplets, nodes)
+        )
+        return dataclasses.replace(self, chiplets=retargeted)
+
+    def with_volume(self, system_volume: float) -> "ChipletSystem":
+        """A copy with a different manufacturing volume ``NS``."""
+        return dataclasses.replace(self, system_volume=system_volume)
+
+    def node_configuration(self) -> Tuple[float, ...]:
+        """The tuple of chiplet nodes, e.g. ``(7.0, 14.0, 10.0)``."""
+        return tuple(float(c.node) for c in self.chiplets)

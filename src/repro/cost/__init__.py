@@ -1,0 +1,20 @@
+"""Dollar-cost model for chiplet disaggregation (Section VI(2)).
+
+The paper integrates ECO-CHIP with a third-party chiplet cost model
+(Graening et al., "Chiplets: How Small is too Small?", DAC 2023) to show that
+dollar cost follows the same qualitative trends as carbon.  That tool is not
+a Python dependency we can install, so this package provides an equivalent
+die + assembly + NRE cost model driven by the *same* yield and area numbers
+as the carbon path:
+
+* **Die cost** — wafer price of the node divided by dies-per-wafer and die
+  yield.
+* **Assembly cost** — substrate cost per unit area plus a per-die bonding
+  cost, inflated by the assembly yield.
+* **NRE cost** — design (EDA licences + engineer compute) and mask-set costs
+  amortised over the manufacturing volume.
+"""
+
+from repro.cost.model import ChipletCostModel, CostReport, WAFER_COST_USD
+
+__all__ = ["ChipletCostModel", "CostReport", "WAFER_COST_USD"]

@@ -1,0 +1,211 @@
+"""Chiplet-Actuary-style dollar cost model.
+
+Cost accounting per manufactured system::
+
+    die cost_i      = wafer_price(p_i) / DPW_i / Y_i
+    assembly cost   = substrate $/mm2 * A_package + bond $ * N_dies, all / Y_asm
+    NRE cost        = (mask set(p_i) + design $) / NM_i   summed over chiplets
+
+The absolute dollar values use public wafer-price and mask-cost estimates;
+what the Fig. 15 reproduction relies on is the *relative* behaviour — older
+nodes are cheaper per wafer but need more area, small dies improve yield and
+DPW, and assembly cost grows with the chiplet count — which this model
+shares with the carbon models because it uses the same yield/wafer/floorplan
+machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.core.system import ChipletSystem
+from repro.floorplan.slicing import SlicingFloorplanner
+from repro.manufacturing.wafer import WaferModel
+from repro.manufacturing.yield_model import YieldModel
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyTable
+from repro.technology.scaling import AreaScalingModel
+
+#: Approximate 300 mm wafer prices in USD by node (public industry estimates).
+WAFER_COST_USD: Dict[float, float] = {
+    3.0: 20000.0,
+    5.0: 17000.0,
+    7.0: 9300.0,
+    10.0: 6000.0,
+    14.0: 4000.0,
+    22.0: 3000.0,
+    28.0: 2600.0,
+    40.0: 2300.0,
+    65.0: 1900.0,
+}
+
+#: Approximate full-mask-set prices in USD by node.
+MASK_SET_COST_USD: Dict[float, float] = {
+    3.0: 40.0e6,
+    5.0: 30.0e6,
+    7.0: 15.0e6,
+    10.0: 10.0e6,
+    14.0: 6.0e6,
+    22.0: 3.0e6,
+    28.0: 2.0e6,
+    40.0: 1.5e6,
+    65.0: 1.0e6,
+}
+
+#: Package substrate cost per mm² (organic build-up / RDL class).
+SUBSTRATE_COST_USD_PER_MM2 = 0.02
+
+#: Per-die attach/bond cost during assembly.
+BOND_COST_USD_PER_DIE = 2.0
+
+#: Per-die assembly yield.
+ASSEMBLY_YIELD_PER_DIE = 0.995
+
+#: Engineering cost of designing one gate (labour + licences), USD.
+DESIGN_COST_USD_PER_GATE = 0.005
+
+
+def _lookup_by_node(table: Dict[float, float], node: float) -> float:
+    """Nearest-node lookup for the price tables."""
+    if node in table:
+        return table[node]
+    nearest = min(table, key=lambda key: abs(key - node))
+    return table[nearest]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Dollar cost of one manufactured system.
+
+    Attributes:
+        system_name: Analysed system.
+        die_costs_usd: Per-chiplet manufactured-die cost.
+        assembly_cost_usd: Substrate + bonding cost.
+        nre_cost_usd: Amortised mask-set and design cost per system.
+        total_cost_usd: Sum of the above.
+    """
+
+    system_name: str
+    die_costs_usd: Dict[str, float]
+    assembly_cost_usd: float
+    nre_cost_usd: float
+    total_cost_usd: float
+
+    @property
+    def silicon_cost_usd(self) -> float:
+        """Total die cost across chiplets."""
+        return sum(self.die_costs_usd.values())
+
+
+class ChipletCostModel:
+    """Die + assembly + NRE cost estimator sharing ECO-CHIP's yield models.
+
+    Args:
+        table: Technology table (defect densities, densities).
+        wafer_diameter_mm: Wafer diameter used for dies-per-wafer; 300 mm by
+            default because the public wafer prices are for 300 mm wafers.
+        chiplet_spacing_mm: Floorplanner spacing for the substrate area.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        wafer_diameter_mm: float = 300.0,
+        chiplet_spacing_mm: float = 0.5,
+    ):
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.scaling = AreaScalingModel(table=self.table)
+        self.yield_model = YieldModel(table=self.table)
+        self.wafer = WaferModel(wafer_diameter_mm=wafer_diameter_mm)
+        self.floorplanner = SlicingFloorplanner(spacing_mm=chiplet_spacing_mm)
+
+    # -- pieces -----------------------------------------------------------------
+    def die_cost_usd(self, area_mm2: float, node: float) -> float:
+        """Cost of one *good* die of ``area_mm2`` at ``node``."""
+        if area_mm2 <= 0:
+            raise ValueError(f"die area must be positive, got {area_mm2}")
+        wafer_price = _lookup_by_node(WAFER_COST_USD, float(node))
+        dpw = self.wafer.dies_per_wafer(area_mm2)
+        if dpw == 0:
+            raise ValueError(f"die of {area_mm2} mm2 does not fit on the wafer")
+        die_yield = self.yield_model.die_yield(area_mm2, node)
+        return wafer_price / dpw / die_yield
+
+    def assembly_cost_usd(self, package_area_mm2: float, die_count: int) -> float:
+        """Substrate + bonding cost of assembling ``die_count`` dies."""
+        if die_count < 1:
+            raise ValueError(f"die count must be >= 1, got {die_count}")
+        if die_count == 1:
+            return 0.0
+        substrate = SUBSTRATE_COST_USD_PER_MM2 * package_area_mm2
+        bonding = BOND_COST_USD_PER_DIE * die_count
+        assembly_yield = ASSEMBLY_YIELD_PER_DIE**die_count
+        return (substrate + bonding) / assembly_yield
+
+    def nre_cost_usd(
+        self, transistors: float, node: float, volume: float, reused: bool = False
+    ) -> float:
+        """Amortised mask + design cost per system for one chiplet."""
+        if volume <= 0:
+            raise ValueError(f"volume must be positive, got {volume}")
+        if reused:
+            return 0.0
+        masks = _lookup_by_node(MASK_SET_COST_USD, float(node))
+        gates = transistors / 6.25
+        design = gates * DESIGN_COST_USD_PER_GATE
+        return (masks + design) / volume
+
+    # -- whole system ----------------------------------------------------------------
+    def estimate(self, system: ChipletSystem) -> CostReport:
+        """Dollar cost of one manufactured system.
+
+        Chiplets that share the same design (same design type, node and
+        transistor count — e.g. a large block split into identical pieces)
+        share a single mask set and design effort: the NRE is charged once
+        and amortised over the combined manufacturing volume of all copies.
+        """
+        areas: Dict[str, float] = {}
+        die_costs: Dict[str, float] = {}
+        design_groups: Dict[Tuple[str, float, float], Dict[str, float]] = {}
+        for chiplet in system.chiplets:
+            area = chiplet.area_at_node(self.scaling)
+            areas[chiplet.name] = area
+            die_costs[chiplet.name] = self.die_cost_usd(area, float(chiplet.node))
+            volume = (
+                chiplet.manufactured_volume
+                if chiplet.manufactured_volume is not None
+                else system.system_volume
+            )
+            transistors = chiplet.transistor_count(self.scaling)
+            signature = (
+                chiplet.design_type.value,  # type: ignore[union-attr]
+                float(chiplet.node),
+                round(transistors, 3),
+            )
+            group = design_groups.setdefault(
+                signature,
+                {"transistors": transistors, "volume": 0.0, "reused": float(chiplet.reused)},
+            )
+            group["volume"] += volume
+            group["reused"] = min(group["reused"], float(chiplet.reused))
+
+        nre_total = 0.0
+        for (dtype, node, _), group in design_groups.items():
+            del dtype
+            nre_total += self.nre_cost_usd(
+                group["transistors"],
+                node,
+                group["volume"],
+                reused=bool(group["reused"]),
+            )
+
+        package_area = self.floorplanner.package_area_mm2(areas)
+        assembly = self.assembly_cost_usd(package_area, len(system.chiplets))
+        total = sum(die_costs.values()) + assembly + nre_total
+        return CostReport(
+            system_name=system.name,
+            die_costs_usd=die_costs,
+            assembly_cost_usd=assembly,
+            nre_cost_usd=nre_total,
+            total_cost_usd=total,
+        )

@@ -1,0 +1,40 @@
+"""Design (EDA) carbon-footprint models.
+
+Section III-E of the paper: the footprint of *designing* a chip — thousands
+of CPU-hours of synthesis, place & route (SP&R), analysis and verification —
+is significant and, unlike manufacturing, is amortised over the number of
+chiplets manufactured (``NM_i``) and systems shipped (``NS``)::
+
+    Cdes = sum_i Cdes,i / NM_i + Cdes,comm / NS                 (Eq. 12)
+    Cdes,i = tdes,i * Pdes * Cdes,src
+    tdes,i = tverif,i + (tSP&R,i + tanalyze,i) * Ndes / eta_EDA  (Eq. 13)
+
+* :mod:`~repro.design.eda` models the compute time (calibrated to the
+  paper's measurement of 24 CPU-hours per SP&R run of a 700 k-gate block at
+  7 nm) and the EDA-productivity scaling across nodes.
+* :mod:`~repro.design.design_cfp` turns compute time into carbon and
+  performs the volume amortisation, including the reuse discount for
+  pre-designed chiplets.
+"""
+
+from repro.design.design_cfp import (
+    ChipletDesignResult,
+    DesignCarbonModel,
+    SystemDesignResult,
+)
+from repro.design.eda import (
+    DEFAULT_TRANSISTORS_PER_GATE,
+    EdaTimeBreakdown,
+    SPRTimeModel,
+    gates_from_transistors,
+)
+
+__all__ = [
+    "ChipletDesignResult",
+    "DesignCarbonModel",
+    "SystemDesignResult",
+    "DEFAULT_TRANSISTORS_PER_GATE",
+    "EdaTimeBreakdown",
+    "SPRTimeModel",
+    "gates_from_transistors",
+]

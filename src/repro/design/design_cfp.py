@@ -1,0 +1,217 @@
+"""Design carbon footprint and volume amortisation (Eq. 12).
+
+``Cdes,i = tdes,i * Pdes * Cdes,src`` converts design compute time into
+carbon; the system-level design footprint amortises each chiplet's design
+over the number of chiplets manufactured (``NM_i``) and the inter-die
+communication design effort over the number of systems (``NS``).  Chiplets
+marked as *reused* (pre-designed, silicon-proven IP) contribute no design
+carbon at all — the "reuse" lever of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.design.eda import (
+    DEFAULT_DESIGN_ITERATIONS,
+    DEFAULT_TRANSISTORS_PER_GATE,
+    SPRTimeModel,
+    gates_from_transistors,
+)
+from repro.technology.carbon_sources import CarbonSource, carbon_intensity
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+SourceLike = Union[CarbonSource, str, float, int]
+
+#: Default power of one design-compute CPU thread (Table I: Pdes = 10 W).
+DEFAULT_DESIGN_POWER_W = 10.0
+
+#: Gate count charged for designing the inter-die communication circuitry
+#: (routers, NICs, PHY controllers) of one HI system.
+DEFAULT_COMM_DESIGN_GATES = 2.0e6
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipletDesignResult:
+    """Design CFP of one chiplet, before and after amortisation.
+
+    Attributes:
+        name: Chiplet name.
+        node_nm: Node the chiplet is designed in.
+        gates: Logic-gate count.
+        design_hours: ``tdes,i`` in CPU-hours.
+        total_cfp_g: Un-amortised design footprint (one full design effort).
+        manufactured_volume: ``NM_i`` used for the amortisation.
+        amortised_cfp_g: Footprint charged to a single system.
+        reused: True when the chiplet is a pre-designed IP (zero design CFP).
+    """
+
+    name: str
+    node_nm: float
+    gates: float
+    design_hours: float
+    total_cfp_g: float
+    manufactured_volume: float
+    amortised_cfp_g: float
+    reused: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemDesignResult:
+    """Design CFP of a whole system (Eq. 12).
+
+    Attributes:
+        chiplets: Per-chiplet results.
+        comm_total_cfp_g: Un-amortised design footprint of the inter-die
+            communication circuitry.
+        comm_amortised_cfp_g: Communication design footprint charged to a
+            single system (divided by ``NS``).
+        total_amortised_cfp_g: ``Cdes`` — the value that enters ``Cemb``.
+        total_unamortised_cfp_g: Sum of all design efforts without any
+            volume amortisation (the "design once" cost).
+    """
+
+    chiplets: Tuple[ChipletDesignResult, ...]
+    comm_total_cfp_g: float
+    comm_amortised_cfp_g: float
+    total_amortised_cfp_g: float
+    total_unamortised_cfp_g: float
+
+
+class DesignCarbonModel:
+    """Evaluates Eq. 12 / Eq. 13 for a set of chiplets.
+
+    Args:
+        table: Technology table (for EDA productivity).
+        design_power_w: Power of one CPU thread running EDA jobs (``Pdes``).
+        design_carbon_source: Energy source of the design-compute
+            infrastructure (``Cdes,src``).
+        transistors_per_gate: Conversion factor from transistor counts.
+        spr_model: Compute-time model; a default one is built over ``table``.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        design_power_w: float = DEFAULT_DESIGN_POWER_W,
+        design_carbon_source: SourceLike = CarbonSource.COAL,
+        transistors_per_gate: float = DEFAULT_TRANSISTORS_PER_GATE,
+        spr_model: Optional[SPRTimeModel] = None,
+    ):
+        if design_power_w <= 0:
+            raise ValueError(f"design power must be positive, got {design_power_w}")
+        if transistors_per_gate <= 0:
+            raise ValueError(
+                f"transistors per gate must be positive, got {transistors_per_gate}"
+            )
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.design_power_w = float(design_power_w)
+        self.design_carbon_intensity_g_per_kwh = carbon_intensity(design_carbon_source)
+        self.transistors_per_gate = float(transistors_per_gate)
+        self.spr_model = spr_model if spr_model is not None else SPRTimeModel(table=self.table)
+
+    # -- single-chiplet ----------------------------------------------------------
+    def chiplet_design_cfp(
+        self,
+        transistors: float,
+        node: NodeKey,
+        iterations: int = DEFAULT_DESIGN_ITERATIONS,
+        manufactured_volume: float = 1.0,
+        name: str = "",
+        reused: bool = False,
+    ) -> ChipletDesignResult:
+        """Design CFP of one chiplet with ``transistors`` devices at ``node``."""
+        if manufactured_volume <= 0:
+            raise ValueError(
+                f"manufactured volume must be positive, got {manufactured_volume}"
+            )
+        record = self.table.get(node)
+        gates = gates_from_transistors(transistors, self.transistors_per_gate)
+        if reused:
+            return ChipletDesignResult(
+                name=name,
+                node_nm=record.feature_nm,
+                gates=gates,
+                design_hours=0.0,
+                total_cfp_g=0.0,
+                manufactured_volume=manufactured_volume,
+                amortised_cfp_g=0.0,
+                reused=True,
+            )
+        hours = self.spr_model.design_hours(gates, node, iterations)
+        energy_kwh = hours * self.design_power_w / 1000.0
+        total_g = energy_kwh * self.design_carbon_intensity_g_per_kwh
+        return ChipletDesignResult(
+            name=name,
+            node_nm=record.feature_nm,
+            gates=gates,
+            design_hours=hours,
+            total_cfp_g=total_g,
+            manufactured_volume=manufactured_volume,
+            amortised_cfp_g=total_g / manufactured_volume,
+            reused=False,
+        )
+
+    def single_spr_run_cfp_g(self, transistors: float, node: NodeKey) -> float:
+        """CFP of a *single* SP&R run (the quantity plotted in Fig. 7(b))."""
+        gates = gates_from_transistors(transistors, self.transistors_per_gate)
+        hours = self.spr_model.spr_hours(gates, node)
+        return hours * self.design_power_w / 1000.0 * self.design_carbon_intensity_g_per_kwh
+
+    # -- system-level (Eq. 12) ------------------------------------------------------
+    def system_design_cfp(
+        self,
+        chiplets: Sequence[Dict[str, object]],
+        iterations: int = DEFAULT_DESIGN_ITERATIONS,
+        system_volume: float = 1.0,
+        comm_design_gates: float = DEFAULT_COMM_DESIGN_GATES,
+        comm_node: NodeKey = 7,
+        has_inter_die_comm: bool = True,
+    ) -> SystemDesignResult:
+        """Design CFP of a system of chiplets.
+
+        Args:
+            chiplets: Sequence of dictionaries with keys ``name``,
+                ``transistors``, ``node``, ``manufactured_volume`` and
+                optionally ``reused``.
+            iterations: Design iterations per chiplet (``Ndes``).
+            system_volume: Number of systems shipped (``NS``).
+            comm_design_gates: Gate budget of the inter-die communication
+                circuitry designed once per system family.
+            comm_node: Node the communication circuitry is designed in.
+            has_inter_die_comm: False for monolithic systems (no comm CFP).
+        """
+        if system_volume <= 0:
+            raise ValueError(f"system volume must be positive, got {system_volume}")
+        results = []
+        for entry in chiplets:
+            results.append(
+                self.chiplet_design_cfp(
+                    transistors=float(entry["transistors"]),
+                    node=entry["node"],  # type: ignore[arg-type]
+                    iterations=iterations,
+                    manufactured_volume=float(entry.get("manufactured_volume", system_volume)),
+                    name=str(entry.get("name", "")),
+                    reused=bool(entry.get("reused", False)),
+                )
+            )
+
+        comm_total = 0.0
+        if has_inter_die_comm and comm_design_gates > 0:
+            comm_hours = self.spr_model.design_hours(comm_design_gates, comm_node, iterations)
+            comm_total = (
+                comm_hours * self.design_power_w / 1000.0
+                * self.design_carbon_intensity_g_per_kwh
+            )
+        comm_amortised = comm_total / system_volume
+
+        total_amortised = sum(r.amortised_cfp_g for r in results) + comm_amortised
+        total_unamortised = sum(r.total_cfp_g for r in results) + comm_total
+        return SystemDesignResult(
+            chiplets=tuple(results),
+            comm_total_cfp_g=comm_total,
+            comm_amortised_cfp_g=comm_amortised,
+            total_amortised_cfp_g=total_amortised,
+            total_unamortised_cfp_g=total_unamortised,
+        )

@@ -1,0 +1,157 @@
+"""EDA compute-time model (Eq. 13).
+
+The paper calibrates the model with a commercial measurement: one synthesis,
+place & route (SP&R) run of a 700,000-gate block in a 7 nm technology takes
+about 24 CPU-hours, and SP&R effort extends linearly with gate count (the
+GA102's 4.5 B gates give 1.5e5 CPU-hours).  Analysis (timing/power/IR sign-
+off simulations) adds a fraction of an SP&R run per iteration, verification
+dominates about 80% of the total product-development compute, and the whole
+budget scales with the EDA-tool productivity of the node (mature nodes close
+designs faster, Section III-E).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+#: Average transistors per logic gate used to convert transistor counts into
+#: gate counts (the GA102's 28.3 B transistors -> ~4.5 B logic gates).
+DEFAULT_TRANSISTORS_PER_GATE = 6.25
+
+#: SP&R CPU-hours per gate before the EDA-productivity division, calibrated
+#: so that 700 k gates at 7 nm (eta_EDA = 0.70) costs 24 CPU-hours.
+_BASE_SPR_HOURS_PER_GATE = 24.0 * 0.70 / 700_000.0
+
+#: Analysis (STA / power / IR sign-off) compute per iteration, as a fraction
+#: of one SP&R run.
+_ANALYSIS_FRACTION_OF_SPR = 0.2
+
+#: Fraction of total product-development compute spent in verification
+#: (the paper: "verification dominating 80% of the product development time").
+_VERIFICATION_SHARE = 0.8
+
+#: Default number of design iterations (Table I: Ndes = 100).
+DEFAULT_DESIGN_ITERATIONS = 100
+
+
+def gates_from_transistors(
+    transistors: float, transistors_per_gate: float = DEFAULT_TRANSISTORS_PER_GATE
+) -> float:
+    """Convert a transistor count to an equivalent logic-gate count."""
+    if transistors < 0:
+        raise ValueError(f"transistor count must be non-negative, got {transistors}")
+    if transistors_per_gate <= 0:
+        raise ValueError(
+            f"transistors per gate must be positive, got {transistors_per_gate}"
+        )
+    return transistors / transistors_per_gate
+
+
+@dataclasses.dataclass(frozen=True)
+class EdaTimeBreakdown:
+    """Compute-time breakdown of designing one chiplet.
+
+    All times are CPU-hours.
+
+    Attributes:
+        node_nm: Node the design targets.
+        gates: Logic-gate count of the design.
+        iterations: Number of SP&R/analysis iterations (``Ndes``).
+        spr_hours_per_run: CPU-hours of a single SP&R run.
+        analysis_hours_per_run: CPU-hours of a single analysis pass.
+        implementation_hours: ``(tSP&R + tanalyze) * Ndes / eta_EDA``.
+        verification_hours: ``tverif`` — sized so verification is 80% of the
+            total design compute.
+        total_hours: ``tdes,i`` of Eq. 13.
+    """
+
+    node_nm: float
+    gates: float
+    iterations: int
+    spr_hours_per_run: float
+    analysis_hours_per_run: float
+    implementation_hours: float
+    verification_hours: float
+    total_hours: float
+
+
+class SPRTimeModel:
+    """Compute-time model for synthesis, place & route, analysis and verification.
+
+    Args:
+        table: Technology table supplying the per-node EDA productivity.
+        analysis_fraction: Analysis compute per iteration as a fraction of
+            one SP&R run.
+        verification_share: Fraction of the total design compute spent in
+            verification.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        analysis_fraction: float = _ANALYSIS_FRACTION_OF_SPR,
+        verification_share: float = _VERIFICATION_SHARE,
+    ):
+        if analysis_fraction < 0:
+            raise ValueError(f"analysis fraction must be non-negative, got {analysis_fraction}")
+        if not 0.0 <= verification_share < 1.0:
+            raise ValueError(
+                f"verification share must be in [0, 1), got {verification_share}"
+            )
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.analysis_fraction = float(analysis_fraction)
+        self.verification_share = float(verification_share)
+
+    # -- single-run times ---------------------------------------------------------
+    def spr_hours(self, gates: float, node: NodeKey) -> float:
+        """CPU-hours of one SP&R run of ``gates`` gates at ``node``."""
+        if gates < 0:
+            raise ValueError(f"gate count must be non-negative, got {gates}")
+        record = self.table.get(node)
+        return gates * _BASE_SPR_HOURS_PER_GATE / record.eda_productivity
+
+    def analysis_hours(self, gates: float, node: NodeKey) -> float:
+        """CPU-hours of one full analysis (sign-off simulation) pass."""
+        return self.analysis_fraction * self.spr_hours(gates, node)
+
+    # -- Eq. 13 --------------------------------------------------------------------
+    def breakdown(
+        self,
+        gates: float,
+        node: NodeKey,
+        iterations: int = DEFAULT_DESIGN_ITERATIONS,
+    ) -> EdaTimeBreakdown:
+        """Full Eq. 13 breakdown for a design of ``gates`` gates at ``node``."""
+        if iterations < 1:
+            raise ValueError(f"iteration count must be >= 1, got {iterations}")
+        record = self.table.get(node)
+        spr = self.spr_hours(gates, node)
+        analysis = self.analysis_hours(gates, node)
+        implementation = (spr + analysis) * iterations
+        # Verification is verification_share of the total:
+        #   tverif = share / (1 - share) * implementation
+        verification = (
+            self.verification_share / (1.0 - self.verification_share) * implementation
+        )
+        return EdaTimeBreakdown(
+            node_nm=record.feature_nm,
+            gates=gates,
+            iterations=iterations,
+            spr_hours_per_run=spr,
+            analysis_hours_per_run=analysis,
+            implementation_hours=implementation,
+            verification_hours=verification,
+            total_hours=implementation + verification,
+        )
+
+    def design_hours(
+        self,
+        gates: float,
+        node: NodeKey,
+        iterations: int = DEFAULT_DESIGN_ITERATIONS,
+    ) -> float:
+        """``tdes,i`` — total design compute time in CPU-hours."""
+        return self.breakdown(gates, node, iterations).total_hours

@@ -1,0 +1,110 @@
+"""Axis-aligned rectangle primitive used by the floorplanner."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle with its lower-left corner at (x, y).
+
+    All coordinates and lengths are in millimetres.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"rectangle dimensions must be non-negative, got "
+                f"{self.width} x {self.height}"
+            )
+
+    # -- derived geometry -------------------------------------------------------
+    @property
+    def area(self) -> float:
+        """Area in mm²."""
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge."""
+        return self.y + self.height
+
+    @property
+    def center(self) -> "tuple[float, float]":
+        """Centre point."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width divided by height (``inf`` for a zero-height rectangle)."""
+        if self.height == 0:
+            return float("inf")
+        return self.width / self.height
+
+    # -- transformations ----------------------------------------------------------
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def rotated(self) -> "Rect":
+        """A copy with width and height swapped (90° rotation in place)."""
+        return Rect(self.x, self.y, self.height, self.width)
+
+    # -- relations -----------------------------------------------------------------
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the two rectangles overlap with positive area."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def shared_edge_length(self, other: "Rect", tolerance: float = 1e-6) -> float:
+        """Length of the boundary the two rectangles share (abutment).
+
+        Two rectangles "abut" when one's edge lies within ``tolerance`` of
+        the other's and their projections on the shared axis overlap.  Used
+        to find chiplet pairs that can be connected with a silicon bridge.
+        """
+        # Vertical abutment (left/right edges touching).
+        if abs(self.x2 - other.x) <= tolerance or abs(other.x2 - self.x) <= tolerance:
+            low = max(self.y, other.y)
+            high = min(self.y2, other.y2)
+            if high > low:
+                return high - low
+        # Horizontal abutment (top/bottom edges touching).
+        if abs(self.y2 - other.y) <= tolerance or abs(other.y2 - self.y) <= tolerance:
+            low = max(self.x, other.x)
+            high = min(self.x2, other.x2)
+            if high > low:
+                return high - low
+        return 0.0
+
+    def manhattan_distance(self, other: "Rect") -> float:
+        """Manhattan distance between rectangle centres."""
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return abs(cx1 - cx2) + abs(cy1 - cy2)
+
+    @staticmethod
+    def bounding(rects: "list[Rect]") -> "Rect":
+        """Smallest rectangle covering every rectangle in ``rects``."""
+        if not rects:
+            return Rect(0.0, 0.0, 0.0, 0.0)
+        x1 = min(r.x for r in rects)
+        y1 = min(r.y for r in rects)
+        x2 = max(r.x2 for r in rects)
+        y2 = max(r.y2 for r in rects)
+        return Rect(x1, y1, x2 - x1, y2 - y1)

@@ -1,0 +1,223 @@
+"""Slicing-floorplan construction and whitespace estimation.
+
+Processes the partition tree produced by
+:func:`repro.floorplan.partition.build_partition_tree` bottom-up:
+
+* **Leaf nodes** become chiplet bounding boxes.  The chiplet's aspect ratio
+  defaults to square (the paper sets orientation/aspect ratio at the leaves;
+  a square is the area-optimal default when the true die outline is
+  unknown).
+* **Internal nodes** combine their two children either side-by-side
+  (vertical cut) or stacked (horizontal cut), separated by the chiplet
+  spacing constraint.  Whichever orientation yields the smaller bounding box
+  is kept.  Any dimension mismatch between the two children becomes
+  whitespace inside the bounding box — exactly the two whitespace sources
+  described in Section III-D(3).
+
+The floorplan also reports chiplet adjacencies (pairs of chiplets whose
+placements abut across a spacing channel) which the packaging models use to
+count silicon bridges and place NoC routers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.floorplan.partition import PartitionNode, build_partition_tree
+from repro.floorplan.rect import Rect
+
+#: Default chiplet-to-chiplet spacing constraint in mm (Table I: 0.1–1 mm).
+DEFAULT_CHIPLET_SPACING_MM = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Final position of one chiplet inside the package outline."""
+
+    name: str
+    rect: Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class FloorplanResult:
+    """Output of the slicing floorplanner.
+
+    Attributes:
+        placements: Per-chiplet placement rectangles (package coordinates).
+        outline: Bounding box of the whole assembly; its area is the package
+            substrate / interposer area used in the packaging CFP models.
+        chiplet_area_mm2: Sum of chiplet silicon areas.
+        package_area_mm2: Area of the outline.
+        whitespace_area_mm2: Outline area not covered by chiplets.
+        whitespace_fraction: Whitespace as a fraction of the package area.
+        adjacencies: Pairs of chiplet names that abut (share an interface
+            across a spacing channel), with the shared edge length in mm.
+    """
+
+    placements: Tuple[Placement, ...]
+    outline: Rect
+    chiplet_area_mm2: float
+    package_area_mm2: float
+    whitespace_area_mm2: float
+    whitespace_fraction: float
+    adjacencies: Tuple[Tuple[str, str, float], ...]
+
+    def placement_of(self, name: str) -> Placement:
+        """Return the placement of chiplet ``name``."""
+        for placement in self.placements:
+            if placement.name == name:
+                return placement
+        raise KeyError(f"no chiplet named {name!r} in floorplan")
+
+    def adjacency_count(self) -> int:
+        """Number of abutting chiplet pairs."""
+        return len(self.adjacencies)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Block:
+    """Intermediate floorplan block: a set of placed chiplets in local coords."""
+
+    width: float
+    height: float
+    placements: Tuple[Placement, ...]
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+class SlicingFloorplanner:
+    """Builds a slicing floorplan and estimates whitespace.
+
+    Args:
+        spacing_mm: Minimum spacing between adjacent chiplets and between a
+            chiplet and the combined-partition boundary (Table I: 0.1–1 mm).
+        aspect_ratio: Aspect ratio applied to every chiplet bounding box
+            (width / height).  1.0 (square) by default.
+    """
+
+    def __init__(
+        self,
+        spacing_mm: float = DEFAULT_CHIPLET_SPACING_MM,
+        aspect_ratio: float = 1.0,
+    ):
+        if spacing_mm < 0:
+            raise ValueError(f"spacing must be non-negative, got {spacing_mm}")
+        if aspect_ratio <= 0:
+            raise ValueError(f"aspect ratio must be positive, got {aspect_ratio}")
+        self.spacing_mm = float(spacing_mm)
+        self.aspect_ratio = float(aspect_ratio)
+
+    # -- public API --------------------------------------------------------------
+    def floorplan(self, chiplet_areas: Dict[str, float]) -> FloorplanResult:
+        """Floorplan the chiplets and report package area and whitespace."""
+        tree = build_partition_tree(chiplet_areas)
+        block = self._process(tree)
+        outline = Rect(0.0, 0.0, block.width, block.height)
+        chiplet_area = sum(chiplet_areas.values())
+        package_area = outline.area
+        whitespace = max(0.0, package_area - chiplet_area)
+        adjacencies = self._adjacencies(block.placements)
+        return FloorplanResult(
+            placements=block.placements,
+            outline=outline,
+            chiplet_area_mm2=chiplet_area,
+            package_area_mm2=package_area,
+            whitespace_area_mm2=whitespace,
+            whitespace_fraction=whitespace / package_area if package_area > 0 else 0.0,
+            adjacencies=adjacencies,
+        )
+
+    def package_area_mm2(self, chiplet_areas: Dict[str, float]) -> float:
+        """Convenience wrapper returning only the package/interposer area."""
+        return self.floorplan(chiplet_areas).package_area_mm2
+
+    # -- tree processing -----------------------------------------------------------
+    def _process(self, node: PartitionNode) -> _Block:
+        if node.is_leaf:
+            return self._leaf_block(node)
+        assert node.left is not None and node.right is not None
+        left = self._process(node.left)
+        right = self._process(node.right)
+        horizontal = self._combine(left, right, vertical_cut=True)
+        vertical = self._combine(left, right, vertical_cut=False)
+        return horizontal if horizontal.area <= vertical.area else vertical
+
+    def _leaf_block(self, node: PartitionNode) -> _Block:
+        area = node.total_area
+        width = math.sqrt(area * self.aspect_ratio)
+        height = area / width if width > 0 else 0.0
+        placement = Placement(name=node.chiplet or "", rect=Rect(0.0, 0.0, width, height))
+        return _Block(width=width, height=height, placements=(placement,))
+
+    def _combine(self, left: _Block, right: _Block, vertical_cut: bool) -> _Block:
+        """Place ``right`` next to (or above) ``left`` with the spacing gap."""
+        gap = self.spacing_mm
+        if vertical_cut:
+            # Side by side: widths add, height is the max of the two.
+            width = left.width + gap + right.width
+            height = max(left.height, right.height)
+            shifted = tuple(
+                Placement(p.name, p.rect.translated(left.width + gap, 0.0))
+                for p in right.placements
+            )
+        else:
+            width = max(left.width, right.width)
+            height = left.height + gap + right.height
+            shifted = tuple(
+                Placement(p.name, p.rect.translated(0.0, left.height + gap))
+                for p in right.placements
+            )
+        return _Block(width=width, height=height, placements=left.placements + shifted)
+
+    # -- adjacency extraction ---------------------------------------------------------
+    def _adjacencies(
+        self, placements: Tuple[Placement, ...]
+    ) -> Tuple[Tuple[str, str, float], ...]:
+        """Pairs of chiplets that face each other across a spacing channel.
+
+        Each placement is inflated by half the spacing on every side; two
+        chiplets are adjacent when their inflated outlines abut or overlap
+        and the overlap of their projections on the facing axis is positive.
+        """
+        inflate = self.spacing_mm / 2.0 + 1e-9
+        pairs: List[Tuple[str, str, float]] = []
+        for a, b in itertools.combinations(placements, 2):
+            ra = Rect(
+                a.rect.x - inflate,
+                a.rect.y - inflate,
+                a.rect.width + 2 * inflate,
+                a.rect.height + 2 * inflate,
+            )
+            rb = Rect(
+                b.rect.x - inflate,
+                b.rect.y - inflate,
+                b.rect.width + 2 * inflate,
+                b.rect.height + 2 * inflate,
+            )
+            if ra.overlaps(rb):
+                # Overlap after inflation: the interface length is the extent
+                # of the overlap along the facing (longer) direction.
+                dx = min(ra.x2, rb.x2) - max(ra.x, rb.x)
+                dy = min(ra.y2, rb.y2) - max(ra.y, rb.y)
+                shared = max(dx, dy) if min(dx, dy) > 0 else 0.0
+            else:
+                shared = ra.shared_edge_length(rb)
+            if shared > 0:
+                names = sorted((a.name, b.name))
+                pairs.append((names[0], names[1], shared))
+        return tuple(sorted(pairs))
+
+
+def floorplan_areas(
+    chiplet_areas: Dict[str, float],
+    spacing_mm: float = DEFAULT_CHIPLET_SPACING_MM,
+    aspect_ratio: float = 1.0,
+) -> FloorplanResult:
+    """Functional shortcut: floorplan ``chiplet_areas`` with default settings."""
+    planner = SlicingFloorplanner(spacing_mm=spacing_mm, aspect_ratio=aspect_ratio)
+    return planner.floorplan(chiplet_areas)

@@ -1,0 +1,21 @@
+"""Configuration I/O mirroring the released ECO-CHIP tool's JSON inputs.
+
+The artifact released with the paper describes a design through a directory
+of JSON files: ``architecture.json`` (chiplets and packaging type),
+``packageC.json`` (packaging parameters), ``designC.json`` (design-CFP
+parameters), ``operationalC.json`` (use-phase parameters) and
+``node_list.txt`` (the technology nodes to sweep).  This package loads such
+a directory into a :class:`~repro.core.system.ChipletSystem` plus the node
+sweep list, and can write estimator reports back to JSON.
+"""
+
+from repro.io.loaders import DesignDirectory, load_design_directory, load_system_from_dict
+from repro.io.writers import report_to_json, write_report
+
+__all__ = [
+    "DesignDirectory",
+    "load_design_directory",
+    "load_system_from_dict",
+    "report_to_json",
+    "write_report",
+]

@@ -1,0 +1,153 @@
+"""Loaders for ECO-CHIP-style design directories and dictionaries.
+
+A design directory contains:
+
+``architecture.json``
+    ``{"name": ..., "packaging": {"type": ...}, "chiplets": [{...}, ...]}``
+    Each chiplet entry needs ``name``, ``type`` (logic/memory/analog),
+    ``node`` and either ``transistors`` or ``area_mm2`` (optionally with
+    ``area_reference_node``); ``reused`` and ``manufactured_volume`` are
+    optional.
+``operationalC.json`` (optional)
+    Keyword arguments of :class:`repro.operational.energy.OperatingSpec`.
+``designC.json`` (optional)
+    ``{"system_volume": ..., "design_iterations": ...}``.
+``packageC.json`` (optional)
+    Extra keyword arguments merged into the packaging spec from
+    ``architecture.json``.
+``node_list.txt`` (optional)
+    One node per line; the nodes to sweep in mix-and-match experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import (
+    DEFAULT_DESIGN_ITERATIONS,
+    DEFAULT_SYSTEM_VOLUME,
+    ChipletSystem,
+)
+from repro.operational.energy import OperatingSpec
+from repro.packaging.registry import spec_from_dict
+
+PathLike = Union[str, Path]
+
+ARCHITECTURE_FILE = "architecture.json"
+OPERATIONAL_FILE = "operationalC.json"
+DESIGN_FILE = "designC.json"
+PACKAGE_FILE = "packageC.json"
+NODE_LIST_FILE = "node_list.txt"
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignDirectory:
+    """A parsed design directory.
+
+    Attributes:
+        system: The system described by the directory.
+        node_sweep: Nodes listed in ``node_list.txt`` (empty when absent).
+        path: The directory the design was loaded from.
+    """
+
+    system: ChipletSystem
+    node_sweep: List[float]
+    path: Path
+
+
+def _read_json(path: Path) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at the top level")
+    return data
+
+
+def _chiplet_from_dict(entry: Dict[str, Any]) -> Chiplet:
+    required = {"name", "type", "node"}
+    missing = required - set(entry)
+    if missing:
+        raise KeyError(f"chiplet entry {entry!r} is missing keys {sorted(missing)}")
+    return Chiplet(
+        name=str(entry["name"]),
+        design_type=str(entry["type"]),
+        node=entry["node"],
+        transistors=entry.get("transistors"),
+        area_mm2=entry.get("area_mm2"),
+        area_reference_node=entry.get("area_reference_node"),
+        reused=bool(entry.get("reused", False)),
+        manufactured_volume=entry.get("manufactured_volume"),
+    )
+
+
+def load_system_from_dict(
+    architecture: Dict[str, Any],
+    operational: Optional[Dict[str, Any]] = None,
+    design: Optional[Dict[str, Any]] = None,
+    package_overrides: Optional[Dict[str, Any]] = None,
+) -> ChipletSystem:
+    """Build a :class:`ChipletSystem` from already-parsed configuration dicts."""
+    if "chiplets" not in architecture or not architecture["chiplets"]:
+        raise KeyError("architecture configuration needs a non-empty 'chiplets' list")
+    chiplets = tuple(_chiplet_from_dict(entry) for entry in architecture["chiplets"])
+
+    packaging_config = dict(architecture.get("packaging", {"type": "monolithic"}))
+    if package_overrides:
+        overrides = dict(package_overrides)
+        overrides.pop("type", None)
+        packaging_config.update(overrides)
+    packaging = spec_from_dict(packaging_config)
+
+    operating = OperatingSpec(**(operational or {}))
+
+    design = design or {}
+    return ChipletSystem(
+        name=str(architecture.get("name", "design")),
+        chiplets=chiplets,
+        packaging=packaging,
+        operating=operating,
+        system_volume=float(design.get("system_volume", DEFAULT_SYSTEM_VOLUME)),
+        design_iterations=int(design.get("design_iterations", DEFAULT_DESIGN_ITERATIONS)),
+    )
+
+
+def _load_node_list(path: Path) -> List[float]:
+    nodes: List[float] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        text = line.strip().lower().removesuffix("nm").strip()
+        if not text or text.startswith("#"):
+            continue
+        nodes.append(float(text))
+    return nodes
+
+
+def load_design_directory(directory: PathLike) -> DesignDirectory:
+    """Load an ECO-CHIP-style design directory.
+
+    Raises:
+        FileNotFoundError: when the directory or ``architecture.json`` is
+            missing.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"design directory {root} does not exist")
+    architecture_path = root / ARCHITECTURE_FILE
+    if not architecture_path.is_file():
+        raise FileNotFoundError(f"{architecture_path} is required but missing")
+
+    architecture = _read_json(architecture_path)
+    operational = (
+        _read_json(root / OPERATIONAL_FILE) if (root / OPERATIONAL_FILE).is_file() else None
+    )
+    design = _read_json(root / DESIGN_FILE) if (root / DESIGN_FILE).is_file() else None
+    package = _read_json(root / PACKAGE_FILE) if (root / PACKAGE_FILE).is_file() else None
+
+    system = load_system_from_dict(architecture, operational, design, package)
+
+    node_list_path = root / NODE_LIST_FILE
+    node_sweep = _load_node_list(node_list_path) if node_list_path.is_file() else []
+    return DesignDirectory(system=system, node_sweep=node_sweep, path=root)

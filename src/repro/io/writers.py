@@ -1,0 +1,24 @@
+"""Report serialisation helpers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.results import SystemCarbonReport
+
+PathLike = Union[str, Path]
+
+
+def report_to_json(report: SystemCarbonReport, indent: int = 2) -> str:
+    """Serialise a :class:`SystemCarbonReport` to a JSON string."""
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)
+
+
+def write_report(report: SystemCarbonReport, path: PathLike, indent: int = 2) -> Path:
+    """Write ``report`` as JSON to ``path`` and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(report_to_json(report, indent=indent) + "\n", encoding="utf-8")
+    return target

@@ -1,0 +1,37 @@
+"""Manufacturing carbon-footprint models.
+
+Implements Section III-C of the paper:
+
+* :mod:`~repro.manufacturing.yield_model` — negative-binomial die yield
+  (Eq. 4) plus assembly/bonding yield helpers used by the packaging models.
+* :mod:`~repro.manufacturing.wafer` — dies-per-wafer and amortised wasted
+  silicon area around the wafer periphery (Eqs. 7–8).
+* :mod:`~repro.manufacturing.cfpa` — carbon footprint per unit area of a die
+  (Eq. 6), combining fab energy, process-gas emissions and material sourcing,
+  divided by yield.
+* :mod:`~repro.manufacturing.chip` — per-chiplet manufacturing CFP (Eq. 5),
+  the quantity summed over chiplets to obtain ``Cmfg``.
+"""
+
+from repro.manufacturing.cfpa import CFPAModel, CFPABreakdown
+from repro.manufacturing.chip import ChipManufacturingModel, ManufacturingResult
+from repro.manufacturing.wafer import WaferModel, WaferUtilisation
+from repro.manufacturing.yield_model import (
+    YieldModel,
+    assembly_yield,
+    bonding_yield,
+    negative_binomial_yield,
+)
+
+__all__ = [
+    "CFPAModel",
+    "CFPABreakdown",
+    "ChipManufacturingModel",
+    "ManufacturingResult",
+    "WaferModel",
+    "WaferUtilisation",
+    "YieldModel",
+    "assembly_yield",
+    "bonding_yield",
+    "negative_binomial_yield",
+]

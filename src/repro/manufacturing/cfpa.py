@@ -1,0 +1,145 @@
+"""Carbon footprint per unit area (CFPA) of manufacturing a die.
+
+Eq. 6 of the paper::
+
+    CFPA = (eta_eq * Cmfg,src * EPA(p) + Cgas + Cmaterial) / Y(d, p)
+
+* ``eta_eq``          — energy-efficiency derate of the process equipment,
+* ``Cmfg,src``        — carbon intensity of the fab's energy source,
+* ``EPA(p)``          — manufacturing energy per unit area of process ``p``,
+* ``Cgas``            — direct greenhouse-gas emissions per unit area,
+* ``Cmaterial``       — material-sourcing footprint per unit area,
+* ``Y(d, p)``         — die yield, which inflates the per-good-die footprint.
+
+All area-specific quantities are per cm² in Table I; the public API of this
+module works in grams of CO2 per mm² so that it composes naturally with die
+areas expressed in mm².
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.manufacturing.yield_model import YieldModel
+from repro.technology.carbon_sources import CarbonSource, carbon_intensity
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+from repro.technology.scaling import DesignType
+
+SourceLike = Union[CarbonSource, str, float, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class CFPABreakdown:
+    """Per-mm² carbon footprint of manufacturing, split by origin.
+
+    All values are grams of CO2-equivalent per mm² of *good* die area (i.e.
+    already divided by yield) unless stated otherwise.
+
+    Attributes:
+        node_nm: Technology node the breakdown refers to.
+        yield_value: Die yield used for the division.
+        energy_g_per_mm2: Fab-energy component (``eta_eq * Csrc * EPA``).
+        gas_g_per_mm2: Process-gas component.
+        material_g_per_mm2: Material-sourcing component.
+        total_g_per_mm2: Sum of the three components, divided by yield.
+        unyielded_g_per_mm2: Same sum before the yield division — the
+            footprint of a mm² of manufactured (not necessarily good) die.
+    """
+
+    node_nm: float
+    yield_value: float
+    energy_g_per_mm2: float
+    gas_g_per_mm2: float
+    material_g_per_mm2: float
+    total_g_per_mm2: float
+    unyielded_g_per_mm2: float
+
+
+class CFPAModel:
+    """Carbon footprint per unit area (Eq. 6).
+
+    Args:
+        table: Technology table supplying per-node EPA, gas, material and
+            equipment-efficiency values.
+        fab_carbon_source: Energy source of the manufacturing fab
+            (``Cmfg,src``).  Defaults to coal (700 g/kWh) like the paper.
+        yield_model: Yield model used for the ``1/Y`` inflation; a default
+            model over ``table`` is constructed when omitted.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        fab_carbon_source: SourceLike = CarbonSource.COAL,
+        yield_model: Optional[YieldModel] = None,
+    ):
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.fab_carbon_intensity_g_per_kwh = carbon_intensity(fab_carbon_source)
+        self.yield_model = yield_model if yield_model is not None else YieldModel(table=self.table)
+
+    # -- per-cm2 primitives ----------------------------------------------------
+    def unyielded_cfpa_g_per_cm2(self, node: NodeKey) -> float:
+        """Numerator of Eq. 6 in grams of CO2 per cm² of manufactured die."""
+        record = self.table.get(node)
+        energy_g = (
+            record.equipment_efficiency
+            * self.fab_carbon_intensity_g_per_kwh
+            * record.epa_kwh_per_cm2
+        )
+        gas_g = record.gas_kg_per_cm2 * 1000.0
+        material_g = record.material_kg_per_cm2 * 1000.0
+        return energy_g + gas_g + material_g
+
+    # -- public API --------------------------------------------------------------
+    def cfpa_g_per_mm2(
+        self,
+        area_mm2: float,
+        node: NodeKey,
+        design_type: "DesignType | str" = DesignType.LOGIC,
+    ) -> float:
+        """Eq. 6 evaluated for a die of ``area_mm2`` at ``node``.
+
+        The yield in the denominator depends on the die area, so the CFPA is
+        area-dependent even though it is expressed per unit area.
+        """
+        return self.breakdown(area_mm2, node, design_type).total_g_per_mm2
+
+    def breakdown(
+        self,
+        area_mm2: float,
+        node: NodeKey,
+        design_type: "DesignType | str" = DesignType.LOGIC,
+    ) -> CFPABreakdown:
+        """Full CFPA breakdown for a die of ``area_mm2`` at ``node``."""
+        del design_type  # Yield depends only on area and node in Eq. 4.
+        record = self.table.get(node)
+        yield_value = self.yield_model.die_yield(area_mm2, node)
+        energy_g_cm2 = (
+            record.equipment_efficiency
+            * self.fab_carbon_intensity_g_per_kwh
+            * record.epa_kwh_per_cm2
+        )
+        gas_g_cm2 = record.gas_kg_per_cm2 * 1000.0
+        material_g_cm2 = record.material_kg_per_cm2 * 1000.0
+        unyielded_cm2 = energy_g_cm2 + gas_g_cm2 + material_g_cm2
+        # Convert from per-cm2 to per-mm2 and apply the yield division.
+        to_mm2 = 1.0 / 100.0
+        return CFPABreakdown(
+            node_nm=record.feature_nm,
+            yield_value=yield_value,
+            energy_g_per_mm2=energy_g_cm2 * to_mm2 / yield_value,
+            gas_g_per_mm2=gas_g_cm2 * to_mm2 / yield_value,
+            material_g_per_mm2=material_g_cm2 * to_mm2 / yield_value,
+            total_g_per_mm2=unyielded_cm2 * to_mm2 / yield_value,
+            unyielded_g_per_mm2=unyielded_cm2 * to_mm2,
+        )
+
+    def silicon_cfpa_g_per_mm2(self, node: NodeKey) -> float:
+        """CFPA of raw processed silicon (``CFPA_Si`` in Eq. 5).
+
+        Wasted silicon around the wafer periphery goes through the same
+        front-end processing as the dies but is never tested, so its
+        footprint is the unyielded CFPA (no ``1/Y`` inflation).
+        """
+        return self.unyielded_cfpa_g_per_cm2(node) / 100.0

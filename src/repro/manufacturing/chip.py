@@ -1,0 +1,135 @@
+"""Per-chiplet manufacturing carbon footprint (Eq. 5).
+
+The manufacturing footprint of a single chiplet combines the carbon footprint
+per unit area of its die with the amortised footprint of the silicon wasted
+around the wafer periphery::
+
+    Cmfg,i = CFPA * A_die(d, p) + CFPA_Si * A_wasted
+
+The system-level manufacturing footprint is the sum over all chiplets
+(``Cmfg = sum_i Cmfg,i``), which :class:`repro.core.estimator.EcoChip`
+performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.manufacturing.cfpa import CFPAModel, SourceLike
+from repro.manufacturing.wafer import DEFAULT_WAFER_DIAMETER_MM, WaferModel
+from repro.manufacturing.yield_model import YieldModel
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+from repro.technology.scaling import AreaScalingModel, DesignType
+
+
+@dataclasses.dataclass(frozen=True)
+class ManufacturingResult:
+    """Manufacturing CFP of a single chiplet with its contributing factors.
+
+    Attributes:
+        name: Chiplet name (empty for ad-hoc queries).
+        node_nm: Technology node of the chiplet.
+        design_type: Block flavour (logic / memory / analog).
+        area_mm2: Die area at that node.
+        yield_value: Die yield at that area and node.
+        dies_per_wafer: Whole dies per wafer.
+        wasted_area_per_die_mm2: Amortised wafer waste per die.
+        die_cfp_g: ``CFPA * A_die`` term of Eq. 5 (grams of CO2).
+        waste_cfp_g: ``CFPA_Si * A_wasted`` term of Eq. 5 (grams of CO2).
+        total_g: Total manufacturing footprint of one good chiplet.
+    """
+
+    name: str
+    node_nm: float
+    design_type: DesignType
+    area_mm2: float
+    yield_value: float
+    dies_per_wafer: int
+    wasted_area_per_die_mm2: float
+    die_cfp_g: float
+    waste_cfp_g: float
+    total_g: float
+
+
+class ChipManufacturingModel:
+    """Evaluates Eq. 5 for arbitrary dies.
+
+    Args:
+        table: Technology table to draw per-node parameters from.
+        fab_carbon_source: Energy source of the fab (``Cmfg,src``).
+        wafer_diameter_mm: Wafer diameter used for the waste model.
+        include_wafer_waste: When False the ``CFPA_Si * A_wasted`` term is
+            dropped; used for the Fig. 3(b) with/without-wastage comparison.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        fab_carbon_source: SourceLike = "coal",
+        wafer_diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM,
+        include_wafer_waste: bool = True,
+    ):
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.yield_model = YieldModel(table=self.table)
+        self.cfpa_model = CFPAModel(
+            table=self.table,
+            fab_carbon_source=fab_carbon_source,
+            yield_model=self.yield_model,
+        )
+        self.scaling = AreaScalingModel(table=self.table)
+        self.wafer = WaferModel(wafer_diameter_mm=wafer_diameter_mm)
+        self.include_wafer_waste = bool(include_wafer_waste)
+
+    # -- by area -------------------------------------------------------------
+    def cfp_for_area(
+        self,
+        area_mm2: float,
+        node: NodeKey,
+        design_type: "DesignType | str" = DesignType.LOGIC,
+        name: str = "",
+    ) -> ManufacturingResult:
+        """Manufacturing CFP of a die of ``area_mm2`` at ``node``."""
+        if area_mm2 <= 0:
+            raise ValueError(f"die area must be positive, got {area_mm2}")
+        dtype = DesignType.parse(design_type)
+        record = self.table.get(node)
+        cfpa = self.cfpa_model.breakdown(area_mm2, node, dtype)
+        utilisation = self.wafer.utilisation(area_mm2)
+        die_cfp = cfpa.total_g_per_mm2 * area_mm2
+        if self.include_wafer_waste:
+            waste_cfp = (
+                self.cfpa_model.silicon_cfpa_g_per_mm2(node)
+                * utilisation.wasted_area_per_die_mm2
+            )
+        else:
+            waste_cfp = 0.0
+        return ManufacturingResult(
+            name=name,
+            node_nm=record.feature_nm,
+            design_type=dtype,
+            area_mm2=area_mm2,
+            yield_value=cfpa.yield_value,
+            dies_per_wafer=utilisation.dies_per_wafer,
+            wasted_area_per_die_mm2=utilisation.wasted_area_per_die_mm2,
+            die_cfp_g=die_cfp,
+            waste_cfp_g=waste_cfp,
+            total_g=die_cfp + waste_cfp,
+        )
+
+    # -- by transistor count ---------------------------------------------------
+    def cfp_for_transistors(
+        self,
+        transistors: float,
+        node: NodeKey,
+        design_type: "DesignType | str" = DesignType.LOGIC,
+        name: str = "",
+    ) -> ManufacturingResult:
+        """Manufacturing CFP of a block of ``transistors`` devices at ``node``.
+
+        The area is derived from the transistor count through the
+        design-type-specific density (Section III-C(1)).
+        """
+        dtype = DesignType.parse(design_type)
+        area = self.scaling.area_mm2(transistors, dtype, node)
+        return self.cfp_for_area(area, node, dtype, name=name)

@@ -1,0 +1,126 @@
+"""Die, assembly and bonding yield models.
+
+The paper uses the classic negative-binomial yield distribution (Eq. 4)::
+
+    Y(d, p) = (1 + A_die(d, p) * D0(p) / alpha) ** (-alpha)
+
+where ``D0(p)`` is the defect density of process ``p`` and ``alpha`` the
+defect clustering parameter (3 throughout the paper).  Packaging
+architectures additionally need an assembly yield: the probability that every
+die attach, TSV, micro-bump or hybrid bond in the package succeeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+#: Default defect clustering parameter from Table I.
+DEFAULT_CLUSTERING_ALPHA = 3.0
+
+#: Default per-connection success probability for TSVs / micro-bumps /
+#: hybrid bonds.  A dense field of thousands of bumps with per-bump yield
+#: 0.999999 gives package assembly yields in the 95–99.9% range, matching
+#: the qualitative behaviour in Section V-B.
+DEFAULT_PER_CONNECTION_YIELD = 0.999999
+
+#: Default per-die attach success probability during package assembly.
+DEFAULT_DIE_ATTACH_YIELD = 0.995
+
+
+def negative_binomial_yield(
+    area_mm2: float,
+    defect_density_per_cm2: float,
+    clustering_alpha: float = DEFAULT_CLUSTERING_ALPHA,
+) -> float:
+    """Eq. 4: negative-binomial yield of a die of ``area_mm2``.
+
+    ``defect_density_per_cm2`` is expressed per cm² as in Table I; the area
+    is converted internally.  Returns a probability in (0, 1].
+    """
+    if area_mm2 < 0:
+        raise ValueError(f"die area must be non-negative, got {area_mm2}")
+    if defect_density_per_cm2 < 0:
+        raise ValueError(
+            f"defect density must be non-negative, got {defect_density_per_cm2}"
+        )
+    if clustering_alpha <= 0:
+        raise ValueError(f"clustering alpha must be positive, got {clustering_alpha}")
+    area_cm2 = area_mm2 / 100.0
+    return (1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha) ** (
+        -clustering_alpha
+    )
+
+
+def bonding_yield(
+    connection_count: float,
+    per_connection_yield: float = DEFAULT_PER_CONNECTION_YIELD,
+) -> float:
+    """Yield of forming ``connection_count`` TSVs/bumps/bonds.
+
+    Each connection succeeds independently with ``per_connection_yield``.
+    """
+    if connection_count < 0:
+        raise ValueError(f"connection count must be non-negative, got {connection_count}")
+    if not 0.0 < per_connection_yield <= 1.0:
+        raise ValueError(
+            f"per-connection yield must be in (0, 1], got {per_connection_yield}"
+        )
+    return per_connection_yield**connection_count
+
+
+def assembly_yield(
+    die_count: int,
+    per_die_attach_yield: float = DEFAULT_DIE_ATTACH_YIELD,
+    connection_count: float = 0.0,
+    per_connection_yield: float = DEFAULT_PER_CONNECTION_YIELD,
+) -> float:
+    """Yield of assembling ``die_count`` chiplets onto a substrate.
+
+    Combines per-die attach yield with the yield of any dense connection
+    field (TSVs, micro-bumps, hybrid bonds).  The 3D-stacking model uses the
+    product of per-tier yields (Section V-B(1)); this helper gives the yield
+    of a single assembly step.
+    """
+    if die_count < 0:
+        raise ValueError(f"die count must be non-negative, got {die_count}")
+    if not 0.0 < per_die_attach_yield <= 1.0:
+        raise ValueError(
+            f"per-die attach yield must be in (0, 1], got {per_die_attach_yield}"
+        )
+    attach = per_die_attach_yield**die_count
+    bonds = bonding_yield(connection_count, per_connection_yield)
+    return attach * bonds
+
+
+@dataclasses.dataclass(frozen=True)
+class YieldModel:
+    """Convenience wrapper binding the yield equations to a technology table.
+
+    Attributes:
+        table: Technology table supplying per-node defect densities.
+        clustering_alpha: Override for the clustering parameter; ``None``
+            uses the per-node value from the table.
+    """
+
+    table: TechnologyTable = dataclasses.field(default_factory=lambda: DEFAULT_TECHNOLOGY_TABLE)
+    clustering_alpha: Optional[float] = None
+
+    def die_yield(self, area_mm2: float, node: NodeKey) -> float:
+        """Negative-binomial yield of a die of ``area_mm2`` at ``node``."""
+        record = self.table.get(node)
+        alpha = self.clustering_alpha if self.clustering_alpha is not None else record.clustering_alpha
+        return negative_binomial_yield(area_mm2, record.defect_density_per_cm2, alpha)
+
+    def known_good_die_fraction(self, area_mm2: float, node: NodeKey) -> float:
+        """Alias of :meth:`die_yield`; name used in the chiplet literature."""
+        return self.die_yield(area_mm2, node)
+
+    def dies_needed(self, area_mm2: float, node: NodeKey, good_dies: int = 1) -> float:
+        """Expected number of dies that must be manufactured per good die."""
+        if good_dies < 0:
+            raise ValueError(f"good die count must be non-negative, got {good_dies}")
+        y = self.die_yield(area_mm2, node)
+        return good_dies / y

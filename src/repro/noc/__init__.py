@@ -1,0 +1,26 @@
+"""Inter-die communication models (NoC routers and PHY interfaces).
+
+The paper uses two third-party sources for inter-die communication overheads:
+ORION 3.0 for router *power* and Stow et al. (SLIP 2019) for router *area*
+on interposer-based systems.  Neither is a Python library, so this package
+provides an analytical substitute with the same microarchitectural inputs
+(port count, flit width, virtual channels, buffer depth, technology node) and
+the same qualitative behaviour:
+
+* router area and power grow with ports, flit width and buffering;
+* implementing the router in an older node (active interposer) costs more
+  area than implementing it inside the chiplet's advanced node (passive
+  interposer);
+* PHY interfaces for RDL/EMIB packages are small IPs added to each chiplet.
+"""
+
+from repro.noc.orion import OrionRouterModel, RouterEstimate, RouterSpec
+from repro.noc.phy import PhyModel, PhyEstimate
+
+__all__ = [
+    "OrionRouterModel",
+    "RouterEstimate",
+    "RouterSpec",
+    "PhyModel",
+    "PhyEstimate",
+]

@@ -1,0 +1,188 @@
+"""ORION-3.0-style NoC router area and power model.
+
+ORION estimates router power from microarchitectural parameters by counting
+the instances of its building blocks (input buffers, crossbar, allocators)
+and applying per-instance energy models; Stow et al. model the network-on-
+interposer router area from flit width, port count and bump pitch.  This
+module reproduces both behaviours analytically:
+
+* **Area** is derived from a transistor budget (SRAM buffer bits, crossbar
+  datapath, allocation/control logic) converted to silicon area through the
+  logic transistor density of the target node, plus a wire-dominated crossbar
+  term that scales with the square of the flit width and the node's metal
+  pitch.
+* **Power** combines per-flit switching energy (buffer write + read, crossbar
+  traversal, arbitration) with leakage proportional to area.
+
+The absolute constants are calibrated so that a 5-port, 512-bit, 4-VC router
+lands in the fraction-of-a-mm² range at 65 nm and tens of mW at realistic
+injection rates — consistent with the "small and near-negligible compared to
+the core chiplet areas" observation in Section V-B(1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+#: Transistors per SRAM buffer bit (6T cell plus decode/precharge overhead).
+_TRANSISTORS_PER_BUFFER_BIT = 10.0
+
+#: Transistors per crossbar bit-slice per port pair (mux tree + drivers).
+_TRANSISTORS_PER_XBAR_BIT = 8.0
+
+#: Transistors of allocation / arbitration / flow-control logic per port.
+_CONTROL_TRANSISTORS_PER_PORT = 30_000.0
+
+#: Metal tracks per signal for the wire-dominated crossbar area term.
+_TRACKS_PER_BIT = 3.0
+
+#: Wire pitch in micrometres at 65 nm; scaled linearly with feature size.
+_WIRE_PITCH_UM_AT_65NM = 0.20
+
+#: Effective switched capacitance per buffered/transported bit, in
+#: femtofarads, at 65 nm.  Scales with feature size.
+_CAP_FF_PER_BIT_AT_65NM = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterSpec:
+    """Microarchitectural description of one NoC router.
+
+    Attributes:
+        ports: Bidirectional port count (paper/Stow use 4–8 for NoI meshes).
+        flit_width_bits: Flit width; the paper uses 512 bits.
+        virtual_channels: Virtual channels per port.
+        buffer_depth_flits: Buffer depth per virtual channel, in flits.
+        clock_ghz: Router clock frequency.
+    """
+
+    ports: int = 5
+    flit_width_bits: int = 512
+    virtual_channels: int = 4
+    buffer_depth_flits: int = 4
+    clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ValueError(f"a router needs at least 2 ports, got {self.ports}")
+        if self.flit_width_bits <= 0:
+            raise ValueError(f"flit width must be positive, got {self.flit_width_bits}")
+        if self.virtual_channels < 1:
+            raise ValueError(
+                f"virtual channel count must be >= 1, got {self.virtual_channels}"
+            )
+        if self.buffer_depth_flits < 1:
+            raise ValueError(
+                f"buffer depth must be >= 1, got {self.buffer_depth_flits}"
+            )
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_ghz}")
+
+    @property
+    def buffer_bits(self) -> float:
+        """Total storage bits across all input buffers."""
+        return (
+            float(self.ports)
+            * self.virtual_channels
+            * self.buffer_depth_flits
+            * self.flit_width_bits
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterEstimate:
+    """Area and power estimate for one router instance.
+
+    Attributes:
+        node_nm: Technology node of the implementation.
+        area_mm2: Total silicon area.
+        transistors: Transistor budget behind the logic area.
+        dynamic_power_w: Switching power at the requested injection rate.
+        leakage_power_w: Static power.
+        total_power_w: Sum of dynamic and leakage power.
+        energy_per_flit_nj: Energy of moving one flit through the router.
+    """
+
+    node_nm: float
+    area_mm2: float
+    transistors: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    total_power_w: float
+    energy_per_flit_nj: float
+
+
+class OrionRouterModel:
+    """Analytical router area/power estimator.
+
+    Args:
+        table: Technology table supplying density, Vdd and leakage values.
+    """
+
+    def __init__(self, table: Optional[TechnologyTable] = None):
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+
+    # -- area ----------------------------------------------------------------
+    def transistor_count(self, spec: RouterSpec) -> float:
+        """Transistor budget of the router's logic and storage."""
+        buffers = spec.buffer_bits * _TRANSISTORS_PER_BUFFER_BIT
+        crossbar = spec.ports**2 * spec.flit_width_bits * _TRANSISTORS_PER_XBAR_BIT
+        control = spec.ports * _CONTROL_TRANSISTORS_PER_PORT
+        return buffers + crossbar + control
+
+    def area_mm2(self, spec: RouterSpec, node: NodeKey) -> float:
+        """Router silicon area at ``node`` (logic plus wire-dominated crossbar)."""
+        record = self.table.get(node)
+        logic_area = self.transistor_count(spec) / (
+            record.logic_density_mtr_per_mm2 * 1.0e6
+        )
+        pitch_um = _WIRE_PITCH_UM_AT_65NM * record.feature_nm / 65.0
+        xbar_side_mm = spec.flit_width_bits * _TRACKS_PER_BIT * pitch_um * 1.0e-3
+        wire_area = xbar_side_mm**2
+        return logic_area + wire_area
+
+    # -- power ----------------------------------------------------------------
+    def energy_per_flit_nj(self, spec: RouterSpec, node: NodeKey) -> float:
+        """Energy of one flit traversal (buffer write + read + crossbar)."""
+        record = self.table.get(node)
+        cap_ff_per_bit = _CAP_FF_PER_BIT_AT_65NM * record.feature_nm / 65.0
+        # Three switched stages: buffer write, buffer read, crossbar traversal.
+        switched_bits = 3.0 * spec.flit_width_bits
+        energy_j = switched_bits * cap_ff_per_bit * 1.0e-15 * record.vdd_v**2
+        return energy_j * 1.0e9
+
+    def estimate(
+        self,
+        spec: RouterSpec,
+        node: NodeKey,
+        injection_rate: float = 0.3,
+    ) -> RouterEstimate:
+        """Full area/power estimate.
+
+        Args:
+            spec: Router microarchitecture.
+            node: Implementation technology node.
+            injection_rate: Average fraction of cycles a flit traverses the
+                router (0–1); drives dynamic power.
+        """
+        if not 0.0 <= injection_rate <= 1.0:
+            raise ValueError(f"injection rate must be in [0, 1], got {injection_rate}")
+        record = self.table.get(node)
+        area = self.area_mm2(spec, node)
+        transistors = self.transistor_count(spec)
+        energy_nj = self.energy_per_flit_nj(spec, node)
+        flits_per_second = injection_rate * spec.clock_ghz * 1.0e9
+        dynamic_w = energy_nj * 1.0e-9 * flits_per_second
+        leakage_w = record.leakage_a_per_mm2 * area * record.vdd_v
+        return RouterEstimate(
+            node_nm=record.feature_nm,
+            area_mm2=area,
+            transistors=transistors,
+            dynamic_power_w=dynamic_w,
+            leakage_power_w=leakage_w,
+            total_power_w=dynamic_w + leakage_w,
+            energy_per_flit_nj=energy_nj,
+        )

@@ -1,0 +1,112 @@
+"""Die-to-die PHY interface model for RDL-fanout and EMIB packages.
+
+Section III-D(2): packages without an interposer NoC (RDL fanout and silicon
+bridges) still pay a small per-chiplet overhead for the die-to-die PHY IP
+(AIB/UCIe-style parallel interfaces) that drives signals across the package.
+These interfaces are "typically designed as IPs and have small additional
+areas when compared to the chiplets".  The model here charges each chiplet a
+per-lane PHY area plus a fixed controller area, both scaled with the
+chiplet's technology node, and a corresponding transfer energy used by the
+operational model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+#: Silicon area of one PHY data lane (driver + receiver + ESD) at 7 nm, mm².
+_LANE_AREA_MM2_AT_7NM = 0.0015
+
+#: Fixed controller / clocking area per PHY instance at 7 nm, mm².
+_CONTROLLER_AREA_MM2_AT_7NM = 0.25
+
+#: Energy of moving one bit across the package in picojoules (UCIe-class
+#: standard package links are in the 0.5–1 pJ/bit range).
+_ENERGY_PJ_PER_BIT = 0.7
+
+
+@dataclasses.dataclass(frozen=True)
+class PhyEstimate:
+    """Per-chiplet PHY overhead.
+
+    Attributes:
+        node_nm: Node the PHY is implemented in (same as its chiplet).
+        lanes: Number of data lanes.
+        area_mm2: Added silicon area on the chiplet.
+        energy_pj_per_bit: Transfer energy per bit across the package.
+        bandwidth_gbps: Aggregate bandwidth assuming ``lane_rate_gbps``.
+    """
+
+    node_nm: float
+    lanes: int
+    area_mm2: float
+    energy_pj_per_bit: float
+    bandwidth_gbps: float
+
+
+class PhyModel:
+    """Die-to-die PHY area/energy estimator.
+
+    Args:
+        table: Technology table (for node feature sizes and densities).
+        lane_rate_gbps: Per-lane signalling rate used for bandwidth
+            reporting only.
+    """
+
+    def __init__(
+        self,
+        table: Optional[TechnologyTable] = None,
+        lane_rate_gbps: float = 16.0,
+    ):
+        if lane_rate_gbps <= 0:
+            raise ValueError(f"lane rate must be positive, got {lane_rate_gbps}")
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+        self.lane_rate_gbps = float(lane_rate_gbps)
+
+    def _area_scale(self, node: NodeKey) -> float:
+        """Area multiplier of ``node`` relative to the 7 nm calibration point.
+
+        PHYs are mixed-signal blocks, so they scale with the analog density
+        trend rather than the logic trend.
+        """
+        record = self.table.get(node)
+        reference = self.table.get(7)
+        return (
+            reference.analog_density_mtr_per_mm2 / record.analog_density_mtr_per_mm2
+        )
+
+    def estimate(self, node: NodeKey, lanes: int = 64) -> PhyEstimate:
+        """PHY overhead for one chiplet interface with ``lanes`` data lanes."""
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        record = self.table.get(node)
+        scale = self._area_scale(node)
+        area = (_CONTROLLER_AREA_MM2_AT_7NM + lanes * _LANE_AREA_MM2_AT_7NM) * scale
+        return PhyEstimate(
+            node_nm=record.feature_nm,
+            lanes=lanes,
+            area_mm2=area,
+            energy_pj_per_bit=_ENERGY_PJ_PER_BIT,
+            bandwidth_gbps=lanes * self.lane_rate_gbps,
+        )
+
+    def area_mm2(self, node: NodeKey, lanes: int = 64) -> float:
+        """Convenience wrapper returning only the PHY area."""
+        return self.estimate(node, lanes).area_mm2
+
+    def average_power_w(
+        self, node: NodeKey, lanes: int = 64, utilization: float = 0.2
+    ) -> float:
+        """Average transfer power of one PHY interface.
+
+        ``utilization`` is the average fraction of the link bandwidth in use
+        while the system is ON; die-to-die links rarely run saturated.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        estimate = self.estimate(node, lanes)
+        bits_per_second = estimate.bandwidth_gbps * 1.0e9 * utilization
+        return estimate.energy_pj_per_bit * 1.0e-12 * bits_per_second

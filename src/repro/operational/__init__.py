@@ -1,0 +1,32 @@
+"""Operational carbon-footprint models.
+
+Section III-F of the paper: the energy a system consumes during its use
+phase is::
+
+    Euse = TON * (Vdd * Ileak + alpha * C * Vdd^2 * f)      (Eq. 14)
+
+and the operational footprint is ``Cop = Csrc,use * Euse`` (Eq. 3), summed
+over the lifetime in Eq. 1.  Three entry points are provided:
+
+* :class:`~repro.operational.energy.OperatingSpec` +
+  :class:`~repro.operational.energy.EnergyModel` — the Eq. 14 path, with
+  per-chiplet leakage and switched capacitance derived from the technology
+  table when not given explicitly.
+* :class:`~repro.operational.battery.BatteryUsageModel` — the
+  battery-capacity-and-recharge-rate path the paper uses for mobile SoCs.
+* :class:`~repro.operational.operational_cfp.OperationalCarbonModel` — turns
+  annual energy into grams of CO2 per year and over a lifetime.
+"""
+
+from repro.operational.battery import BatteryUsageModel
+from repro.operational.energy import EnergyModel, EnergyBreakdown, OperatingSpec
+from repro.operational.operational_cfp import OperationalCarbonModel, OperationalResult
+
+__all__ = [
+    "BatteryUsageModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "OperatingSpec",
+    "OperationalCarbonModel",
+    "OperationalResult",
+]

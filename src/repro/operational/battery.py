@@ -1,0 +1,61 @@
+"""Battery-based use-phase energy model for mobile / edge devices.
+
+For battery-operated devices the paper estimates ``Euse`` directly from the
+battery rating and the recharge frequency (Section III-F): every full charge
+cycle draws the battery capacity (divided by the charger efficiency) from
+the wall, so the annual energy is ``capacity * charges_per_year``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class BatteryUsageModel:
+    """Annual energy of a battery-operated device.
+
+    Attributes:
+        battery_capacity_wh: Battery capacity in watt-hours (an iPhone-class
+            battery is roughly 12–13 Wh).
+        charges_per_day: Average full-charge cycles per day.
+        charger_efficiency: Wall-to-battery efficiency of the charger.
+        soc_share: Fraction of the device's energy attributable to the SoC
+            under study (the display and radios take the rest); 1.0 charges
+            the whole battery energy to the SoC.
+    """
+
+    battery_capacity_wh: float = 12.7
+    charges_per_day: float = 1.0
+    charger_efficiency: float = 0.85
+    soc_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.battery_capacity_wh <= 0:
+            raise ValueError(
+                f"battery capacity must be positive, got {self.battery_capacity_wh}"
+            )
+        if self.charges_per_day < 0:
+            raise ValueError(
+                f"charges per day must be non-negative, got {self.charges_per_day}"
+            )
+        if not 0.0 < self.charger_efficiency <= 1.0:
+            raise ValueError(
+                f"charger efficiency must be in (0, 1], got {self.charger_efficiency}"
+            )
+        if not 0.0 < self.soc_share <= 1.0:
+            raise ValueError(f"SoC share must be in (0, 1], got {self.soc_share}")
+
+    def annual_energy_kwh(self) -> float:
+        """Wall energy drawn per year, attributed to the SoC."""
+        wall_wh_per_charge = self.battery_capacity_wh / self.charger_efficiency
+        return (
+            wall_wh_per_charge * self.charges_per_day * 365.0 * self.soc_share / 1000.0
+        )
+
+    def average_power_w(self, duty_cycle: float = 1.0) -> float:
+        """Average power while ON, given a duty cycle."""
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1], got {duty_cycle}")
+        on_hours = duty_cycle * 8760.0
+        return self.annual_energy_kwh() * 1000.0 / on_hours

@@ -1,0 +1,221 @@
+"""Use-phase energy model (Eq. 14).
+
+``Euse = TON * (Vdd * Ileak + alpha * C * Vdd^2 * f)`` — leakage plus dynamic
+switching energy over the time the system is powered on.  The model works at
+the granularity of the whole system: callers either provide the total
+leakage current and switched capacitance directly, derive them from the die
+area through the technology table's per-mm² densities, or bypass Eq. 14
+entirely with a measured average power or annual energy (the paper does the
+latter for the GA102, whose 228 kWh/year figure comes from profiling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.technology.carbon_sources import CarbonSource
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+#: Hours in a year, used to convert duty cycles into ON-time.
+HOURS_PER_YEAR = 8760.0
+
+SourceLike = Union[CarbonSource, str, float, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingSpec:
+    """Operating conditions of a system (Section III-A(3)).
+
+    Exactly one of the energy paths is used, in this priority order:
+
+    1. ``annual_energy_kwh`` — measured/profiled energy, used directly.
+    2. ``average_power_w`` — multiplied by the ON-time.
+    3. Eq. 14 — from ``vdd_v``, ``frequency_ghz``, ``switching_activity``,
+       ``leakage_current_a`` and ``load_capacitance_f`` (the latter two can
+       be derived from die area by :class:`EnergyModel`).
+
+    Attributes:
+        lifetime_years: Lifetime over which operational CFP accumulates.
+        duty_cycle: Fraction of wall-clock time the system is ON
+            (Table I: 5–20%).
+        vdd_v: Supply voltage.  ``None`` lets the estimator derive an
+            area-weighted supply voltage from the chiplets' nodes (older
+            nodes run at higher Vdd, which is how HI raises ``Cop``).
+        frequency_ghz: Average use-case clock frequency.
+        switching_activity: Average switching-activity factor ``alpha``.
+        leakage_current_a: Total leakage current ``Ileak``.
+        load_capacitance_f: Total switched capacitance ``C``.
+        average_power_w: Measured average power (overrides Eq. 14).
+        annual_energy_kwh: Measured annual energy (overrides everything).
+        use_carbon_source: Energy source during the use phase.
+        comm_power_w: Extra inter-die communication power added on top of
+            the system power (NoC routers, PHY links); filled in by the
+            estimator from the packaging result.
+    """
+
+    lifetime_years: float = 2.0
+    duty_cycle: float = 0.2
+    vdd_v: Optional[float] = None
+    frequency_ghz: float = 1.0
+    switching_activity: float = 0.1
+    leakage_current_a: Optional[float] = None
+    load_capacitance_f: Optional[float] = None
+    average_power_w: Optional[float] = None
+    annual_energy_kwh: Optional[float] = None
+    use_carbon_source: SourceLike = CarbonSource.GRID_WORLD
+    comm_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lifetime_years <= 0:
+            raise ValueError(f"lifetime must be positive, got {self.lifetime_years}")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in [0, 1], got {self.duty_cycle}")
+        if self.vdd_v is not None and self.vdd_v <= 0:
+            raise ValueError(f"Vdd must be positive, got {self.vdd_v}")
+        if self.frequency_ghz < 0:
+            raise ValueError(f"frequency must be non-negative, got {self.frequency_ghz}")
+        if not 0.0 <= self.switching_activity <= 1.0:
+            raise ValueError(
+                f"switching activity must be in [0, 1], got {self.switching_activity}"
+            )
+        if self.comm_power_w < 0:
+            raise ValueError(f"comm power must be non-negative, got {self.comm_power_w}")
+
+    def with_comm_power(self, comm_power_w: float) -> "OperatingSpec":
+        """Copy with the inter-die communication power overhead filled in."""
+        return dataclasses.replace(self, comm_power_w=comm_power_w)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Annual use-phase energy, split by origin.
+
+    Attributes:
+        on_hours_per_year: Hours per year the system is ON.
+        leakage_power_w: Static power while ON.
+        dynamic_power_w: Switching power while ON.
+        comm_power_w: Inter-die communication power while ON.
+        total_power_w: Total power while ON.
+        annual_energy_kwh: ``Euse`` per year.
+    """
+
+    on_hours_per_year: float
+    leakage_power_w: float
+    dynamic_power_w: float
+    comm_power_w: float
+    total_power_w: float
+    annual_energy_kwh: float
+
+
+class EnergyModel:
+    """Evaluates Eq. 14 and its measured-power shortcuts.
+
+    Args:
+        table: Technology table used to derive leakage / capacitance
+            densities from die area when they are not given explicitly.
+    """
+
+    def __init__(self, table: Optional[TechnologyTable] = None):
+        self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+
+    # -- density-based derivations -------------------------------------------------
+    def leakage_current_a(self, area_mm2: float, node: NodeKey) -> float:
+        """Leakage current of ``area_mm2`` of silicon at ``node``."""
+        if area_mm2 < 0:
+            raise ValueError(f"area must be non-negative, got {area_mm2}")
+        return self.table.get(node).leakage_a_per_mm2 * area_mm2
+
+    def load_capacitance_f(self, area_mm2: float, node: NodeKey) -> float:
+        """Switched capacitance of ``area_mm2`` of silicon at ``node``."""
+        if area_mm2 < 0:
+            raise ValueError(f"area must be non-negative, got {area_mm2}")
+        return self.table.get(node).cap_nf_per_mm2 * 1.0e-9 * area_mm2
+
+    # -- Eq. 14 ------------------------------------------------------------------------
+    def breakdown(
+        self,
+        spec: OperatingSpec,
+        total_area_mm2: float = 0.0,
+        node: Optional[NodeKey] = None,
+    ) -> EnergyBreakdown:
+        """Annual energy breakdown for ``spec``.
+
+        ``total_area_mm2`` and ``node`` are used to derive leakage and
+        capacitance when the spec does not carry them and no measured power
+        is given.
+        """
+        on_hours = spec.duty_cycle * HOURS_PER_YEAR
+
+        if spec.annual_energy_kwh is not None:
+            total_power = (
+                spec.annual_energy_kwh * 1000.0 / on_hours if on_hours > 0 else 0.0
+            )
+            return EnergyBreakdown(
+                on_hours_per_year=on_hours,
+                leakage_power_w=0.0,
+                dynamic_power_w=max(0.0, total_power - spec.comm_power_w),
+                comm_power_w=spec.comm_power_w,
+                annual_energy_kwh=spec.annual_energy_kwh
+                + spec.comm_power_w * on_hours / 1000.0,
+                total_power_w=total_power + spec.comm_power_w,
+            )
+
+        if spec.average_power_w is not None:
+            total_power = spec.average_power_w + spec.comm_power_w
+            return EnergyBreakdown(
+                on_hours_per_year=on_hours,
+                leakage_power_w=0.0,
+                dynamic_power_w=spec.average_power_w,
+                comm_power_w=spec.comm_power_w,
+                total_power_w=total_power,
+                annual_energy_kwh=total_power * on_hours / 1000.0,
+            )
+
+        vdd = spec.vdd_v
+        if vdd is None:
+            if node is None:
+                raise ValueError("Vdd not given and no technology node to derive it from")
+            vdd = self.table.get(node).vdd_v
+
+        leakage_current = spec.leakage_current_a
+        capacitance = spec.load_capacitance_f
+        if leakage_current is None:
+            if node is None:
+                raise ValueError(
+                    "leakage current not given and no (area, node) to derive it from"
+                )
+            leakage_current = self.leakage_current_a(total_area_mm2, node)
+        if capacitance is None:
+            if node is None:
+                raise ValueError(
+                    "load capacitance not given and no (area, node) to derive it from"
+                )
+            capacitance = self.load_capacitance_f(total_area_mm2, node)
+
+        leakage_power = vdd * leakage_current
+        dynamic_power = (
+            spec.switching_activity
+            * capacitance
+            * vdd**2
+            * spec.frequency_ghz
+            * 1.0e9
+        )
+        total_power = leakage_power + dynamic_power + spec.comm_power_w
+        return EnergyBreakdown(
+            on_hours_per_year=on_hours,
+            leakage_power_w=leakage_power,
+            dynamic_power_w=dynamic_power,
+            comm_power_w=spec.comm_power_w,
+            total_power_w=total_power,
+            annual_energy_kwh=total_power * on_hours / 1000.0,
+        )
+
+    def annual_energy_kwh(
+        self,
+        spec: OperatingSpec,
+        total_area_mm2: float = 0.0,
+        node: Optional[NodeKey] = None,
+    ) -> float:
+        """``Euse`` per year for ``spec``."""
+        return self.breakdown(spec, total_area_mm2, node).annual_energy_kwh

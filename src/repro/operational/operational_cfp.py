@@ -1,0 +1,68 @@
+"""Operational carbon footprint (Eqs. 1 and 3).
+
+``Cop = Csrc,use * Euse`` converts the annual use-phase energy into grams of
+CO2 per year; the total operational footprint over the device lifetime is
+``lifetime * Cop`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.operational.energy import EnergyBreakdown, EnergyModel, OperatingSpec
+from repro.technology.carbon_sources import carbon_intensity
+from repro.technology.nodes import NodeKey, TechnologyTable
+
+
+@dataclasses.dataclass(frozen=True)
+class OperationalResult:
+    """Operational footprint of a system.
+
+    Attributes:
+        energy: Annual energy breakdown behind the numbers.
+        carbon_intensity_g_per_kwh: Use-phase carbon intensity.
+        annual_cfp_g: ``Cop`` — grams of CO2 per year of use.
+        lifetime_years: Lifetime used for the total.
+        lifetime_cfp_g: ``lifetime * Cop``.
+    """
+
+    energy: EnergyBreakdown
+    carbon_intensity_g_per_kwh: float
+    annual_cfp_g: float
+    lifetime_years: float
+    lifetime_cfp_g: float
+
+
+class OperationalCarbonModel:
+    """Turns an :class:`OperatingSpec` into operational carbon.
+
+    Args:
+        table: Technology table forwarded to the energy model for
+            area-derived leakage/capacitance.
+    """
+
+    def __init__(self, table: Optional[TechnologyTable] = None):
+        self.energy_model = EnergyModel(table=table)
+
+    def evaluate(
+        self,
+        spec: OperatingSpec,
+        total_area_mm2: float = 0.0,
+        node: Optional[NodeKey] = None,
+    ) -> OperationalResult:
+        """Operational CFP of a system described by ``spec``.
+
+        ``total_area_mm2``/``node`` feed the Eq. 14 path when the spec does
+        not carry explicit leakage/capacitance or measured power figures.
+        """
+        energy = self.energy_model.breakdown(spec, total_area_mm2, node)
+        intensity = carbon_intensity(spec.use_carbon_source)
+        annual = intensity * energy.annual_energy_kwh
+        return OperationalResult(
+            energy=energy,
+            carbon_intensity_g_per_kwh=intensity,
+            annual_cfp_g=annual,
+            lifetime_years=spec.lifetime_years,
+            lifetime_cfp_g=annual * spec.lifetime_years,
+        )

@@ -1,0 +1,58 @@
+"""Advanced-packaging carbon-footprint models (the ``C_HI`` term).
+
+Section III-D of the paper: heterogeneous integration adds carbon overheads
+from three sources — the package itself (``Cpackage``), inter-die
+communication circuitry (``Cmfg,comm``) and whitespace on the substrate or
+interposer (``Cwhitespace``).  This package models all three for the five
+packaging architectures the paper supports:
+
+* :class:`~repro.packaging.rdl.RDLFanoutModel` — RDL fanout (Eq. 9)
+* :class:`~repro.packaging.bridge.SiliconBridgeModel` — EMIB/LSI silicon
+  bridges (Eq. 10)
+* :class:`~repro.packaging.interposer.PassiveInterposerModel` and
+  :class:`~repro.packaging.interposer.ActiveInterposerModel` — 2.5D
+  integration
+* :class:`~repro.packaging.threed.ThreeDStackModel` — 3D stacking with
+  TSVs, micro-bumps or hybrid bonds (Eq. 11)
+* :class:`~repro.packaging.monolithic.MonolithicModel` — the no-packaging
+  baseline used for monolithic SoCs
+
+Specs (user-facing configuration dataclasses) live next to their models; the
+:func:`~repro.packaging.registry.build_packaging_model` factory maps a spec
+to its model.
+"""
+
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult
+from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
+from repro.packaging.interposer import (
+    ActiveInterposerModel,
+    ActiveInterposerSpec,
+    PassiveInterposerModel,
+    PassiveInterposerSpec,
+)
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
+from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
+from repro.packaging.registry import PACKAGING_SPECS, build_packaging_model, spec_from_dict
+from repro.packaging.threed import BondType, ThreeDStackModel, ThreeDStackSpec
+
+__all__ = [
+    "PackagedChiplet",
+    "PackagingModel",
+    "PackagingResult",
+    "SiliconBridgeModel",
+    "SiliconBridgeSpec",
+    "ActiveInterposerModel",
+    "ActiveInterposerSpec",
+    "PassiveInterposerModel",
+    "PassiveInterposerSpec",
+    "MonolithicModel",
+    "MonolithicSpec",
+    "RDLFanoutModel",
+    "RDLFanoutSpec",
+    "PACKAGING_SPECS",
+    "build_packaging_model",
+    "spec_from_dict",
+    "BondType",
+    "ThreeDStackModel",
+    "ThreeDStackSpec",
+]

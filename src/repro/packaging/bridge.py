@@ -1,0 +1,199 @@
+"""Silicon-bridge (EMIB / LSI) packaging model (Eq. 10).
+
+Chiplets sit on an organic build-up substrate; localized silicon bridges
+embedded in cavities provide ultra-fine-pitch (≈2 µm L/S) die-to-die
+interconnect between adjacent chiplet pairs.  The carbon footprint is::
+
+    C_bridge = N_bridge * L_bridge * EPLA_bridge(p) * Cpkg,src * A_bridge
+               / Y(bridge, p)
+
+plus the footprint of the (coarse, cheap) organic build-up substrate that
+spans the whole package.  The bridge count follows the paper's rule: one
+bridge per adjacent chiplet pair, and an additional bridge for every
+``bridge_range_mm`` of overlapping die edge beyond the first — long shared
+edges need several bridges to provide the bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Sequence
+
+from repro.floorplan.slicing import FloorplanResult
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
+from repro.technology.nodes import TechnologyTable
+
+#: Defect-density scale for the ultra-fine L/S bridge layers (harder to
+#: pattern than regular RDL, hence lower yield).
+_BRIDGE_DEFECT_SCALE = 2.0
+
+#: Defect-density scale for the coarse organic build-up substrate.
+_ORGANIC_DEFECT_SCALE = 0.25
+
+#: Energy scale of an organic build-up layer relative to a fine RDL layer.
+_ORGANIC_ENERGY_SCALE = 0.2
+
+#: Organic build-up layer count under the bridges.
+_ORGANIC_LAYERS = 4
+
+#: Embedding a bridge (cavity formation, placement, bonding) energy in kWh.
+_EMBEDDING_KWH_PER_BRIDGE = 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class SiliconBridgeSpec:
+    """User-facing configuration of an EMIB-style silicon-bridge package.
+
+    Attributes:
+        bridge_layers: BEOL metal layers inside each bridge (Table I: 3–4).
+        bridge_technology_nm: Node the bridge is manufactured in (22–65 nm).
+        bridge_area_mm2: Area of one bridge die (EMIB spec: about 2x2 mm).
+        bridge_range_mm: Die-edge length one bridge can serve; longer shared
+            edges need additional bridges.
+        phy_lanes: Die-to-die PHY lanes per chiplet interface.
+    """
+
+    bridge_layers: int = 4
+    bridge_technology_nm: float = 22.0
+    bridge_area_mm2: float = 4.0
+    bridge_range_mm: float = 2.0
+    phy_lanes: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bridge_layers <= 8:
+            raise ValueError(
+                f"bridge layer count {self.bridge_layers} outside sane range [1, 8]"
+            )
+        if self.bridge_technology_nm <= 0:
+            raise ValueError(
+                f"bridge technology node must be positive, got {self.bridge_technology_nm}"
+            )
+        if self.bridge_area_mm2 <= 0:
+            raise ValueError(f"bridge area must be positive, got {self.bridge_area_mm2}")
+        if self.bridge_range_mm <= 0:
+            raise ValueError(f"bridge range must be positive, got {self.bridge_range_mm}")
+        if self.phy_lanes < 1:
+            raise ValueError(f"PHY lane count must be >= 1, got {self.phy_lanes}")
+
+
+class SiliconBridgeModel(PackagingModel):
+    """Evaluates Eq. 10 for a :class:`SiliconBridgeSpec`."""
+
+    architecture = "silicon_bridge"
+    uses_noc = False
+
+    def __init__(
+        self,
+        spec: Optional[SiliconBridgeSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else SiliconBridgeSpec()
+
+    # -- bridge counting -----------------------------------------------------------
+    def bridges_for_edge(self, shared_edge_mm: float) -> int:
+        """Bridges needed to serve one ``shared_edge_mm`` long interface."""
+        if shared_edge_mm <= 0:
+            return 0
+        return max(1, int(math.ceil(shared_edge_mm / self.spec.bridge_range_mm)))
+
+    def bridge_count(self, floorplan: FloorplanResult) -> int:
+        """Total bridge count over all adjacent chiplet pairs."""
+        return sum(
+            self.bridges_for_edge(edge) for _, _, edge in floorplan.adjacencies
+        )
+
+    # -- per-chiplet overheads ---------------------------------------------------------
+    def chiplet_area_overhead_mm2(
+        self, chiplet: PackagedChiplet, chiplet_count: int
+    ) -> float:
+        """Die-to-die PHY area added inside each chiplet."""
+        if chiplet_count <= 1:
+            return 0.0
+        return self.phy_model.area_mm2(chiplet.node, lanes=self.spec.phy_lanes)
+
+    # -- package CFP --------------------------------------------------------------------
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        spec = self.spec
+        node = spec.bridge_technology_nm
+        record = self.table.get(node)
+
+        # Per-bridge footprint: patterning the fine BEOL layers over the
+        # bridge die plus the embedding/assembly energy, divided by the yield
+        # of the fine-pitch bridge structure.
+        bridge_yield = self.substrate_yield(
+            spec.bridge_area_mm2, node, defect_scale=_BRIDGE_DEFECT_SCALE
+        )
+        patterning_kwh = (
+            spec.bridge_layers
+            * record.epla_bridge_kwh_per_cm2
+            * (spec.bridge_area_mm2 / 100.0)
+        )
+        per_bridge_g = (
+            (patterning_kwh + _EMBEDDING_KWH_PER_BRIDGE)
+            * self.package_carbon_intensity_g_per_kwh
+            / bridge_yield
+        )
+        n_bridges = self.bridge_count(floorplan)
+        bridges_cfp = n_bridges * per_bridge_g
+
+        # Organic build-up substrate under the entire package.
+        substrate_yield = self.substrate_yield(
+            floorplan.package_area_mm2, 65, defect_scale=_ORGANIC_DEFECT_SCALE
+        )
+        substrate_cfp = (
+            self.rdl_layer_cfp_g(
+                floorplan.package_area_mm2,
+                65,
+                _ORGANIC_LAYERS,
+                energy_scale=_ORGANIC_ENERGY_SCALE,
+            )
+            / substrate_yield
+        )
+
+        package_cfp = bridges_cfp + substrate_cfp
+        package_yield = substrate_yield * bridge_yield**n_bridges
+
+        overheads: Dict[str, float] = {}
+        comm_power = 0.0
+        if len(chiplets) > 1:
+            for chiplet in chiplets:
+                overheads[chiplet.name] = self.phy_model.area_mm2(
+                    chiplet.node, lanes=spec.phy_lanes
+                )
+                comm_power += self.phy_model.average_power_w(
+                    chiplet.node, lanes=spec.phy_lanes
+                )
+
+        detail = {
+            "bridge_count": float(n_bridges),
+            "per_bridge_cfp_g": per_bridge_g,
+            "bridge_yield": bridge_yield,
+            "bridge_layers": float(spec.bridge_layers),
+            "bridge_technology_nm": float(spec.bridge_technology_nm),
+            "bridge_range_mm": float(spec.bridge_range_mm),
+            "substrate_cfp_g": substrate_cfp,
+            "bridges_cfp_g": bridges_cfp,
+        }
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=package_cfp,
+            comm_cfp_g=0.0,
+            floorplan=floorplan,
+            package_yield=package_yield,
+            comm_power_w=comm_power,
+            chiplet_overhead_mm2=overheads,
+            detail=detail,
+        )

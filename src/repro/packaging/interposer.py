@@ -1,0 +1,219 @@
+"""Passive and active interposer (2.5D) packaging models.
+
+An interposer is a large silicon die spanning the area of all chiplets (plus
+whitespace).  It carries BEOL interconnect layers over its whole area; an
+*active* interposer additionally has FEOL device layers in local regions that
+host NoC routers and repeaters.
+
+Carbon accounting, following Section III-D(1c, 1d) and III-D(2):
+
+* **Passive interposer** — BEOL-only silicon die: patterning of the BEOL
+  layers over the interposer area plus the silicon material / process-gas
+  footprint of the interposer wafer, divided by the interposer yield.  The
+  NoC routers cannot live in the interposer, so their area is added *inside
+  each chiplet* (at the chiplet's advanced node), degrading chiplet yield —
+  that is the ``chiplet_area_overhead_mm2`` hook.
+* **Active interposer** — everything the passive interposer has, plus FEOL
+  processing (EPA-based CFPA) of the local router regions.  The router CFP
+  is reported as ``comm_cfp_g`` because the routers are part of the package,
+  implemented in the (older) interposer node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.floorplan.slicing import FloorplanResult
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
+from repro.technology.nodes import TechnologyTable
+
+
+@dataclasses.dataclass(frozen=True)
+class PassiveInterposerSpec:
+    """Configuration of a passive (BEOL-only) interposer.
+
+    Attributes:
+        technology_nm: Interposer node (Table I: 22–65 nm).
+        beol_layers: Interconnect layers patterned across the interposer.
+        router_injection_rate: Average NoC utilisation used for the
+            operational communication power.
+    """
+
+    technology_nm: float = 65.0
+    beol_layers: int = 4
+    router_injection_rate: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.technology_nm <= 0:
+            raise ValueError(f"technology node must be positive, got {self.technology_nm}")
+        if not 1 <= self.beol_layers <= 12:
+            raise ValueError(f"BEOL layer count {self.beol_layers} outside [1, 12]")
+        if not 0.0 <= self.router_injection_rate <= 1.0:
+            raise ValueError(
+                f"injection rate must be in [0, 1], got {self.router_injection_rate}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ActiveInterposerSpec:
+    """Configuration of an active interposer (adds local FEOL router regions)."""
+
+    technology_nm: float = 65.0
+    beol_layers: int = 4
+    router_injection_rate: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.technology_nm <= 0:
+            raise ValueError(f"technology node must be positive, got {self.technology_nm}")
+        if not 1 <= self.beol_layers <= 12:
+            raise ValueError(f"BEOL layer count {self.beol_layers} outside [1, 12]")
+        if not 0.0 <= self.router_injection_rate <= 1.0:
+            raise ValueError(
+                f"injection rate must be in [0, 1], got {self.router_injection_rate}"
+            )
+
+
+class _InterposerBase(PackagingModel):
+    """Shared silicon-interposer substrate accounting."""
+
+    uses_noc = True
+
+    def _substrate_cfp_g(self, floorplan: FloorplanResult, node: float, layers: int) -> "tuple[float, float]":
+        """(cfp_g, yield) of the BEOL-only interposer die over the package area."""
+        record = self.table.get(node)
+        area_mm2 = floorplan.package_area_mm2
+        interposer_yield = self.substrate_yield(area_mm2, node, defect_scale=1.0)
+        patterning_g = self.rdl_layer_cfp_g(area_mm2, node, layers)
+        # The interposer is a real silicon die: charge the wafer material and
+        # process-gas footprint over its whole area (unyielded values, then
+        # divided by the interposer yield below).
+        materials_g = (
+            (record.material_kg_per_cm2 + record.gas_kg_per_cm2)
+            * 1000.0
+            * (area_mm2 / 100.0)
+        )
+        total = (patterning_g + materials_g) / interposer_yield
+        return total, interposer_yield
+
+
+class PassiveInterposerModel(_InterposerBase):
+    """Passive interposer: BEOL-only substrate, routers inside the chiplets."""
+
+    architecture = "passive_interposer"
+
+    def __init__(
+        self,
+        spec: Optional[PassiveInterposerSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else PassiveInterposerSpec()
+
+    def chiplet_area_overhead_mm2(
+        self, chiplet: PackagedChiplet, chiplet_count: int
+    ) -> float:
+        """One NoC router (plus NIC) at the chiplet's own node, inside the chiplet."""
+        if chiplet_count <= 1:
+            return 0.0
+        return self.router_area_mm2(chiplet.node)
+
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        substrate_cfp, interposer_yield = self._substrate_cfp_g(
+            floorplan, self.spec.technology_nm, self.spec.beol_layers
+        )
+        overheads: Dict[str, float] = {}
+        comm_power = 0.0
+        if len(chiplets) > 1:
+            for chiplet in chiplets:
+                overheads[chiplet.name] = self.router_area_mm2(chiplet.node)
+                comm_power += self.router_power_w(
+                    chiplet.node, injection_rate=self.spec.router_injection_rate
+                )
+        detail = {
+            "interposer_technology_nm": float(self.spec.technology_nm),
+            "beol_layers": float(self.spec.beol_layers),
+            "router_count": float(len(chiplets) if len(chiplets) > 1 else 0),
+        }
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=substrate_cfp,
+            comm_cfp_g=0.0,
+            floorplan=floorplan,
+            package_yield=interposer_yield,
+            comm_power_w=comm_power,
+            chiplet_overhead_mm2=overheads,
+            detail=detail,
+        )
+
+
+class ActiveInterposerModel(_InterposerBase):
+    """Active interposer: routers live in the interposer's FEOL regions."""
+
+    architecture = "active_interposer"
+
+    def __init__(
+        self,
+        spec: Optional[ActiveInterposerSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else ActiveInterposerSpec()
+
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        spec = self.spec
+        substrate_cfp, interposer_yield = self._substrate_cfp_g(
+            floorplan, spec.technology_nm, spec.beol_layers
+        )
+
+        # One router per chiplet, implemented in the interposer node.  The
+        # local FEOL regions are charged at the full manufacturing CFPA of
+        # the interposer node (Eq. 6 applied to the router area).
+        comm_cfp = 0.0
+        comm_power = 0.0
+        router_count = len(chiplets) if len(chiplets) > 1 else 0
+        router_area = self.router_area_mm2(spec.technology_nm)
+        if router_count:
+            cfpa = self.cfpa_model.cfpa_g_per_mm2(router_area, spec.technology_nm)
+            comm_cfp = router_count * cfpa * router_area
+            comm_power = router_count * self.router_power_w(
+                spec.technology_nm, injection_rate=spec.router_injection_rate
+            )
+
+        detail = {
+            "interposer_technology_nm": float(spec.technology_nm),
+            "beol_layers": float(spec.beol_layers),
+            "router_count": float(router_count),
+            "router_area_mm2": router_area,
+        }
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=substrate_cfp,
+            comm_cfp_g=comm_cfp,
+            floorplan=floorplan,
+            package_yield=interposer_yield,
+            comm_power_w=comm_power,
+            chiplet_overhead_mm2={},
+            detail=detail,
+        )

@@ -1,0 +1,61 @@
+"""Monolithic (single-die) baseline: no advanced-packaging overheads.
+
+A monolithic SoC still needs a conventional flip-chip package, but the paper
+treats that as part of the baseline for both monolithic and HI systems and
+reports only the *additional* HI overheads; the monolithic model therefore
+returns zero ``C_HI``.  It exists so that monolithic and chiplet-based
+systems run through exactly the same estimator pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.floorplan.slicing import FloorplanResult
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
+from repro.technology.nodes import TechnologyTable
+
+
+@dataclasses.dataclass(frozen=True)
+class MonolithicSpec:
+    """Configuration of the monolithic baseline (no parameters)."""
+
+
+class MonolithicModel(PackagingModel):
+    """Zero-overhead packaging model for monolithic SoCs."""
+
+    architecture = "monolithic"
+    uses_noc = False
+
+    def __init__(
+        self,
+        spec: Optional[MonolithicSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else MonolithicSpec()
+
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        del chiplets
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=0.0,
+            comm_cfp_g=0.0,
+            floorplan=floorplan,
+            package_yield=1.0,
+            comm_power_w=0.0,
+            chiplet_overhead_mm2={},
+            detail={},
+        )

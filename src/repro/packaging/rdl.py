@@ -1,0 +1,126 @@
+"""RDL fanout packaging model (Eq. 9).
+
+The chiplets are moulded into an epoxy compound and connected through a
+fanout redistribution-layer (RDL) substrate with ``L_RDL`` patterned metal
+layers.  The carbon footprint is::
+
+    C_RDL = L_RDL * EPLA_RDL(p) * Cpkg,src * A_package / Y(RDL, p)
+
+The package area comes from the slicing floorplanner (so whitespace is
+charged), the per-layer patterning energy from the technology table of the
+packaging node, and the yield from the negative-binomial model evaluated at
+that node over the package area.  Chiplets additionally carry a small
+die-to-die PHY IP, which :meth:`RDLFanoutModel.chiplet_area_overhead_mm2`
+reports so the estimator can fold it into the chiplet silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.floorplan.slicing import FloorplanResult
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
+from repro.technology.nodes import TechnologyTable
+
+#: Defect-density scale applied to coarse RDL layers (they are far less
+#: defect-prone than front-end device layers at the same node).
+_RDL_DEFECT_SCALE = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class RDLFanoutSpec:
+    """User-facing configuration of an RDL fanout package.
+
+    Attributes:
+        layers: Number of RDL metal layers (Table I: 3–9).
+        technology_nm: Node the RDL is patterned in (Table I: 22–65 nm).
+        phy_lanes: Die-to-die PHY lanes per chiplet interface.
+    """
+
+    layers: int = 6
+    technology_nm: float = 65.0
+    phy_lanes: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.layers <= 12:
+            raise ValueError(f"RDL layer count {self.layers} outside sane range [1, 12]")
+        if self.technology_nm <= 0:
+            raise ValueError(f"technology node must be positive, got {self.technology_nm}")
+        if self.phy_lanes < 1:
+            raise ValueError(f"PHY lane count must be >= 1, got {self.phy_lanes}")
+
+
+class RDLFanoutModel(PackagingModel):
+    """Evaluates Eq. 9 for an :class:`RDLFanoutSpec`."""
+
+    architecture = "rdl_fanout"
+    uses_noc = False
+
+    def __init__(
+        self,
+        spec: Optional[RDLFanoutSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else RDLFanoutSpec()
+
+    # -- per-chiplet overheads -------------------------------------------------
+    def chiplet_area_overhead_mm2(
+        self, chiplet: PackagedChiplet, chiplet_count: int
+    ) -> float:
+        """Die-to-die PHY area added inside each chiplet.
+
+        Monolithic degenerate cases (a single chiplet) need no PHY.
+        """
+        if chiplet_count <= 1:
+            return 0.0
+        return self.phy_model.area_mm2(chiplet.node, lanes=self.spec.phy_lanes)
+
+    # -- package CFP --------------------------------------------------------------
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        area = floorplan.package_area_mm2
+        node = self.spec.technology_nm
+        package_yield = self.substrate_yield(area, node, defect_scale=_RDL_DEFECT_SCALE)
+        unyielded = self.rdl_layer_cfp_g(area, node, self.spec.layers)
+        package_cfp = unyielded / package_yield
+
+        # PHY overheads were folded into the chiplet areas; report them and
+        # account for their operational transfer power.
+        overheads: Dict[str, float] = {}
+        comm_power = 0.0
+        if len(chiplets) > 1:
+            for chiplet in chiplets:
+                overheads[chiplet.name] = self.phy_model.area_mm2(
+                    chiplet.node, lanes=self.spec.phy_lanes
+                )
+                comm_power += self.phy_model.average_power_w(
+                    chiplet.node, lanes=self.spec.phy_lanes
+                )
+
+        detail = {
+            "rdl_layers": float(self.spec.layers),
+            "rdl_technology_nm": float(self.spec.technology_nm),
+            "phy_lanes": float(self.spec.phy_lanes),
+        }
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=package_cfp,
+            comm_cfp_g=0.0,
+            floorplan=floorplan,
+            package_yield=package_yield,
+            comm_power_w=comm_power,
+            chiplet_overhead_mm2=overheads,
+            detail=detail,
+        )

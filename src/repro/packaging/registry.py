@@ -1,0 +1,105 @@
+"""Factory mapping packaging specs (and JSON names) to packaging models."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type, Union
+
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagingModel, SourceLike
+from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
+from repro.packaging.interposer import (
+    ActiveInterposerModel,
+    ActiveInterposerSpec,
+    PassiveInterposerModel,
+    PassiveInterposerSpec,
+)
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
+from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
+from repro.packaging.threed import ThreeDStackModel, ThreeDStackSpec
+from repro.technology.nodes import TechnologyTable
+
+PackagingSpec = Union[
+    MonolithicSpec,
+    RDLFanoutSpec,
+    SiliconBridgeSpec,
+    PassiveInterposerSpec,
+    ActiveInterposerSpec,
+    ThreeDStackSpec,
+]
+
+#: Spec class -> model class.
+_MODEL_FOR_SPEC: Dict[type, Type[PackagingModel]] = {
+    MonolithicSpec: MonolithicModel,
+    RDLFanoutSpec: RDLFanoutModel,
+    SiliconBridgeSpec: SiliconBridgeModel,
+    PassiveInterposerSpec: PassiveInterposerModel,
+    ActiveInterposerSpec: ActiveInterposerModel,
+    ThreeDStackSpec: ThreeDStackModel,
+}
+
+#: JSON / CLI name -> spec class.  The aliases match the names used in the
+#: released ECO-CHIP configuration files and common shorthand.
+PACKAGING_SPECS: Dict[str, type] = {
+    "monolithic": MonolithicSpec,
+    "mono": MonolithicSpec,
+    "rdl_fanout": RDLFanoutSpec,
+    "rdl": RDLFanoutSpec,
+    "fanout": RDLFanoutSpec,
+    "silicon_bridge": SiliconBridgeSpec,
+    "emib": SiliconBridgeSpec,
+    "bridge": SiliconBridgeSpec,
+    "lsi": SiliconBridgeSpec,
+    "passive_interposer": PassiveInterposerSpec,
+    "passive": PassiveInterposerSpec,
+    "active_interposer": ActiveInterposerSpec,
+    "active": ActiveInterposerSpec,
+    "3d": ThreeDStackSpec,
+    "3d_stack": ThreeDStackSpec,
+    "threed": ThreeDStackSpec,
+}
+
+
+def build_packaging_model(
+    spec: PackagingSpec,
+    table: Optional[TechnologyTable] = None,
+    package_carbon_source: SourceLike = "coal",
+    router_spec: Optional[RouterSpec] = None,
+) -> PackagingModel:
+    """Construct the packaging model matching ``spec``.
+
+    Raises:
+        TypeError: if ``spec`` is not one of the supported spec dataclasses.
+    """
+    model_cls = _MODEL_FOR_SPEC.get(type(spec))
+    if model_cls is None:
+        raise TypeError(f"unsupported packaging spec type: {type(spec).__name__}")
+    return model_cls(
+        spec=spec,
+        table=table,
+        package_carbon_source=package_carbon_source,
+        router_spec=router_spec,
+    )
+
+
+def spec_from_dict(config: Dict[str, Any]) -> PackagingSpec:
+    """Build a packaging spec from a JSON-style dictionary.
+
+    The dictionary must contain a ``"type"`` key naming the architecture
+    (any alias in :data:`PACKAGING_SPECS`); the remaining keys are passed to
+    the spec constructor.
+
+    Example::
+
+        spec_from_dict({"type": "rdl_fanout", "layers": 6, "technology_nm": 65})
+    """
+    if "type" not in config:
+        raise KeyError("packaging configuration needs a 'type' key")
+    params = dict(config)
+    name = str(params.pop("type")).strip().lower()
+    spec_cls = PACKAGING_SPECS.get(name)
+    if spec_cls is None:
+        raise KeyError(
+            f"unknown packaging type {name!r}; known types: "
+            f"{sorted(set(PACKAGING_SPECS))}"
+        )
+    return spec_cls(**params)

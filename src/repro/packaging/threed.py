@@ -1,0 +1,228 @@
+"""3D-stacking packaging model (Eq. 11).
+
+Chiplets are stacked in tiers over a package substrate and communicate
+through dense fields of through-silicon vias (TSVs), micro-bumps or hybrid
+bonds placed at minimum pitch across the overlapping footprint.  The carbon
+footprint is::
+
+    C_3D = N_{TSV,bump,bond} * EPA_{TSV,bump,bond}(p) * Cpkg,src / Y(3D, p)
+
+plus the coarse package substrate the stack sits on.  The connection count
+follows from the tier footprint and the bond pitch (a dense array at minimum
+pitch, maximising bandwidth, as the paper assumes); the assembly yield is the
+product of the per-interface bonding yields, so more tiers or finer pitches
+reduce yield.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Sequence
+
+from repro.floorplan.slicing import FloorplanResult
+from repro.manufacturing.yield_model import bonding_yield
+from repro.noc.orion import RouterSpec
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
+from repro.technology.nodes import TechnologyTable
+
+
+class BondType(enum.Enum):
+    """Vertical interconnect flavour for 3D stacking."""
+
+    TSV = "tsv"
+    MICROBUMP = "microbump"
+    HYBRID_BOND = "hybrid_bond"
+
+    @classmethod
+    def parse(cls, value: "BondType | str") -> "BondType":
+        if isinstance(value, cls):
+            return value
+        key = str(value).strip().lower()
+        aliases = {
+            "tsv": cls.TSV,
+            "through_silicon_via": cls.TSV,
+            "microbump": cls.MICROBUMP,
+            "ubump": cls.MICROBUMP,
+            "micro_bump": cls.MICROBUMP,
+            "hybrid_bond": cls.HYBRID_BOND,
+            "hybrid": cls.HYBRID_BOND,
+            "bumpless": cls.HYBRID_BOND,
+        }
+        try:
+            return aliases[key]
+        except KeyError as exc:
+            raise ValueError(f"unknown bond type {value!r}") from exc
+
+
+#: Patterning / formation energy per connection, in kWh.  TSVs need deep
+#: etches and fills (most energy), micro-bumps need plating and reflow,
+#: hybrid bonds are a blanket dielectric/Cu anneal amortised over a huge
+#: number of connections (least energy per connection).
+_ENERGY_KWH_PER_CONNECTION = {
+    BondType.TSV: 2.0e-6,
+    BondType.MICROBUMP: 1.0e-6,
+    BondType.HYBRID_BOND: 2.0e-8,
+}
+
+#: Per-connection success probability used for the bonding-yield model.
+_CONNECTION_YIELD = {
+    BondType.TSV: 0.9999990,
+    BondType.MICROBUMP: 0.9999993,
+    BondType.HYBRID_BOND: 0.9999999,
+}
+
+#: Default pitches in micrometres (Table I ranges: TSV/µbump 10–45 µm,
+#: hybrid bonds 1–10 µm).
+_DEFAULT_PITCH_UM = {
+    BondType.TSV: 36.0,
+    BondType.MICROBUMP: 36.0,
+    BondType.HYBRID_BOND: 9.0,
+}
+
+#: Layers and energy scale of the coarse package substrate under the stack.
+_SUBSTRATE_LAYERS = 4
+_SUBSTRATE_ENERGY_SCALE = 1.0
+_SUBSTRATE_NODE_NM = 65.0
+_SUBSTRATE_DEFECT_SCALE = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreeDStackSpec:
+    """Configuration of a 3D-stacked package.
+
+    Attributes:
+        bond_type: Vertical interconnect flavour.
+        pitch_um: Bond pitch; ``None`` selects the default for the bond type.
+        connection_fill_factor: Fraction of the overlapping footprint covered
+            by the dense connection array (1.0 = full-area array at minimum
+            pitch, the paper's assumption).
+    """
+
+    bond_type: "BondType | str" = BondType.MICROBUMP
+    pitch_um: Optional[float] = None
+    connection_fill_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        bond = BondType.parse(self.bond_type)
+        object.__setattr__(self, "bond_type", bond)
+        pitch = self.pitch_um if self.pitch_um is not None else _DEFAULT_PITCH_UM[bond]
+        if pitch <= 0:
+            raise ValueError(f"bond pitch must be positive, got {pitch}")
+        object.__setattr__(self, "pitch_um", float(pitch))
+        if not 0.0 < self.connection_fill_factor <= 1.0:
+            raise ValueError(
+                f"connection fill factor must be in (0, 1], got {self.connection_fill_factor}"
+            )
+
+
+class ThreeDStackModel(PackagingModel):
+    """Evaluates Eq. 11 for a :class:`ThreeDStackSpec`.
+
+    Tiers are stacked in decreasing-area order; each tier interface gets a
+    dense connection array across the smaller of the two facing footprints.
+    """
+
+    architecture = "3d_stack"
+    uses_noc = False
+
+    def __init__(
+        self,
+        spec: Optional[ThreeDStackSpec] = None,
+        table: Optional[TechnologyTable] = None,
+        package_carbon_source: SourceLike = "coal",
+        router_spec: Optional[RouterSpec] = None,
+    ):
+        super().__init__(
+            table=table,
+            package_carbon_source=package_carbon_source,
+            router_spec=router_spec,
+        )
+        self.spec = spec if spec is not None else ThreeDStackSpec()
+
+    # -- connection counting --------------------------------------------------------
+    def connections_per_mm2(self) -> float:
+        """Connections per mm² of overlapping footprint at the spec pitch."""
+        pitch_mm = float(self.spec.pitch_um) * 1.0e-3
+        return self.spec.connection_fill_factor / (pitch_mm * pitch_mm)
+
+    def interface_connections(self, chiplets: Sequence[PackagedChiplet]) -> "list[float]":
+        """Connection count of each tier-to-tier interface (largest tier at the bottom)."""
+        ordered = sorted(chiplets, key=lambda c: -c.area_mm2)
+        density = self.connections_per_mm2()
+        counts = []
+        for lower, upper in zip(ordered, ordered[1:]):
+            footprint = min(lower.area_mm2, upper.area_mm2)
+            counts.append(footprint * density)
+        return counts
+
+    # -- package CFP --------------------------------------------------------------------
+    def evaluate(
+        self,
+        chiplets: Sequence[PackagedChiplet],
+        floorplan: FloorplanResult,
+    ) -> PackagingResult:
+        bond = BondType.parse(self.spec.bond_type)
+        energy_per_connection = _ENERGY_KWH_PER_CONNECTION[bond]
+        per_connection_yield = _CONNECTION_YIELD[bond]
+
+        counts = self.interface_connections(chiplets)
+        total_connections = sum(counts)
+
+        # Product of per-interface bonding yields (Section V-B: package
+        # yield is the product of the yield of each tier).
+        assembly_yield = 1.0
+        for count in counts:
+            assembly_yield *= bonding_yield(count, per_connection_yield)
+
+        bonds_cfp = 0.0
+        if total_connections > 0 and assembly_yield > 0:
+            bonds_cfp = (
+                total_connections
+                * energy_per_connection
+                * self.package_carbon_intensity_g_per_kwh
+                / assembly_yield
+            )
+
+        # The stack footprint (largest tier) sits on a coarse package
+        # substrate; a 3D stack does not spread chiplets in 2D so the
+        # substrate area is the footprint rather than the floorplan outline.
+        footprint = max((c.area_mm2 for c in chiplets), default=0.0)
+        substrate_yield = self.substrate_yield(
+            footprint, _SUBSTRATE_NODE_NM, defect_scale=_SUBSTRATE_DEFECT_SCALE
+        ) if footprint > 0 else 1.0
+        substrate_cfp = 0.0
+        if footprint > 0:
+            substrate_cfp = (
+                self.rdl_layer_cfp_g(
+                    footprint,
+                    _SUBSTRATE_NODE_NM,
+                    _SUBSTRATE_LAYERS,
+                    energy_scale=_SUBSTRATE_ENERGY_SCALE,
+                )
+                / substrate_yield
+            )
+
+        package_cfp = bonds_cfp + substrate_cfp
+        package_yield = assembly_yield * substrate_yield
+
+        detail = {
+            "bond_type": float(list(BondType).index(bond)),
+            "pitch_um": float(self.spec.pitch_um),
+            "total_connections": total_connections,
+            "tier_count": float(len(chiplets)),
+            "assembly_yield": assembly_yield,
+            "bonds_cfp_g": bonds_cfp,
+            "substrate_cfp_g": substrate_cfp,
+            "footprint_mm2": footprint,
+        }
+        return self.result_totals(
+            architecture=self.architecture,
+            package_cfp_g=package_cfp,
+            comm_cfp_g=0.0,
+            floorplan=floorplan,
+            package_yield=package_yield,
+            comm_power_w=0.0,
+            chiplet_overhead_mm2={},
+            detail=detail,
+        )

@@ -1,0 +1,48 @@
+"""Technology-node database and scaling models.
+
+This package provides the per-node process parameters that every other part
+of the ECO-CHIP reproduction consumes:
+
+* :class:`~repro.technology.nodes.TechnologyNode` — a frozen record holding
+  defect density, manufacturing energy per unit area (EPA), per-metal-layer
+  patterning energy (EPLA), greenhouse-gas and material footprints,
+  equipment-efficiency derates, nominal supply voltage and EDA productivity
+  for a single process node.
+* :class:`~repro.technology.nodes.TechnologyTable` — the lookup/registry of
+  nodes (3 nm … 65 nm) with interpolation helpers for nodes that are not in
+  the table.
+* :class:`~repro.technology.scaling.AreaScalingModel` — transistor-density
+  based area scaling, with separate trends for logic, memory (SRAM) and
+  analog blocks, mirroring Section III-C(1) of the paper.
+* :mod:`~repro.technology.carbon_sources` — carbon intensity of electricity
+  sources (coal … wind) used to convert kWh into grams of CO2.
+* :mod:`~repro.technology.parameters` — the Table I parameter ranges used for
+  validation and for the Table I reproduction benchmark.
+"""
+
+from repro.technology.carbon_sources import (
+    CARBON_INTENSITY_G_PER_KWH,
+    CarbonSource,
+    carbon_intensity,
+)
+from repro.technology.nodes import (
+    DEFAULT_TECHNOLOGY_TABLE,
+    TechnologyNode,
+    TechnologyTable,
+)
+from repro.technology.parameters import PARAMETER_RANGES, ParameterRange, validate_parameter
+from repro.technology.scaling import AreaScalingModel, DesignType
+
+__all__ = [
+    "CARBON_INTENSITY_G_PER_KWH",
+    "CarbonSource",
+    "carbon_intensity",
+    "DEFAULT_TECHNOLOGY_TABLE",
+    "TechnologyNode",
+    "TechnologyTable",
+    "PARAMETER_RANGES",
+    "ParameterRange",
+    "validate_parameter",
+    "AreaScalingModel",
+    "DesignType",
+]

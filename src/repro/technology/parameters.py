@@ -1,0 +1,116 @@
+"""Table I parameter ranges and validation helpers.
+
+The paper's Table I lists every input parameter of ECO-CHIP together with the
+range of values it may take and the source the range was mined from.  We keep
+the same ranges here so that (a) user-supplied configurations can be validated
+against them, and (b) the Table I reproduction benchmark can print the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterRange:
+    """A single row of Table I.
+
+    Attributes:
+        model: Which CFP component the parameter feeds (``Cmfg``, ``Cpackage``,
+            ``Cmfg,comm``, ``Cwhitespace``, ``Cdes`` or ``Coperational``).
+        name: Parameter name as used in the paper.
+        minimum: Lower bound (inclusive).  ``None`` means unbounded.
+        maximum: Upper bound (inclusive).  ``None`` means unbounded.
+        unit: Physical unit, empty string for dimensionless parameters.
+        source: Citation tag(s) from the paper.
+    """
+
+    model: str
+    name: str
+    minimum: Optional[Number]
+    maximum: Optional[Number]
+    unit: str
+    source: str
+
+    def contains(self, value: Number) -> bool:
+        """True if ``value`` lies inside the closed range."""
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+
+def _rng(model: str, name: str, lo: Optional[Number], hi: Optional[Number], unit: str, src: str) -> ParameterRange:
+    return ParameterRange(model=model, name=name, minimum=lo, maximum=hi, unit=unit, source=src)
+
+
+#: Table I of the paper, keyed by parameter name.
+PARAMETER_RANGES: Dict[str, ParameterRange] = {
+    r.name: r
+    for r in (
+        # -- manufacturing ----------------------------------------------------
+        _rng("Cmfg", "defect_density", 0.07, 0.30, "/cm2", "[31],[32]"),
+        _rng("Cmfg", "clustering_alpha", 3, 3, "", "[31],[32]"),
+        _rng("Cmfg", "transistor_density", 5, 150, "MTr/mm2", "[28],[29]"),
+        _rng("Cmfg", "equipment_efficiency", 0.0, 1.0, "", "[33]"),
+        _rng("Cmfg", "carbon_intensity_mfg", 30, 700, "gCO2/kWh", "[4],[5]"),
+        _rng("Cmfg", "epa", 0.8, 3.5, "kWh/cm2", "[4],[5]"),
+        _rng("Cmfg", "gas_emissions", 0.1, 0.5, "kgCO2/cm2", "[4],[5]"),
+        _rng("Cmfg", "material_footprint", 0.5, 0.5, "kgCO2/cm2", "[4],[5]"),
+        _rng("Cmfg", "wafer_diameter", 25, 450, "mm", "[49]"),
+        # -- packaging ----------------------------------------------------------
+        _rng("Cpackage", "rdl_tech_nm", 22, 65, "nm", "[25],[39],[42]"),
+        _rng("Cpackage", "epla_rdl", 0.05, 0.2, "kWh/cm2", "[4],[5]"),
+        _rng("Cpackage", "carbon_intensity_pkg", 30, 700, "gCO2/kWh", "[4],[5]"),
+        _rng("Cpackage", "rdl_layers", 3, 9, "", "[25]"),
+        _rng("Cpackage", "bridge_layers", 3, 4, "", "[39]"),
+        _rng("Cpackage", "bridge_tech_nm", 22, 65, "nm", "[39]"),
+        _rng("Cpackage", "epla_bridge", 0.1, 0.35, "kWh/cm2", "[4],[5]"),
+        _rng("Cpackage", "bridge_range_mm", 2, 4, "mm", "[39]"),
+        _rng("Cpackage", "tsv_pitch_um", 10, 45, "um", "[18],[40]"),
+        _rng("Cpackage", "microbump_pitch_um", 10, 45, "um", "[18]"),
+        _rng("Cpackage", "hybrid_bond_pitch_um", 1, 10, "um", "[41]"),
+        # -- inter-die communication -------------------------------------------
+        _rng("Cmfg,comm", "interposer_tech_nm", 22, 65, "nm", "[42]"),
+        _rng("Cmfg,comm", "noc_flit_width_bits", 16, 1024, "bits", "[42]"),
+        # -- whitespace ----------------------------------------------------------
+        _rng("Cwhitespace", "chiplet_spacing_mm", 0.1, 1.0, "mm", "[42],[45]"),
+        # -- design --------------------------------------------------------------
+        _rng("Cdes", "eda_productivity", 0.0, 1.0, "", "[23]"),
+        _rng("Cdes", "design_power_w", 1, 1000, "W", "[50]"),
+        _rng("Cdes", "design_iterations", 1, 1000, "", "[51]"),
+        _rng("Cdes", "carbon_intensity_des", 30, 700, "gCO2/kWh", "[4],[5]"),
+        # -- operational ---------------------------------------------------------
+        _rng("Coperational", "vdd", 0.7, 1.8, "V", ""),
+        _rng("Coperational", "duty_cycle", 0.05, 0.20, "", ""),
+        _rng("Coperational", "lifetime_years", 2, 5, "years", ""),
+    )
+}
+
+
+def validate_parameter(name: str, value: Number, strict: bool = False) -> bool:
+    """Check ``value`` against the Table I range for ``name``.
+
+    Returns True if the parameter is unknown (nothing to check against) or
+    inside its range.  With ``strict=True`` an out-of-range value raises
+    :class:`ValueError` instead of returning False.
+    """
+    spec = PARAMETER_RANGES.get(name)
+    if spec is None:
+        return True
+    ok = spec.contains(value)
+    if not ok and strict:
+        raise ValueError(
+            f"parameter {name}={value} {spec.unit} outside Table I range "
+            f"[{spec.minimum}, {spec.maximum}]"
+        )
+    return ok
+
+
+def table_rows() -> "list[ParameterRange]":
+    """All Table I rows in the order the paper lists them."""
+    return list(PARAMETER_RANGES.values())

@@ -1,0 +1,145 @@
+"""Area-scaling models for logic, memory and analog blocks.
+
+Section III-C(1) of the paper: the area of a die of design type ``d`` in
+process ``p`` is derived from its transistor count and the transistor density
+of that design type at that node::
+
+    A_die(d, p) = N_T / D_T(d, p)
+
+(The paper's text writes the product ``D_T x N_T``; dimensional analysis and
+the released tool both use transistor count divided by density, which is what
+we implement.)  Three separate density trends are kept because logic scales
+aggressively with node, SRAM scales slowly, and analog barely scales — the
+property that makes technology-node mix-and-match attractive for chiplets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional
+
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, TechnologyTable
+
+
+class DesignType(enum.Enum):
+    """Block flavour used to pick the right density / scaling trend."""
+
+    LOGIC = "logic"
+    MEMORY = "memory"
+    ANALOG = "analog"
+
+    @classmethod
+    def parse(cls, value: "DesignType | str") -> "DesignType":
+        """Coerce common aliases (``digital``, ``sram``, ``io`` …)."""
+        if isinstance(value, cls):
+            return value
+        key = str(value).strip().lower()
+        aliases = {
+            "logic": cls.LOGIC,
+            "digital": cls.LOGIC,
+            "compute": cls.LOGIC,
+            "cpu": cls.LOGIC,
+            "gpu": cls.LOGIC,
+            "memory": cls.MEMORY,
+            "sram": cls.MEMORY,
+            "cache": cls.MEMORY,
+            "dram": cls.MEMORY,
+            "analog": cls.ANALOG,
+            "io": cls.ANALOG,
+            "ios": cls.ANALOG,
+            "phy": cls.ANALOG,
+            "mixed_signal": cls.ANALOG,
+            "serdes": cls.ANALOG,
+        }
+        try:
+            return aliases[key]
+        except KeyError as exc:
+            raise ValueError(f"unknown design type {value!r}") from exc
+
+
+class AreaScalingModel:
+    """Transistor-density based area scaling across technology nodes.
+
+    The model answers two questions that the rest of the framework needs:
+
+    * Given a transistor count and a node, how large is the die?
+      (:meth:`area_mm2`)
+    * Given an area measured at a reference node (die-shot breakdowns are
+      published as areas, not transistor counts), how many transistors does
+      the block hold, and what would its area be at a different node?
+      (:meth:`transistors_from_area`, :meth:`rescale_area`)
+    """
+
+    def __init__(self, table: Optional[TechnologyTable] = None):
+        self._table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
+
+    @property
+    def table(self) -> TechnologyTable:
+        """The underlying :class:`TechnologyTable`."""
+        return self._table
+
+    # -- primitive conversions ----------------------------------------------
+    def density_mtr_per_mm2(self, design_type: "DesignType | str", node: NodeKey) -> float:
+        """Transistor density (millions of transistors per mm²)."""
+        dtype = DesignType.parse(design_type)
+        record = self._table.get(node)
+        if dtype is DesignType.LOGIC:
+            return record.logic_density_mtr_per_mm2
+        if dtype is DesignType.MEMORY:
+            return record.memory_density_mtr_per_mm2
+        return record.analog_density_mtr_per_mm2
+
+    def area_mm2(
+        self, transistors: float, design_type: "DesignType | str", node: NodeKey
+    ) -> float:
+        """Die area in mm² for ``transistors`` devices of ``design_type`` at ``node``."""
+        if transistors < 0:
+            raise ValueError(f"transistor count must be non-negative, got {transistors}")
+        density = self.density_mtr_per_mm2(design_type, node)
+        return transistors / (density * 1.0e6)
+
+    def transistors_from_area(
+        self, area_mm2: float, design_type: "DesignType | str", node: NodeKey
+    ) -> float:
+        """Transistor count implied by ``area_mm2`` of ``design_type`` at ``node``."""
+        if area_mm2 < 0:
+            raise ValueError(f"area must be non-negative, got {area_mm2}")
+        density = self.density_mtr_per_mm2(design_type, node)
+        return area_mm2 * density * 1.0e6
+
+    def rescale_area(
+        self,
+        area_mm2: float,
+        design_type: "DesignType | str",
+        from_node: NodeKey,
+        to_node: NodeKey,
+    ) -> float:
+        """Re-express an area measured at ``from_node`` in ``to_node``.
+
+        Equivalent to converting the area to transistors at the source node
+        and back to area at the destination node; the functionality (device
+        count) is preserved, only the silicon footprint changes.
+        """
+        transistors = self.transistors_from_area(area_mm2, design_type, from_node)
+        return self.area_mm2(transistors, design_type, to_node)
+
+    # -- reporting helpers ----------------------------------------------------
+    def scaling_factors(
+        self,
+        design_type: "DesignType | str",
+        nodes: Optional[Iterable[NodeKey]] = None,
+        reference: NodeKey = 7,
+    ) -> Dict[float, float]:
+        """Area multiplier of each node relative to ``reference``.
+
+        A value of 2.0 means the same block is twice as large at that node
+        as at the reference node.
+        """
+        node_list = list(nodes) if nodes is not None else self._table.feature_sizes
+        ref_density = self.density_mtr_per_mm2(design_type, reference)
+        factors: Dict[float, float] = {}
+        for node in node_list:
+            record = self._table.get(node)
+            density = self.density_mtr_per_mm2(design_type, record.feature_nm)
+            factors[record.feature_nm] = ref_density / density
+        return factors

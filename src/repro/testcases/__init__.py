@@ -1,0 +1,31 @@
+"""Industry testcases used in the paper's evaluation (Section IV).
+
+Four systems, with block-level area breakdowns taken from the public
+die-shot analyses the paper cites:
+
+* :mod:`~repro.testcases.ga102` — NVIDIA GA102 GPU (2020), monolithic,
+  3-chiplet and 4-chiplet variants with RDL fanout packaging.
+* :mod:`~repro.testcases.a15` — Apple A15 mobile SoC (2021), monolithic and
+  3-chiplet variants with RDL fanout packaging.
+* :mod:`~repro.testcases.emr` — Intel Emerald Rapids server CPU, the native
+  2-chiplet EMIB design and its hypothetical monolithic counterpart.
+* :mod:`~repro.testcases.arvr` — the AR/VR 3D-stacked neural-network
+  accelerator (compute die + 1–4 SRAM tiers, 1K and 2K flavours).
+
+Every builder returns a fully-populated
+:class:`~repro.core.system.ChipletSystem`, so the benchmarks and examples
+only have to pick nodes, packaging and volumes.
+"""
+
+from repro.testcases import a15, arvr, emr, ga102
+from repro.testcases.registry import TESTCASES, get_testcase, list_testcases
+
+__all__ = [
+    "a15",
+    "arvr",
+    "emr",
+    "ga102",
+    "TESTCASES",
+    "get_testcase",
+    "list_testcases",
+]

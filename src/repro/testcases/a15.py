@@ -1,0 +1,125 @@
+"""Apple A15 mobile SoC testcase.
+
+The A15 Bionic (2021) is a ~108 mm² monolithic SoC with about 15 B
+transistors in a 5 nm-class process.  Following the published die-shot
+annotation we split the area into a digital block (CPU + GPU + NPU logic), a
+memory block (system-level cache and other SRAM arrays) and an analog/IO
+block, expressed at a 7 nm-class reference node for consistency with the
+other testcases.
+
+This is the paper's low-power, embodied-dominated testcase: the battery-
+driven use phase is small, so the ``Cemb`` savings from disaggregation
+translate almost directly into ``Ctot`` savings (Figs. 8b, 11, 12c).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import ChipletSystem
+from repro.operational.battery import BatteryUsageModel
+from repro.operational.energy import OperatingSpec
+from repro.packaging.monolithic import MonolithicSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.packaging.registry import PackagingSpec
+
+#: Reference node the block areas are expressed at.
+REFERENCE_NODE_NM = 7.0
+
+#: Block areas (mm²) at the reference node, totalling ~108 mm².
+DIGITAL_AREA_MM2 = 58.0
+MEMORY_AREA_MM2 = 34.0
+ANALOG_AREA_MM2 = 16.0
+
+#: iPhone-class battery and a daily charge; 20% of the energy attributed to
+#: the SoC (the display and radios take the rest).
+BATTERY = BatteryUsageModel(
+    battery_capacity_wh=12.7, charges_per_day=1.0, charger_efficiency=0.85, soc_share=0.2
+)
+
+LIFETIME_YEARS = 3.0
+DUTY_CYCLE = 0.15
+
+#: Default packaging for the chiplet variant.  Mobile die-to-die links are
+#: narrower than the server/GPU defaults (32 lanes).
+DEFAULT_PACKAGING = RDLFanoutSpec(layers=4, technology_nm=65.0, phy_lanes=32)
+
+
+def operating_spec(lifetime_years: float = LIFETIME_YEARS) -> OperatingSpec:
+    """Battery-derived use-phase spec shared by all A15 variants."""
+    return OperatingSpec(
+        lifetime_years=lifetime_years,
+        duty_cycle=DUTY_CYCLE,
+        annual_energy_kwh=BATTERY.annual_energy_kwh(),
+        use_carbon_source="grid_world",
+    )
+
+
+def blocks(
+    digital_node: float = 7.0,
+    memory_node: float = 7.0,
+    analog_node: float = 7.0,
+) -> Tuple[Chiplet, Chiplet, Chiplet]:
+    """The three A15 blocks as chiplets at the given nodes."""
+    return (
+        Chiplet(
+            name="digital",
+            design_type="logic",
+            node=digital_node,
+            area_mm2=DIGITAL_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+        Chiplet(
+            name="memory",
+            design_type="memory",
+            node=memory_node,
+            area_mm2=MEMORY_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+        Chiplet(
+            name="analog",
+            design_type="analog",
+            node=analog_node,
+            area_mm2=ANALOG_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+    )
+
+
+def monolithic(node: float = 7.0, lifetime_years: float = LIFETIME_YEARS) -> ChipletSystem:
+    """The monolithic A15: one die holding all three blocks at ``node``."""
+    from repro.technology.scaling import AreaScalingModel
+
+    scaling = AreaScalingModel()
+    fused_area = sum(c.area_at_node(scaling, node) for c in blocks(node, node, node))
+    die = Chiplet(
+        name="a15-die",
+        design_type="logic",
+        node=node,
+        area_mm2=fused_area,
+        area_reference_node=node,
+    )
+    return ChipletSystem(
+        name=f"A15-monolithic-{int(node)}nm",
+        chiplets=(die,),
+        packaging=MonolithicSpec(),
+        operating=operating_spec(lifetime_years),
+    )
+
+
+def three_chiplet(
+    nodes: Sequence[float] = (7.0, 10.0, 14.0),
+    packaging: Optional[PackagingSpec] = None,
+    lifetime_years: float = LIFETIME_YEARS,
+) -> ChipletSystem:
+    """The 3-chiplet A15: (digital, memory, analog) at ``nodes``."""
+    if len(nodes) != 3:
+        raise ValueError(f"A15 three-chiplet variant needs 3 nodes, got {len(nodes)}")
+    digital_node, memory_node, analog_node = nodes
+    return ChipletSystem(
+        name=f"A15-3chiplet-({int(digital_node)},{int(memory_node)},{int(analog_node)})",
+        chiplets=blocks(digital_node, memory_node, analog_node),
+        packaging=packaging if packaging is not None else DEFAULT_PACKAGING,
+        operating=operating_spec(lifetime_years),
+    )

@@ -1,0 +1,147 @@
+"""AR/VR 3D-stacked neural-network accelerator testcase (Section VI).
+
+The accelerator (Yang et al., IEEE Micro 2022) stacks 1–4 SRAM dies on top
+of a compute die with micro-bumps in a 7 nm technology.  Two flavours exist:
+
+* **1K** — each SRAM die holds 2 MB,
+* **2K** — each SRAM die holds 4 MB.
+
+Configurations are named ``3D-<series>-<total MB>MB``; for example
+``3D-1K-4MB`` stacks two 2 MB SRAM dies on the 1K compute die.  The paper's
+Fig. 13 plots carbon-delay, carbon-power and carbon-area product curves over
+these configurations, using per-configuration latency and power figures from
+the accelerator paper; we encode representative values with the same
+qualitative behaviour (more tiers → lower latency and operating power,
+higher embodied carbon).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.threed import BondType, ThreeDStackSpec
+
+#: All dies are implemented at 7 nm.
+NODE_NM = 7.0
+
+#: Compute-die areas (mm²) for the two flavours (the 2K engine is larger).
+COMPUTE_AREA_MM2 = {"1K": 16.0, "2K": 26.0}
+
+#: SRAM die areas (mm²): 2 MB per die for the 1K series, 4 MB for 2K.
+SRAM_DIE_AREA_MM2 = {"1K": 3.2, "2K": 6.0}
+SRAM_DIE_MB = {"1K": 2, "2K": 4}
+
+LIFETIME_YEARS = 2.0
+DUTY_CYCLE = 0.3
+
+#: 3D packaging with micro-bumps at 36 µm pitch (the paper's default).
+DEFAULT_PACKAGING = ThreeDStackSpec(bond_type=BondType.MICROBUMP, pitch_um=36.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point of the Fig. 13 design space.
+
+    Attributes:
+        name: Configuration name, e.g. ``"3D-1K-4MB"``.
+        series: ``"1K"`` or ``"2K"``.
+        sram_tiers: Number of stacked SRAM dies (1–4).
+        total_sram_mb: Total on-package SRAM.
+        latency_ms: Inference latency of the workload (decreases with tiers).
+        average_power_w: Average operating power (decreases with tiers as
+            DRAM traffic is replaced by on-package SRAM hits).
+    """
+
+    name: str
+    series: str
+    sram_tiers: int
+    total_sram_mb: int
+    latency_ms: float
+    average_power_w: float
+
+
+#: Representative latency/power points.  Within each series, adding SRAM
+#: tiers reduces latency and operating power (better energy efficiency) —
+#: the trends Fig. 13 relies on.
+ACCELERATOR_CONFIGS: Dict[str, AcceleratorConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        AcceleratorConfig("3D-1K-2MB", "1K", 1, 2, latency_ms=8.0, average_power_w=0.32),
+        AcceleratorConfig("3D-1K-4MB", "1K", 2, 4, latency_ms=6.0, average_power_w=0.27),
+        AcceleratorConfig("3D-1K-6MB", "1K", 3, 6, latency_ms=5.0, average_power_w=0.25),
+        AcceleratorConfig("3D-1K-8MB", "1K", 4, 8, latency_ms=4.4, average_power_w=0.24),
+        AcceleratorConfig("3D-2K-4MB", "2K", 1, 4, latency_ms=5.5, average_power_w=0.50),
+        AcceleratorConfig("3D-2K-8MB", "2K", 2, 8, latency_ms=4.0, average_power_w=0.43),
+        AcceleratorConfig("3D-2K-12MB", "2K", 3, 12, latency_ms=3.4, average_power_w=0.40),
+        AcceleratorConfig("3D-2K-16MB", "2K", 4, 16, latency_ms=3.0, average_power_w=0.38),
+    )
+}
+
+
+def operating_spec(
+    config: AcceleratorConfig, lifetime_years: float = LIFETIME_YEARS
+) -> OperatingSpec:
+    """Use-phase spec of one accelerator configuration."""
+    return OperatingSpec(
+        lifetime_years=lifetime_years,
+        duty_cycle=DUTY_CYCLE,
+        average_power_w=config.average_power_w,
+        use_carbon_source="grid_world",
+    )
+
+
+def chiplets(config: AcceleratorConfig) -> Tuple[Chiplet, ...]:
+    """Compute die plus the stacked SRAM dies of ``config``."""
+    compute = Chiplet(
+        name="compute",
+        design_type="logic",
+        node=NODE_NM,
+        area_mm2=COMPUTE_AREA_MM2[config.series],
+        area_reference_node=NODE_NM,
+    )
+    sram_dies = tuple(
+        Chiplet(
+            name=f"sram-{tier}",
+            design_type="memory",
+            node=NODE_NM,
+            area_mm2=SRAM_DIE_AREA_MM2[config.series],
+            area_reference_node=NODE_NM,
+        )
+        for tier in range(config.sram_tiers)
+    )
+    return (compute,) + sram_dies
+
+
+def system(
+    config_name: str,
+    packaging: Optional[ThreeDStackSpec] = None,
+    lifetime_years: float = LIFETIME_YEARS,
+) -> ChipletSystem:
+    """Build the :class:`ChipletSystem` for configuration ``config_name``."""
+    config = ACCELERATOR_CONFIGS.get(config_name)
+    if config is None:
+        raise KeyError(
+            f"unknown accelerator configuration {config_name!r}; "
+            f"known: {sorted(ACCELERATOR_CONFIGS)}"
+        )
+    return ChipletSystem(
+        name=f"ARVR-{config.name}",
+        chiplets=chiplets(config),
+        packaging=packaging if packaging is not None else DEFAULT_PACKAGING,
+        operating=operating_spec(config, lifetime_years),
+    )
+
+
+def config(config_name: str) -> AcceleratorConfig:
+    """Return the :class:`AcceleratorConfig` named ``config_name``."""
+    try:
+        return ACCELERATOR_CONFIGS[config_name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown accelerator configuration {config_name!r}; "
+            f"known: {sorted(ACCELERATOR_CONFIGS)}"
+        ) from exc

@@ -1,0 +1,110 @@
+"""Intel Emerald Rapids (EMR) server CPU testcase.
+
+Emerald Rapids is Intel's server CPU built from **two large chiplets**
+connected with EMIB silicon bridges (the paper analyses the original
+architecture "as is").  Public analyses put each die at roughly 760 mm² in
+the Intel 7 (10 nm-class) process; each die contains cores, a large L3
+slice and the memory/IO PHYs, so we model each chiplet as a mixed but
+logic-dominated die and additionally expose a block-level split for
+mix-and-match experiments.
+
+This is the paper's server-class, operational-heavy testcase (Figs. 8a,
+12a, 12d).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.bridge import SiliconBridgeSpec
+from repro.packaging.monolithic import MonolithicSpec
+from repro.packaging.registry import PackagingSpec
+
+#: Reference node the areas are expressed at (Intel 7 ~ 10 nm class).
+REFERENCE_NODE_NM = 10.0
+
+#: Area of each of the two EMR chiplets at the reference node (mm²).
+CHIPLET_AREA_MM2 = 380.0
+
+#: Server operating point: ~300 W TDP package, profiled average use.
+AVERAGE_POWER_W = 280.0
+DUTY_CYCLE = 0.6
+LIFETIME_YEARS = 4.0
+
+#: Native packaging: EMIB silicon bridges.
+DEFAULT_PACKAGING = SiliconBridgeSpec(
+    bridge_layers=4, bridge_technology_nm=22.0, bridge_area_mm2=4.0, bridge_range_mm=2.0
+)
+
+
+def operating_spec(lifetime_years: float = LIFETIME_YEARS) -> OperatingSpec:
+    """Profiled server-class use-phase spec."""
+    return OperatingSpec(
+        lifetime_years=lifetime_years,
+        duty_cycle=DUTY_CYCLE,
+        average_power_w=AVERAGE_POWER_W,
+        use_carbon_source="grid_world",
+    )
+
+
+def chiplets(
+    node_a: float = 10.0, node_b: float = 10.0
+) -> Tuple[Chiplet, Chiplet]:
+    """The two EMR compute chiplets at the given nodes."""
+    return (
+        Chiplet(
+            name="compute-0",
+            design_type="logic",
+            node=node_a,
+            area_mm2=CHIPLET_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+        Chiplet(
+            name="compute-1",
+            design_type="logic",
+            node=node_b,
+            area_mm2=CHIPLET_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+    )
+
+
+def two_chiplet(
+    nodes: Sequence[float] = (10.0, 10.0),
+    packaging: Optional[PackagingSpec] = None,
+    lifetime_years: float = LIFETIME_YEARS,
+) -> ChipletSystem:
+    """The native 2-chiplet EMR with EMIB packaging."""
+    if len(nodes) != 2:
+        raise ValueError(f"EMR two-chiplet variant needs 2 nodes, got {len(nodes)}")
+    node_a, node_b = nodes
+    return ChipletSystem(
+        name=f"EMR-2chiplet-({int(node_a)},{int(node_b)})",
+        chiplets=chiplets(node_a, node_b),
+        packaging=packaging if packaging is not None else DEFAULT_PACKAGING,
+        operating=operating_spec(lifetime_years),
+    )
+
+
+def monolithic(node: float = 10.0, lifetime_years: float = LIFETIME_YEARS) -> ChipletSystem:
+    """A hypothetical monolithic EMR: both chiplets fused into one die."""
+    from repro.technology.scaling import AreaScalingModel
+
+    scaling = AreaScalingModel()
+    fused_area = sum(c.area_at_node(scaling, node) for c in chiplets(node, node))
+    die = Chiplet(
+        name="emr-die",
+        design_type="logic",
+        node=node,
+        area_mm2=fused_area,
+        area_reference_node=node,
+    )
+    return ChipletSystem(
+        name=f"EMR-monolithic-{int(node)}nm",
+        chiplets=(die,),
+        packaging=MonolithicSpec(),
+        operating=operating_spec(lifetime_years),
+    )

@@ -1,0 +1,161 @@
+"""NVIDIA GA102 GPU testcase.
+
+The GA102 (GeForce RTX 3080/3090, 2020) is a 628 mm² monolithic GPU with
+28.3 B transistors in Samsung's 8 nm process.  Following the paper we model
+it with a 7 nm-class reference node and split the die-shot area into three
+blocks: a large digital/compute block (~500 mm², the "GPC + L2 crossbar"
+logic the paper repeatedly splits further), an SRAM/memory block and an
+analog/PHY block (GDDR interfaces, display and PCIe IO).
+
+The paper's experiments on GA102:
+
+* monolithic vs 3-chiplet / 4-chiplet CFP (Figs. 2b, 7, 10, 14, 15),
+* node mix-and-match on the (digital, memory, analog) 3-tuple (Fig. 7),
+* splitting the 500 mm² digital block into ``Nc`` chiplets (Figs. 9, 10, 15b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.chiplet import Chiplet
+from repro.core.disaggregation import split_block
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.monolithic import MonolithicSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.packaging.registry import PackagingSpec
+
+#: Reference node the die-shot areas are expressed at.
+REFERENCE_NODE_NM = 7.0
+
+#: Block areas (mm²) at the reference node, totalling ~628 mm².
+DIGITAL_AREA_MM2 = 500.0
+MEMORY_AREA_MM2 = 80.0
+ANALOG_AREA_MM2 = 48.0
+
+#: Operating conditions: a 450 W-class board, profiled to an average annual
+#: energy of 228 kWh (the figure the paper quotes), two-year lifetime.
+ANNUAL_ENERGY_KWH = 228.0
+LIFETIME_YEARS = 2.0
+DUTY_CYCLE = 0.2
+
+#: Default packaging for the chiplet variants.
+DEFAULT_PACKAGING = RDLFanoutSpec(layers=6, technology_nm=65.0)
+
+
+def operating_spec(lifetime_years: float = LIFETIME_YEARS) -> OperatingSpec:
+    """Use-phase spec shared by all GA102 variants."""
+    return OperatingSpec(
+        lifetime_years=lifetime_years,
+        duty_cycle=DUTY_CYCLE,
+        annual_energy_kwh=ANNUAL_ENERGY_KWH,
+        use_carbon_source="coal",
+    )
+
+
+def blocks(
+    digital_node: float = 7.0,
+    memory_node: float = 7.0,
+    analog_node: float = 7.0,
+) -> Tuple[Chiplet, Chiplet, Chiplet]:
+    """The three GA102 blocks as chiplets at the given nodes."""
+    return (
+        Chiplet(
+            name="digital",
+            design_type="logic",
+            node=digital_node,
+            area_mm2=DIGITAL_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+        Chiplet(
+            name="memory",
+            design_type="memory",
+            node=memory_node,
+            area_mm2=MEMORY_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+        Chiplet(
+            name="analog",
+            design_type="analog",
+            node=analog_node,
+            area_mm2=ANALOG_AREA_MM2,
+            area_reference_node=REFERENCE_NODE_NM,
+        ),
+    )
+
+
+def monolithic(node: float = 7.0, lifetime_years: float = LIFETIME_YEARS) -> ChipletSystem:
+    """The monolithic GA102: one die holding all three blocks at ``node``."""
+    digital, memory, analog = blocks(node, node, node)
+    # Build a single fused die with the three blocks' areas summed at `node`.
+    from repro.technology.scaling import AreaScalingModel
+
+    scaling = AreaScalingModel()
+    fused_area = sum(c.area_at_node(scaling, node) for c in (digital, memory, analog))
+    die = Chiplet(
+        name="ga102-die",
+        design_type="logic",
+        node=node,
+        area_mm2=fused_area,
+        area_reference_node=node,
+    )
+    return ChipletSystem(
+        name=f"GA102-monolithic-{int(node)}nm",
+        chiplets=(die,),
+        packaging=MonolithicSpec(),
+        operating=operating_spec(lifetime_years),
+    )
+
+
+def three_chiplet(
+    nodes: Sequence[float] = (7.0, 10.0, 14.0),
+    packaging: Optional[PackagingSpec] = None,
+    lifetime_years: float = LIFETIME_YEARS,
+) -> ChipletSystem:
+    """The 3-chiplet GA102: (digital, memory, analog) at ``nodes``."""
+    if len(nodes) != 3:
+        raise ValueError(f"GA102 three-chiplet variant needs 3 nodes, got {len(nodes)}")
+    digital_node, memory_node, analog_node = nodes
+    return ChipletSystem(
+        name=f"GA102-3chiplet-({int(digital_node)},{int(memory_node)},{int(analog_node)})",
+        chiplets=blocks(digital_node, memory_node, analog_node),
+        packaging=packaging if packaging is not None else DEFAULT_PACKAGING,
+        operating=operating_spec(lifetime_years),
+    )
+
+
+def four_chiplet(
+    nodes: Sequence[float] = (7.0, 7.0, 10.0, 14.0),
+    packaging: Optional[PackagingSpec] = None,
+    lifetime_years: float = LIFETIME_YEARS,
+) -> ChipletSystem:
+    """The 4-chiplet GA102: the digital block split in two (Fig. 2b)."""
+    if len(nodes) != 4:
+        raise ValueError(f"GA102 four-chiplet variant needs 4 nodes, got {len(nodes)}")
+    digital_node_a, digital_node_b, memory_node, analog_node = nodes
+    digital, memory, analog = blocks(digital_node_a, memory_node, analog_node)
+    digital_halves = split_block(digital, 2)
+    chiplets = (
+        digital_halves[0].retargeted(digital_node_a),
+        digital_halves[1].retargeted(digital_node_b),
+        memory,
+        analog,
+    )
+    return ChipletSystem(
+        name="GA102-4chiplet",
+        chiplets=chiplets,
+        packaging=packaging if packaging is not None else DEFAULT_PACKAGING,
+        operating=operating_spec(lifetime_years),
+    )
+
+
+def digital_block(node: float = 7.0) -> Chiplet:
+    """The 500 mm² digital block alone (used for the Fig. 9 Nc sweeps)."""
+    return Chiplet(
+        name="digital",
+        design_type="logic",
+        node=node,
+        area_mm2=DIGITAL_AREA_MM2,
+        area_reference_node=REFERENCE_NODE_NM,
+    )

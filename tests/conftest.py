@@ -1,0 +1,97 @@
+"""Shared fixtures for the ECO-CHIP reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.manufacturing.chip import ChipManufacturingModel
+from repro.manufacturing.yield_model import YieldModel
+from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyTable
+from repro.technology.scaling import AreaScalingModel
+from repro.testcases import a15, arvr, emr, ga102
+
+
+@pytest.fixture(scope="session")
+def table() -> TechnologyTable:
+    """The default technology table (3–65 nm)."""
+    return DEFAULT_TECHNOLOGY_TABLE
+
+
+@pytest.fixture(scope="session")
+def scaling(table) -> AreaScalingModel:
+    """Area scaling model over the default table."""
+    return AreaScalingModel(table=table)
+
+
+@pytest.fixture(scope="session")
+def yield_model(table) -> YieldModel:
+    """Yield model over the default table."""
+    return YieldModel(table=table)
+
+
+@pytest.fixture(scope="session")
+def manufacturing(table) -> ChipManufacturingModel:
+    """Manufacturing model with the paper's defaults (coal fab, 450 mm wafer)."""
+    return ChipManufacturingModel(table=table)
+
+
+@pytest.fixture(scope="session")
+def estimator() -> EcoChip:
+    """Estimator with the paper's default configuration."""
+    return EcoChip()
+
+
+@pytest.fixture(scope="session")
+def estimator_no_waste() -> EcoChip:
+    """Estimator that excludes wafer-periphery waste (Fig. 3b comparison)."""
+    return EcoChip(config=EstimatorConfig(include_wafer_waste=False))
+
+
+# -- testcase systems (session-scoped: they are immutable dataclasses) ---------
+@pytest.fixture(scope="session")
+def ga102_monolithic():
+    """Monolithic GA102 at 7 nm."""
+    return ga102.monolithic(7)
+
+
+@pytest.fixture(scope="session")
+def ga102_3chiplet():
+    """3-chiplet GA102 at (7, 14, 10) with RDL fanout."""
+    return ga102.three_chiplet((7, 14, 10))
+
+
+@pytest.fixture(scope="session")
+def a15_monolithic():
+    """Monolithic A15 at 7 nm."""
+    return a15.monolithic(7)
+
+
+@pytest.fixture(scope="session")
+def a15_3chiplet():
+    """3-chiplet A15 at (7, 14, 10) with RDL fanout."""
+    return a15.three_chiplet((7, 14, 10))
+
+
+@pytest.fixture(scope="session")
+def emr_2chiplet():
+    """Native 2-chiplet EMR with EMIB."""
+    return emr.two_chiplet()
+
+
+@pytest.fixture(scope="session")
+def emr_monolithic():
+    """Hypothetical monolithic EMR."""
+    return emr.monolithic()
+
+
+@pytest.fixture(scope="session")
+def arvr_small():
+    """AR/VR accelerator, 1K series, one SRAM tier."""
+    return arvr.system("3D-1K-2MB")
+
+
+@pytest.fixture(scope="session")
+def arvr_large():
+    """AR/VR accelerator, 1K series, four SRAM tiers."""
+    return arvr.system("3D-1K-8MB")

@@ -1,0 +1,144 @@
+"""End-to-end integration tests across packaging architectures and workflows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.chiplet import Chiplet
+from repro.core.estimator import EcoChip
+from repro.core.system import ChipletSystem
+from repro.cost.model import ChipletCostModel
+from repro.io.writers import write_report
+from repro.operational.energy import OperatingSpec
+from repro.packaging import (
+    ActiveInterposerSpec,
+    PassiveInterposerSpec,
+    RDLFanoutSpec,
+    SiliconBridgeSpec,
+    ThreeDStackSpec,
+)
+from repro.testcases import ga102
+
+
+ALL_PACKAGING = [
+    RDLFanoutSpec(),
+    SiliconBridgeSpec(),
+    PassiveInterposerSpec(),
+    ActiveInterposerSpec(),
+    ThreeDStackSpec(),
+]
+
+
+@pytest.fixture(scope="module")
+def generic_system():
+    return ChipletSystem(
+        name="e2e",
+        chiplets=(
+            Chiplet("compute-0", "logic", 7, area_mm2=150.0),
+            Chiplet("compute-1", "logic", 7, area_mm2=150.0),
+            Chiplet("cache", "memory", 10, area_mm2=80.0),
+            Chiplet("io", "analog", 14, area_mm2=40.0),
+        ),
+        operating=OperatingSpec(lifetime_years=3, duty_cycle=0.3, average_power_w=60.0),
+    )
+
+
+class TestAllPackagingArchitectures:
+    @pytest.mark.parametrize("packaging", ALL_PACKAGING, ids=lambda s: type(s).__name__)
+    def test_every_architecture_produces_a_consistent_report(
+        self, estimator, generic_system, packaging
+    ):
+        report = estimator.estimate(generic_system.with_packaging(packaging))
+        assert report.hi_cfp_g > 0
+        assert report.embodied_cfp_g == pytest.approx(
+            report.manufacturing_cfp_g + report.design_cfp_g + report.hi_cfp_g
+        )
+        assert 0 < report.packaging.package_yield <= 1
+        assert report.packaging.package_area_mm2 >= sum(
+            c.total_area_mm2 for c in report.chiplets
+        ) * 0.5  # 3D stacks have a footprint smaller than the silicon sum
+
+    def test_fig9_architecture_ordering_small_and_large_counts(self, estimator):
+        """Fig. 9: EMIB is cheapest at Nc=2; interposers are the most
+        expensive; EMIB overheads grow faster than RDL with Nc."""
+        def chi(packaging, count):
+            chiplets = tuple(
+                Chiplet(f"d{i}", "logic", 7, area_mm2=500.0 / count, area_reference_node=7)
+                for i in range(count)
+            )
+            system = ChipletSystem(
+                name=f"fig9-{count}",
+                chiplets=chiplets,
+                packaging=packaging,
+                operating=OperatingSpec(average_power_w=100.0),
+            )
+            return estimator.estimate(system).hi_cfp_g
+
+        emib_2 = chi(SiliconBridgeSpec(), 2)
+        rdl_2 = chi(RDLFanoutSpec(), 2)
+        passive_2 = chi(PassiveInterposerSpec(), 2)
+        active_2 = chi(ActiveInterposerSpec(), 2)
+        assert emib_2 < rdl_2 < passive_2 <= active_2
+
+        emib_8 = chi(SiliconBridgeSpec(), 8)
+        rdl_8 = chi(RDLFanoutSpec(), 8)
+        assert rdl_8 < emib_8
+        assert emib_8 > emib_2
+
+    def test_3d_overheads_fall_with_tier_count(self, estimator):
+        """Fig. 9 (3D bars): stacking the same logic in more tiers reduces the
+        packaging overhead because the per-tier footprint shrinks."""
+        def chi(count):
+            chiplets = tuple(
+                Chiplet(f"t{i}", "logic", 7, area_mm2=500.0 / count, area_reference_node=7)
+                for i in range(count)
+            )
+            system = ChipletSystem(
+                name=f"stack-{count}",
+                chiplets=chiplets,
+                packaging=ThreeDStackSpec(),
+                operating=OperatingSpec(average_power_w=50.0),
+            )
+            return estimator.estimate(system).hi_cfp_g
+
+        assert chi(4) < chi(3) < chi(2)
+
+
+class TestCrossModelConsistency:
+    def test_carbon_and_cost_trends_agree_on_node_choice(self, estimator):
+        """Fig. 15(a): dollar cost follows the same direction as carbon when
+        moving the monolith between 7 nm-class and older-node chiplets."""
+        cost_model = ChipletCostModel()
+        mono = ga102.monolithic(7)
+        chiplets = ga102.three_chiplet((7, 14, 10))
+        carbon_saving = (
+            estimator.estimate(mono).manufacturing_cfp_g
+            - estimator.estimate(chiplets).manufacturing_cfp_g
+        )
+        cost_saving = (
+            cost_model.estimate(mono).silicon_cost_usd
+            - cost_model.estimate(chiplets).silicon_cost_usd
+        )
+        assert carbon_saving > 0
+        assert cost_saving > 0
+
+    def test_report_round_trip_through_json(self, tmp_path, estimator, generic_system):
+        report = estimator.estimate(generic_system)
+        path = write_report(report, tmp_path / "report.json")
+        data = json.loads(path.read_text())
+        assert data["breakdown_g"]["embodied_cfp_g"] == pytest.approx(report.embodied_cfp_g)
+        assert len(data["chiplets"]) == 4
+
+    def test_cli_matches_library_results(self, tmp_path, capsys, estimator):
+        """The CLI's JSON output must agree with a direct library call."""
+        output = tmp_path / "cli.json"
+        assert main(["--testcase", "ga102-3chiplet", "--output", str(output)]) == 0
+        capsys.readouterr()
+        cli_data = json.loads(output.read_text())
+        library_report = estimator.estimate(ga102.three_chiplet())
+        assert cli_data["breakdown_g"]["total_cfp_g"] == pytest.approx(
+            library_report.total_cfp_g, rel=1e-9
+        )

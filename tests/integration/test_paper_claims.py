@@ -1,0 +1,234 @@
+"""Integration tests asserting the paper's qualitative claims end-to-end.
+
+Each test names the paper section/figure whose claim it checks.  These run
+the full estimator pipeline (technology → manufacturing → floorplan →
+packaging → design → operational) on the industry testcases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.act.model import ActModel
+from repro.core.disaggregation import nc_sweep, node_configuration_sweep
+from repro.testcases import a15, arvr, emr, ga102
+
+
+class TestFig2AreaAndYield:
+    def test_fig2a_manufacturing_cfp_grows_superlinearly_with_area(self, manufacturing):
+        """Fig. 2(a): CFP vs area is super-linear because yield collapses."""
+        areas = [25, 50, 100, 150, 200]
+        cfps = [manufacturing.cfp_for_area(a, 10).total_g for a in areas]
+        assert cfps == sorted(cfps)
+        # Per-mm2 footprint grows monotonically with area.
+        per_mm2 = [cfp / area for cfp, area in zip(cfps, areas)]
+        assert per_mm2 == sorted(per_mm2)
+
+    def test_fig2b_four_chiplet_ga102_beats_the_monolith(self, estimator):
+        """Fig. 2(b): the 4-chiplet GA102 has lower manufacturing CFP than the
+        monolith even after adding packaging overheads."""
+        mono = estimator.estimate(ga102.monolithic(7))
+        four = estimator.estimate(ga102.four_chiplet((7, 7, 10, 14)))
+        assert (
+            four.manufacturing_cfp_g + four.hi_cfp_g
+            < mono.manufacturing_cfp_g + mono.hi_cfp_g
+        )
+
+
+class TestFig3WaferWaste:
+    def test_fig3b_waste_term_hurts_the_monolith_more(
+        self, estimator, estimator_no_waste
+    ):
+        """Fig. 3(b): the wafer-periphery waste charged to one monolithic
+        GA102 exceeds the waste charged to the whole 4-chiplet version,
+        because small dies pack far better (and part of the chiplet silicon
+        moves to older, lower-CFPA nodes)."""
+        mono_with = estimator.estimate(ga102.monolithic(7))
+        mono_without = estimator_no_waste.estimate(ga102.monolithic(7))
+        chip_with = estimator.estimate(ga102.four_chiplet((7, 7, 10, 14)))
+        chip_without = estimator_no_waste.estimate(ga102.four_chiplet((7, 7, 10, 14)))
+        mono_waste = mono_with.manufacturing_cfp_g - mono_without.manufacturing_cfp_g
+        chip_waste = chip_with.manufacturing_cfp_g - chip_without.manufacturing_cfp_g
+        assert mono_waste > chip_waste > 0
+        # The amortised wasted area per die is also far smaller for the
+        # chiplet dies than for the monolithic die (Fig. 3a).
+        mono_waste_area = mono_with.chiplets[0].manufacturing.wasted_area_per_die_mm2
+        for chiplet in chip_with.chiplets:
+            assert chiplet.manufacturing.wasted_area_per_die_mm2 < mono_waste_area
+
+
+class TestFig7Ga102Configurations:
+    CONFIGS = [(7, 7, 7), (7, 10, 10), (7, 14, 10), (7, 14, 14), (10, 10, 10), (10, 14, 14)]
+
+    @pytest.fixture(scope="class")
+    def sweep(self, estimator):
+        return node_configuration_sweep(
+            ga102.three_chiplet((7, 7, 7)), self.CONFIGS, estimator
+        )
+
+    def test_mixed_config_beats_the_monolith(self, estimator, sweep):
+        """Fig. 7(a,c): the mixed (7,14,10) chiplet config has lower Cemb than
+        the 7 nm monolith."""
+        mono = estimator.estimate(ga102.monolithic(7))
+        assert sweep[(7.0, 14.0, 10.0)].embodied_cfp_g < mono.embodied_cfp_g
+
+    def test_savings_are_in_the_tens_of_percent(self, estimator, sweep):
+        """Abstract / Section V: HI reduces embodied carbon by a double-digit
+        percentage for the GA102."""
+        mono = estimator.estimate(ga102.monolithic(7))
+        best = min(r.embodied_cfp_g for r in sweep.values())
+        saving = 1.0 - best / mono.embodied_cfp_g
+        assert 0.10 < saving < 0.60
+
+    def test_all_older_nodes_config_is_worse_than_the_monolith(self, estimator, sweep):
+        """Fig. 7(a): (10,10,10) grows the digital logic so much that it beats
+        neither the monolith nor the mixed configs."""
+        mono = estimator.estimate(ga102.monolithic(7))
+        assert sweep[(10.0, 10.0, 10.0)].embodied_cfp_g > mono.embodied_cfp_g
+
+    def test_mixed_beats_all_advanced_chiplets(self, sweep):
+        """Fig. 7(a): implementing memory/analog in older nodes is at least as
+        good as keeping every chiplet at 7 nm."""
+        assert (
+            sweep[(7.0, 14.0, 10.0)].embodied_cfp_g
+            <= sweep[(7.0, 7.0, 7.0)].embodied_cfp_g * 1.02
+        )
+
+    def test_design_cfp_is_a_significant_share(self, sweep):
+        """Fig. 7(b,c): amortised design CFP is a non-negligible part of Cemb
+        (the paper quotes >= 25% of Cmfg for NS = 100k)."""
+        report = sweep[(7.0, 14.0, 10.0)]
+        assert report.design_cfp_g > 0.15 * report.manufacturing_cfp_g
+
+    def test_fig7c_act_underestimates_embodied(self, sweep):
+        """Fig. 7(c): ACT reports lower Cemb than ECO-CHIP for every config."""
+        act = ActModel()
+        for nodes, report in sweep.items():
+            act_report = act.estimate(ga102.three_chiplet(nodes))
+            assert act_report.embodied_cfp_g < report.embodied_cfp_g, nodes
+
+    def test_fig7d_gpu_is_operational_dominated(self, sweep):
+        """Fig. 7(d): for the 450 W GPU, embodied carbon is a minority share
+        (about 20% in the paper) of the two-year total."""
+        report = sweep[(7.0, 14.0, 10.0)]
+        assert report.embodied_fraction < 0.35
+
+    def test_fig7d_hi_ctot_beats_monolith_despite_higher_cop(self, estimator, sweep):
+        """Fig. 7(d): the Cemb saving dominates the Cop increase for GA102."""
+        mono = estimator.estimate(ga102.monolithic(7))
+        chiplet = sweep[(7.0, 14.0, 10.0)]
+        assert chiplet.operational_cfp_g >= mono.operational_cfp_g
+        assert chiplet.total_cfp_g < mono.total_cfp_g
+
+
+class TestFig8EmrAndA15:
+    def test_fig8a_emr_2chiplet_beats_its_monolith(self, estimator, emr_2chiplet, emr_monolithic):
+        two = estimator.estimate(emr_2chiplet)
+        mono = estimator.estimate(emr_monolithic)
+        assert two.embodied_cfp_g < mono.embodied_cfp_g
+        assert two.total_cfp_g < mono.total_cfp_g
+
+    def test_fig8a_server_cpu_is_operational_dominated(self, estimator, emr_2chiplet):
+        report = estimator.estimate(emr_2chiplet)
+        assert report.embodied_fraction < 0.2
+
+    def test_fig8b_a15_is_embodied_dominated(self, estimator, a15_monolithic):
+        """Fig. 8(b) / Section VII: the mobile SoC's footprint is ~80%
+        embodied, ~20% operational."""
+        report = estimator.estimate(a15_monolithic)
+        assert report.embodied_fraction > 0.6
+
+    def test_fig8b_a15_chiplets_reduce_embodied_carbon(self, estimator, a15_monolithic, a15_3chiplet):
+        mono = estimator.estimate(a15_monolithic)
+        chiplet = estimator.estimate(a15_3chiplet)
+        assert chiplet.embodied_cfp_g < mono.embodied_cfp_g
+
+    def test_a15_savings_smaller_than_ga102_savings(self, estimator):
+        """Section V key takeaway (c): larger SoCs benefit more from
+        disaggregation than smaller SoCs."""
+        ga102_saving = 1.0 - (
+            estimator.estimate(ga102.three_chiplet((7, 14, 10))).embodied_cfp_g
+            / estimator.estimate(ga102.monolithic(7)).embodied_cfp_g
+        )
+        a15_saving = 1.0 - (
+            estimator.estimate(a15.three_chiplet((7, 14, 10))).embodied_cfp_g
+            / estimator.estimate(a15.monolithic(7)).embodied_cfp_g
+        )
+        assert ga102_saving > a15_saving
+
+
+class TestFig10NcSweep:
+    def test_manufacturing_falls_and_hi_rises_with_nc(self, estimator):
+        system = ga102.three_chiplet((7, 10, 14))
+        results = nc_sweep(system, "digital", [1, 2, 4, 6, 8], estimator=estimator)
+        counts = sorted(results)
+        cmfg = [results[n].manufacturing_cfp_g for n in counts]
+        assert cmfg == sorted(cmfg, reverse=True)
+        # C_HI trends upward with the chiplet count (whitespace and PHY
+        # overheads grow); floorplan packing noise makes adjacent points
+        # wobble, so compare the extremes and the second half of the sweep.
+        chi = {n: results[n].hi_cfp_g for n in counts}
+        assert chi[8] > chi[1]
+        assert chi[8] > chi[4]
+
+    def test_savings_diminish_at_large_nc(self, estimator):
+        """Fig. 10: beyond a certain Nc the incremental saving shrinks because
+        C_HI grows while the yield benefit saturates."""
+        system = ga102.three_chiplet((7, 10, 14))
+        results = nc_sweep(system, "digital", [1, 2, 4, 8], estimator=estimator)
+
+        def total_mfg_hi(n):
+            return results[n].manufacturing_cfp_g + results[n].hi_cfp_g
+
+        first_step = total_mfg_hi(1) - total_mfg_hi(2)
+        last_step = total_mfg_hi(4) - total_mfg_hi(8)
+        assert first_step > last_step
+
+
+class TestFig12Reuse:
+    def test_ctot_grows_with_lifetime(self, estimator):
+        for lifetime in (2.0, 5.0):
+            pass
+        short = estimator.estimate(ga102.three_chiplet((7, 14, 10), lifetime_years=2.0))
+        long = estimator.estimate(ga102.three_chiplet((7, 14, 10), lifetime_years=5.0))
+        assert long.total_cfp_g > short.total_cfp_g
+        assert long.embodied_cfp_g == pytest.approx(short.embodied_cfp_g)
+
+    def test_higher_volume_amortises_design_carbon(self, estimator):
+        low = estimator.estimate(emr.two_chiplet().with_volume(10_000))
+        high = estimator.estimate(emr.two_chiplet().with_volume(1_000_000))
+        assert high.design_cfp_g < low.design_cfp_g
+        assert high.manufacturing_cfp_g == pytest.approx(low.manufacturing_cfp_g)
+
+    def test_a15_total_benefits_more_from_volume_than_ga102(self, estimator):
+        """Fig. 12(b,c): raising NM/NS helps Ctot much more for the
+        embodied-dominated A15 than for the operational-dominated GA102."""
+        def relative_gain(builder):
+            low = estimator.estimate(builder().with_volume(10_000))
+            high = estimator.estimate(builder().with_volume(1_000_000))
+            return 1.0 - high.total_cfp_g / low.total_cfp_g
+
+        assert relative_gain(lambda: a15.three_chiplet((7, 14, 10))) > relative_gain(
+            lambda: ga102.three_chiplet((7, 14, 10))
+        )
+
+
+class TestFig13Accelerator:
+    def test_more_tiers_lower_delay_but_higher_embodied(self, estimator):
+        small = estimator.estimate(arvr.system("3D-1K-2MB"))
+        large = estimator.estimate(arvr.system("3D-1K-8MB"))
+        assert arvr.config("3D-1K-8MB").latency_ms < arvr.config("3D-1K-2MB").latency_ms
+        assert large.embodied_cfp_g > small.embodied_cfp_g
+
+    def test_edge_accelerator_is_embodied_dominated_and_ctot_rises_with_tiers(
+        self, estimator
+    ):
+        """Fig. 13: Cemb dominates this low-power device, so Ctot increases
+        as SRAM tiers are added even though the operating power falls."""
+        reports = {
+            mb: estimator.estimate(arvr.system(f"3D-1K-{mb}MB")) for mb in (2, 4, 6, 8)
+        }
+        for report in reports.values():
+            assert report.embodied_fraction > 0.5
+        totals = [reports[mb].total_cfp_g for mb in (2, 4, 6, 8)]
+        assert totals == sorted(totals)

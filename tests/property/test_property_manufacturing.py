@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the manufacturing substrate."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manufacturing.cfpa import CFPAModel
+from repro.manufacturing.wafer import WaferModel
+from repro.manufacturing.yield_model import bonding_yield, negative_binomial_yield
+
+areas = st.floats(min_value=0.5, max_value=800.0, allow_nan=False)
+defect_densities = st.floats(min_value=0.01, max_value=0.5, allow_nan=False)
+alphas = st.floats(min_value=0.5, max_value=6.0, allow_nan=False)
+nodes = st.sampled_from([3, 5, 7, 10, 14, 22, 28, 40, 65])
+
+
+class TestYieldProperties:
+    @given(area=areas, d0=defect_densities, alpha=alphas)
+    def test_yield_is_a_probability(self, area, d0, alpha):
+        value = negative_binomial_yield(area, d0, alpha)
+        assert 0.0 < value <= 1.0
+
+    @given(area=areas, d0=defect_densities, alpha=alphas, scale=st.floats(1.1, 4.0))
+    def test_yield_monotone_decreasing_in_area(self, area, d0, alpha, scale):
+        assert negative_binomial_yield(area * scale, d0, alpha) <= negative_binomial_yield(
+            area, d0, alpha
+        )
+
+    @given(area=areas, d0=defect_densities, alpha=alphas, scale=st.floats(1.1, 4.0))
+    def test_yield_monotone_decreasing_in_defect_density(self, area, d0, alpha, scale):
+        assert negative_binomial_yield(area, d0 * scale, alpha) <= negative_binomial_yield(
+            area, d0, alpha
+        )
+
+    @given(area=areas, d0=defect_densities, alpha=alphas)
+    def test_splitting_a_die_never_hurts_total_good_silicon(self, area, d0, alpha):
+        """Expected good area from two half dies >= from one whole die."""
+        whole = area * negative_binomial_yield(area, d0, alpha)
+        halves = 2 * (area / 2) * negative_binomial_yield(area / 2, d0, alpha)
+        assert halves >= whole - 1e-9
+
+    @given(connections=st.floats(0, 1e7), y=st.floats(0.9999, 1.0, exclude_max=False))
+    def test_bonding_yield_is_a_probability(self, connections, y):
+        # Very large connection counts with pessimistic per-connection yields
+        # may underflow to exactly 0.0, which is still a valid probability.
+        value = bonding_yield(connections, y)
+        assert 0.0 <= value <= 1.0
+
+
+class TestWaferProperties:
+    @given(area=areas, diameter=st.sampled_from([150.0, 200.0, 300.0, 450.0]))
+    @settings(max_examples=60)
+    def test_dpw_times_area_never_exceeds_wafer_area(self, area, diameter):
+        model = WaferModel(wafer_diameter_mm=diameter)
+        dpw = model.dies_per_wafer(area)
+        assert dpw * area <= model.wafer_area_mm2 + 1e-6
+
+    @given(area=areas, scale=st.floats(1.1, 3.0))
+    @settings(max_examples=60)
+    def test_dpw_monotone_decreasing_in_area(self, area, scale):
+        model = WaferModel(wafer_diameter_mm=450)
+        assert model.dies_per_wafer(area * scale) <= model.dies_per_wafer(area)
+
+    @given(area=st.floats(min_value=0.5, max_value=400.0))
+    @settings(max_examples=60)
+    def test_wasted_area_is_non_negative_and_bounded(self, area):
+        model = WaferModel(wafer_diameter_mm=450)
+        report = model.utilisation(area)
+        assert report.wasted_area_per_die_mm2 >= 0
+        assert report.wasted_area_mm2 <= report.wafer_area_mm2
+        assert not math.isnan(report.utilisation)
+
+
+class TestCfpaProperties:
+    @given(area=areas, node=nodes)
+    @settings(max_examples=80)
+    def test_cfpa_breakdown_components_are_positive_and_sum(self, area, node):
+        model = CFPAModel()
+        breakdown = model.breakdown(area, node)
+        assert breakdown.energy_g_per_mm2 > 0
+        assert breakdown.gas_g_per_mm2 > 0
+        assert breakdown.material_g_per_mm2 > 0
+        total = (
+            breakdown.energy_g_per_mm2
+            + breakdown.gas_g_per_mm2
+            + breakdown.material_g_per_mm2
+        )
+        assert abs(total - breakdown.total_g_per_mm2) < 1e-9 * max(1.0, total)
+
+    @given(area=areas, node=nodes, scale=st.floats(1.1, 3.0))
+    @settings(max_examples=80)
+    def test_cfpa_monotone_in_area(self, area, node, scale):
+        model = CFPAModel()
+        assert model.cfpa_g_per_mm2(area * scale, node) >= model.cfpa_g_per_mm2(area, node)
+
+    @given(area=areas, node=nodes)
+    @settings(max_examples=80)
+    def test_yielded_cfpa_never_below_unyielded(self, area, node):
+        model = CFPAModel()
+        breakdown = model.breakdown(area, node)
+        assert breakdown.total_g_per_mm2 >= breakdown.unyielded_g_per_mm2

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for scaling, design, operational and
+end-to-end estimator invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chiplet import Chiplet
+from repro.core.estimator import EcoChip
+from repro.core.system import ChipletSystem
+from repro.design.design_cfp import DesignCarbonModel
+from repro.operational.energy import EnergyModel, OperatingSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.technology.scaling import AreaScalingModel, DesignType
+
+nodes = st.sampled_from([3, 5, 7, 10, 14, 22, 28, 40, 65])
+design_types = st.sampled_from(list(DesignType))
+areas = st.floats(min_value=1.0, max_value=600.0, allow_nan=False)
+
+
+class TestScalingProperties:
+    @given(area=areas, dtype=design_types, src=nodes, dst=nodes)
+    @settings(max_examples=150)
+    def test_rescale_round_trip(self, area, dtype, src, dst):
+        scaling = AreaScalingModel()
+        there = scaling.rescale_area(area, dtype, src, dst)
+        back = scaling.rescale_area(there, dtype, dst, src)
+        assert abs(back - area) < 1e-6 * max(1.0, area)
+
+    @given(area=areas, dtype=design_types, src=nodes, dst=nodes)
+    @settings(max_examples=150)
+    def test_older_nodes_never_shrink_a_block(self, area, dtype, src, dst):
+        if dst < src:
+            return
+        scaling = AreaScalingModel()
+        assert scaling.rescale_area(area, dtype, src, dst) >= area - 1e-9
+
+    @given(transistors=st.floats(1e6, 5e10), dtype=design_types, node=nodes)
+    @settings(max_examples=150)
+    def test_area_positive_and_linear_in_transistors(self, transistors, dtype, node):
+        scaling = AreaScalingModel()
+        single = scaling.area_mm2(transistors, dtype, node)
+        double = scaling.area_mm2(2 * transistors, dtype, node)
+        assert single > 0
+        assert abs(double - 2 * single) < 1e-6 * double
+
+
+class TestDesignCfpProperties:
+    @given(
+        transistors=st.floats(1e6, 5e10),
+        node=nodes,
+        volume=st.floats(1.0, 1e7),
+        iterations=st.integers(1, 500),
+    )
+    @settings(max_examples=100)
+    def test_amortised_cfp_never_exceeds_total(self, transistors, node, volume, iterations):
+        model = DesignCarbonModel()
+        result = model.chiplet_design_cfp(
+            transistors, node, iterations=iterations, manufactured_volume=volume
+        )
+        assert 0 <= result.amortised_cfp_g <= result.total_cfp_g + 1e-9
+        assert result.total_cfp_g >= 0
+
+    @given(transistors=st.floats(1e6, 5e10), node=nodes)
+    @settings(max_examples=100)
+    def test_more_volume_never_increases_amortised_cfp(self, transistors, node):
+        model = DesignCarbonModel()
+        low = model.chiplet_design_cfp(transistors, node, manufactured_volume=1e4)
+        high = model.chiplet_design_cfp(transistors, node, manufactured_volume=1e6)
+        assert high.amortised_cfp_g <= low.amortised_cfp_g
+
+
+class TestOperationalProperties:
+    @given(
+        duty=st.floats(0.01, 1.0),
+        power=st.floats(0.1, 1000.0),
+        lifetime=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=100)
+    def test_energy_linear_in_power_and_duty(self, duty, power, lifetime):
+        model = EnergyModel()
+        spec = OperatingSpec(lifetime_years=lifetime, duty_cycle=duty, average_power_w=power)
+        breakdown = model.breakdown(spec)
+        assert breakdown.annual_energy_kwh > 0
+        doubled = OperatingSpec(
+            lifetime_years=lifetime, duty_cycle=duty, average_power_w=2 * power
+        )
+        assert model.breakdown(doubled).annual_energy_kwh > breakdown.annual_energy_kwh
+
+
+class TestEstimatorInvariants:
+    @given(
+        digital_area=st.floats(20.0, 400.0),
+        memory_area=st.floats(5.0, 150.0),
+        digital_node=st.sampled_from([5, 7, 10, 14]),
+        memory_node=st.sampled_from([7, 10, 14, 22]),
+        volume=st.sampled_from([1e4, 1e5, 1e6]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_report_composition_always_holds(
+        self, digital_area, memory_area, digital_node, memory_node, volume
+    ):
+        system = ChipletSystem(
+            name="prop-sys",
+            chiplets=(
+                Chiplet("digital", "logic", digital_node, area_mm2=digital_area,
+                        area_reference_node=7),
+                Chiplet("memory", "memory", memory_node, area_mm2=memory_area,
+                        area_reference_node=7),
+            ),
+            packaging=RDLFanoutSpec(),
+            operating=OperatingSpec(lifetime_years=2, duty_cycle=0.2, average_power_w=20.0),
+            system_volume=volume,
+        )
+        report = EcoChip().estimate(system)
+        assert report.manufacturing_cfp_g > 0
+        assert report.design_cfp_g >= 0
+        assert report.hi_cfp_g > 0
+        assert report.operational_cfp_g > 0
+        assert abs(
+            report.embodied_cfp_g
+            - (report.manufacturing_cfp_g + report.design_cfp_g + report.hi_cfp_g)
+        ) < 1e-6 * report.embodied_cfp_g
+        assert abs(
+            report.total_cfp_g - (report.embodied_cfp_g + report.operational_cfp_g)
+        ) < 1e-6 * report.total_cfp_g
+        # Per-chiplet areas are consistent with the floorplan outline.
+        assert report.packaging.package_area_mm2 >= sum(
+            c.total_area_mm2 for c in report.chiplets
+        ) - 1e-6

@@ -1,0 +1,70 @@
+"""Unit tests for the ACT baseline model (repro.act)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.act.model import ACT_FIXED_PACKAGE_CFP_G, ActModel
+
+
+@pytest.fixture(scope="module")
+def act(table):
+    return ActModel(table=table, fab_carbon_source="coal")
+
+
+class TestActAccounting:
+    def test_fixed_package_adder_per_die(self, act, ga102_3chiplet):
+        report = act.estimate(ga102_3chiplet)
+        assert report.packaging_cfp_g == pytest.approx(3 * ACT_FIXED_PACKAGE_CFP_G)
+
+    def test_embodied_composition(self, act, ga102_3chiplet):
+        report = act.estimate(ga102_3chiplet)
+        assert report.embodied_cfp_g == pytest.approx(
+            sum(report.per_die_cfp_g.values()) + report.packaging_cfp_g
+        )
+        assert report.total_cfp_g == pytest.approx(
+            report.embodied_cfp_g + report.operational_cfp_g
+        )
+        assert report.embodied_cfp_kg == pytest.approx(report.embodied_cfp_g / 1000.0)
+
+    def test_per_die_footprint_uses_yielded_cfpa(self, act, table):
+        area, node = 300.0, 7.0
+        expected = act.cfpa_model.cfpa_g_per_mm2(area, node) * area
+        assert act.die_cfp_g(area, node) == pytest.approx(expected)
+
+    def test_custom_package_constant(self, table, ga102_3chiplet):
+        custom = ActModel(table=table, fixed_package_cfp_g=0.0)
+        report = custom.estimate(ga102_3chiplet)
+        assert report.packaging_cfp_g == 0.0
+        with pytest.raises(ValueError):
+            ActModel(table=table, fixed_package_cfp_g=-1)
+
+
+class TestActVersusEcoChip:
+    def test_act_underestimates_embodied_cfp_of_hi_systems(
+        self, act, estimator, ga102_3chiplet
+    ):
+        """Fig. 7(c): ACT reports a lower Cemb because it misses design CFP,
+        real packaging CFP and wafer waste."""
+        act_report = act.estimate(ga102_3chiplet)
+        eco_report = estimator.estimate(ga102_3chiplet)
+        assert act_report.embodied_cfp_g < eco_report.embodied_cfp_g
+
+    def test_act_gap_is_significant(self, act, estimator, ga102_3chiplet):
+        """Section V-A: the miss is of the order of 10 kg (>= 15% of Cemb)."""
+        act_report = act.estimate(ga102_3chiplet)
+        eco_report = estimator.estimate(ga102_3chiplet)
+        gap = eco_report.embodied_cfp_g - act_report.embodied_cfp_g
+        assert gap > 0.15 * eco_report.embodied_cfp_g
+
+    def test_act_package_constant_ignores_architecture(self, act, ga102_3chiplet):
+        """Same fixed adder regardless of packaging spec."""
+        from repro.packaging.interposer import ActiveInterposerSpec
+
+        rdl_report = act.estimate(ga102_3chiplet)
+        interposer_report = act.estimate(
+            ga102_3chiplet.with_packaging(ActiveInterposerSpec())
+        )
+        assert rdl_report.packaging_cfp_g == pytest.approx(
+            interposer_report.packaging_cfp_g
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for repro.operational.battery and operational_cfp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operational.battery import BatteryUsageModel
+from repro.operational.energy import OperatingSpec
+from repro.operational.operational_cfp import OperationalCarbonModel
+
+
+class TestBatteryUsageModel:
+    def test_annual_energy_hand_calculation(self):
+        model = BatteryUsageModel(
+            battery_capacity_wh=10.0, charges_per_day=1.0, charger_efficiency=1.0, soc_share=1.0
+        )
+        assert model.annual_energy_kwh() == pytest.approx(10.0 * 365 / 1000.0)
+
+    def test_charger_efficiency_increases_wall_energy(self):
+        ideal = BatteryUsageModel(charger_efficiency=1.0)
+        lossy = BatteryUsageModel(charger_efficiency=0.8)
+        assert lossy.annual_energy_kwh() > ideal.annual_energy_kwh()
+
+    def test_soc_share_scales_linearly(self):
+        full = BatteryUsageModel(soc_share=1.0)
+        partial = BatteryUsageModel(soc_share=0.25)
+        assert partial.annual_energy_kwh() == pytest.approx(0.25 * full.annual_energy_kwh())
+
+    def test_average_power_consistent_with_energy(self):
+        model = BatteryUsageModel()
+        power = model.average_power_w(duty_cycle=0.5)
+        assert power * 0.5 * 8760 / 1000.0 == pytest.approx(model.annual_energy_kwh())
+
+    def test_iphone_class_battery_is_a_few_kwh_per_year(self):
+        model = BatteryUsageModel(battery_capacity_wh=12.7, charges_per_day=1.0)
+        assert 3.0 < model.annual_energy_kwh() < 7.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"battery_capacity_wh": 0},
+            {"charges_per_day": -1},
+            {"charger_efficiency": 0},
+            {"charger_efficiency": 1.5},
+            {"soc_share": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            BatteryUsageModel(**kwargs)
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            BatteryUsageModel().average_power_w(duty_cycle=0)
+
+
+class TestOperationalCarbonModel:
+    def test_cop_is_intensity_times_energy(self, table):
+        model = OperationalCarbonModel(table=table)
+        spec = OperatingSpec(
+            lifetime_years=2.0, duty_cycle=0.2, annual_energy_kwh=100.0, use_carbon_source="coal"
+        )
+        result = model.evaluate(spec)
+        assert result.annual_cfp_g == pytest.approx(700.0 * result.energy.annual_energy_kwh)
+        assert result.lifetime_cfp_g == pytest.approx(2.0 * result.annual_cfp_g)
+
+    def test_cleaner_grid_lowers_cop(self, table):
+        model = OperationalCarbonModel(table=table)
+        coal = model.evaluate(OperatingSpec(annual_energy_kwh=100, use_carbon_source="coal"))
+        wind = model.evaluate(OperatingSpec(annual_energy_kwh=100, use_carbon_source="wind"))
+        assert wind.lifetime_cfp_g < coal.lifetime_cfp_g
+
+    def test_longer_lifetime_more_operational_carbon(self, table):
+        model = OperationalCarbonModel(table=table)
+        short = model.evaluate(OperatingSpec(lifetime_years=2, annual_energy_kwh=50))
+        long = model.evaluate(OperatingSpec(lifetime_years=5, annual_energy_kwh=50))
+        assert long.lifetime_cfp_g == pytest.approx(2.5 * short.lifetime_cfp_g)
+
+    def test_eq14_path_through_operational_model(self, table):
+        model = OperationalCarbonModel(table=table)
+        result = model.evaluate(
+            OperatingSpec(duty_cycle=0.1), total_area_mm2=100.0, node=7
+        )
+        assert result.annual_cfp_g > 0
+        assert result.energy.leakage_power_w > 0

@@ -1,0 +1,58 @@
+"""Unit tests for repro.technology.carbon_sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.carbon_sources import (
+    CARBON_INTENSITY_G_PER_KWH,
+    MAX_INTENSITY_G_PER_KWH,
+    MIN_INTENSITY_G_PER_KWH,
+    CarbonSource,
+    carbon_intensity,
+)
+
+
+class TestCarbonIntensityTable:
+    def test_every_source_has_an_intensity(self):
+        for source in CarbonSource:
+            assert source in CARBON_INTENSITY_G_PER_KWH
+
+    def test_intensities_respect_table1_bounds(self):
+        for source, value in CARBON_INTENSITY_G_PER_KWH.items():
+            assert MIN_INTENSITY_G_PER_KWH <= value <= MAX_INTENSITY_G_PER_KWH, source
+
+    def test_coal_is_the_most_carbon_intensive(self):
+        coal = CARBON_INTENSITY_G_PER_KWH[CarbonSource.COAL]
+        assert coal == max(CARBON_INTENSITY_G_PER_KWH.values())
+        assert coal == pytest.approx(700.0)
+
+    def test_renewables_are_cleaner_than_fossil_sources(self):
+        for renewable in (CarbonSource.WIND, CarbonSource.SOLAR, CarbonSource.HYDRO):
+            for fossil in (CarbonSource.COAL, CarbonSource.GAS, CarbonSource.OIL):
+                assert (
+                    CARBON_INTENSITY_G_PER_KWH[renewable]
+                    < CARBON_INTENSITY_G_PER_KWH[fossil]
+                )
+
+
+class TestCarbonIntensityLookup:
+    def test_lookup_by_enum(self):
+        assert carbon_intensity(CarbonSource.GAS) == pytest.approx(450.0)
+
+    def test_lookup_by_name_is_case_insensitive(self):
+        assert carbon_intensity("COAL") == carbon_intensity("coal") == 700.0
+
+    def test_lookup_by_numeric_value_passes_through(self):
+        assert carbon_intensity(123.0) == pytest.approx(123.0)
+        assert carbon_intensity(30) == pytest.approx(30.0)
+
+    def test_unknown_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            carbon_intensity("unobtanium")
+
+    def test_numeric_value_outside_range_raises(self):
+        with pytest.raises(ValueError):
+            carbon_intensity(10.0)
+        with pytest.raises(ValueError):
+            carbon_intensity(1000.0)

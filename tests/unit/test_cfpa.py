@@ -1,0 +1,76 @@
+"""Unit tests for repro.manufacturing.cfpa (Eq. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manufacturing.cfpa import CFPAModel
+
+
+@pytest.fixture(scope="module")
+def cfpa(table):
+    return CFPAModel(table=table, fab_carbon_source="coal")
+
+
+class TestUnyieldedCFPA:
+    def test_matches_closed_form_at_7nm(self, cfpa, table):
+        node = table.get(7)
+        expected = (
+            node.equipment_efficiency * 700.0 * node.epa_kwh_per_cm2
+            + node.gas_kg_per_cm2 * 1000.0
+            + node.material_kg_per_cm2 * 1000.0
+        )
+        assert cfpa.unyielded_cfpa_g_per_cm2(7) == pytest.approx(expected)
+
+    def test_advanced_nodes_are_more_carbon_intensive_per_area(self, cfpa):
+        assert (
+            cfpa.unyielded_cfpa_g_per_cm2(7)
+            > cfpa.unyielded_cfpa_g_per_cm2(14)
+            > cfpa.unyielded_cfpa_g_per_cm2(65)
+        )
+
+    def test_renewable_fab_is_cleaner(self, table):
+        coal = CFPAModel(table=table, fab_carbon_source="coal")
+        wind = CFPAModel(table=table, fab_carbon_source="wind")
+        assert wind.unyielded_cfpa_g_per_cm2(7) < coal.unyielded_cfpa_g_per_cm2(7)
+        # gas + material components are energy-source independent, so the
+        # reduction is bounded.
+        assert wind.unyielded_cfpa_g_per_cm2(7) > 0
+
+
+class TestYieldedCFPA:
+    def test_breakdown_components_sum_to_total(self, cfpa):
+        breakdown = cfpa.breakdown(300, 7)
+        assert breakdown.total_g_per_mm2 == pytest.approx(
+            breakdown.energy_g_per_mm2
+            + breakdown.gas_g_per_mm2
+            + breakdown.material_g_per_mm2
+        )
+
+    def test_yield_division_inflates_cfpa(self, cfpa):
+        breakdown = cfpa.breakdown(400, 7)
+        assert breakdown.total_g_per_mm2 > breakdown.unyielded_g_per_mm2
+        assert breakdown.total_g_per_mm2 == pytest.approx(
+            breakdown.unyielded_g_per_mm2 / breakdown.yield_value
+        )
+
+    def test_cfpa_grows_with_die_area(self, cfpa):
+        """Per-mm2 footprint rises with area because yield falls (Fig. 2a)."""
+        assert cfpa.cfpa_g_per_mm2(600, 7) > cfpa.cfpa_g_per_mm2(100, 7) > cfpa.cfpa_g_per_mm2(10, 7)
+
+    def test_small_die_cfpa_close_to_unyielded(self, cfpa):
+        breakdown = cfpa.breakdown(1.0, 7)
+        assert breakdown.total_g_per_mm2 == pytest.approx(
+            breakdown.unyielded_g_per_mm2, rel=0.01
+        )
+
+    def test_order_of_magnitude_grams_per_mm2(self, cfpa):
+        """Coal-powered 7 nm manufacturing is tens of grams CO2 per mm²,
+        matching the ACT/IMEC-derived numbers the paper builds on."""
+        value = cfpa.cfpa_g_per_mm2(100, 7)
+        assert 10 < value < 100
+
+    def test_silicon_cfpa_is_unyielded(self, cfpa):
+        assert cfpa.silicon_cfpa_g_per_mm2(7) == pytest.approx(
+            cfpa.unyielded_cfpa_g_per_cm2(7) / 100.0
+        )

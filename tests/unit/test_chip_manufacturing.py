@@ -1,0 +1,85 @@
+"""Unit tests for repro.manufacturing.chip (Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manufacturing.chip import ChipManufacturingModel
+from repro.technology.scaling import DesignType
+
+
+class TestCfpForArea:
+    def test_result_fields_are_consistent(self, manufacturing):
+        result = manufacturing.cfp_for_area(300, 7, "logic", name="blk")
+        assert result.name == "blk"
+        assert result.node_nm == 7.0
+        assert result.design_type is DesignType.LOGIC
+        assert result.total_g == pytest.approx(result.die_cfp_g + result.waste_cfp_g)
+        assert 0 < result.yield_value <= 1
+        assert result.dies_per_wafer > 0
+        assert result.waste_cfp_g > 0
+
+    def test_manufacturing_cfp_grows_superlinearly_with_area(self, manufacturing):
+        """Fig. 2(a): doubling the area more than doubles the footprint."""
+        small = manufacturing.cfp_for_area(100, 10).total_g
+        large = manufacturing.cfp_for_area(200, 10).total_g
+        assert large > 2.0 * small
+
+    def test_larger_dies_have_lower_yield(self, manufacturing):
+        small = manufacturing.cfp_for_area(50, 7)
+        large = manufacturing.cfp_for_area(500, 7)
+        assert large.yield_value < small.yield_value
+
+    def test_disabling_wafer_waste_removes_the_term(self, table):
+        with_waste = ChipManufacturingModel(table=table, include_wafer_waste=True)
+        without = ChipManufacturingModel(table=table, include_wafer_waste=False)
+        a = with_waste.cfp_for_area(200, 7)
+        b = without.cfp_for_area(200, 7)
+        assert b.waste_cfp_g == 0.0
+        assert a.total_g > b.total_g
+        assert a.die_cfp_g == pytest.approx(b.die_cfp_g)
+
+    def test_invalid_area_rejected(self, manufacturing):
+        with pytest.raises(ValueError):
+            manufacturing.cfp_for_area(0, 7)
+        with pytest.raises(ValueError):
+            manufacturing.cfp_for_area(-10, 7)
+
+    def test_ga102_scale_sanity(self, manufacturing):
+        """A 628 mm² 7 nm die should cost tens of kg of CO2 with a coal fab."""
+        result = manufacturing.cfp_for_area(628, 7)
+        assert 20_000 < result.total_g < 120_000
+
+
+class TestCfpForTransistors:
+    def test_transistor_and_area_paths_agree(self, manufacturing, scaling):
+        transistors = 5.0e9
+        area = scaling.area_mm2(transistors, "logic", 7)
+        via_transistors = manufacturing.cfp_for_transistors(transistors, 7, "logic")
+        via_area = manufacturing.cfp_for_area(area, 7, "logic")
+        assert via_transistors.total_g == pytest.approx(via_area.total_g)
+        assert via_transistors.area_mm2 == pytest.approx(area)
+
+    def test_memory_block_cheaper_to_move_to_older_node_than_logic(self, manufacturing):
+        """The penalty of moving 7nm -> 14nm is worse for logic than memory."""
+        transistors = 2.0e9
+        logic_penalty = (
+            manufacturing.cfp_for_transistors(transistors, 14, "logic").total_g
+            / manufacturing.cfp_for_transistors(transistors, 7, "logic").total_g
+        )
+        memory_penalty = (
+            manufacturing.cfp_for_transistors(transistors, 14, "memory").total_g
+            / manufacturing.cfp_for_transistors(transistors, 7, "memory").total_g
+        )
+        assert memory_penalty < logic_penalty
+
+
+class TestWaferDiameterEffect:
+    def test_smaller_wafers_waste_relatively_more(self, table):
+        """Per-die waste (relative to die area) is larger on small wafers."""
+        big = ChipManufacturingModel(table=table, wafer_diameter_mm=450)
+        small = ChipManufacturingModel(table=table, wafer_diameter_mm=150)
+        area = 100.0
+        big_waste = big.cfp_for_area(area, 7).wasted_area_per_die_mm2
+        small_waste = small.cfp_for_area(area, 7).wasted_area_per_die_mm2
+        assert small_waste > big_waste

@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.chiplet and repro.core.system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chiplet import Chiplet
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.monolithic import MonolithicSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.technology.scaling import DesignType
+
+
+class TestChiplet:
+    def test_design_type_and_node_are_normalised(self):
+        chiplet = Chiplet("x", "digital", "7nm", transistors=1e9)
+        assert chiplet.design_type is DesignType.LOGIC
+        assert chiplet.node == 7.0
+
+    def test_either_transistors_or_area_is_required(self):
+        with pytest.raises(ValueError):
+            Chiplet("x", "logic", 7)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transistors": -1},
+            {"area_mm2": 0},
+            {"transistors": 1e9, "manufactured_volume": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            Chiplet("x", "logic", 7, **kwargs)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Chiplet("", "logic", 7, transistors=1e9)
+
+    def test_transistor_count_from_area(self, scaling):
+        chiplet = Chiplet("x", "logic", 14, area_mm2=100.0, area_reference_node=7)
+        expected = scaling.transistors_from_area(100.0, "logic", 7)
+        assert chiplet.transistor_count(scaling) == pytest.approx(expected)
+
+    def test_area_at_node_uses_reference(self, scaling):
+        chiplet = Chiplet("x", "logic", 14, area_mm2=100.0, area_reference_node=7)
+        # Same transistor count re-expressed at 14 nm must be larger than at 7 nm.
+        assert chiplet.area_at_node(scaling) > 100.0
+        assert chiplet.area_at_node(scaling, 7) == pytest.approx(100.0)
+
+    def test_explicit_transistors_take_priority(self, scaling):
+        chiplet = Chiplet("x", "logic", 7, transistors=2.0e9, area_mm2=1.0)
+        assert chiplet.transistor_count(scaling) == 2.0e9
+
+    def test_retargeted_preserves_functionality(self, scaling):
+        base = Chiplet("x", "logic", 7, area_mm2=50.0)
+        moved = base.retargeted(22)
+        assert moved.node == 22.0
+        assert moved.transistor_count(scaling) == pytest.approx(base.transistor_count(scaling))
+
+    def test_renamed(self):
+        assert Chiplet("x", "logic", 7, transistors=1).renamed("y").name == "y"
+
+
+class TestChipletSystem:
+    def _chiplets(self):
+        return (
+            Chiplet("digital", "logic", 7, area_mm2=100),
+            Chiplet("memory", "memory", 10, area_mm2=50),
+        )
+
+    def test_basic_construction(self):
+        system = ChipletSystem("sys", self._chiplets(), packaging=RDLFanoutSpec())
+        assert system.chiplet_count == 2
+        assert not system.is_monolithic
+        assert system.node_configuration() == (7.0, 10.0)
+
+    def test_single_chiplet_is_monolithic(self):
+        system = ChipletSystem("sys", (Chiplet("die", "logic", 7, area_mm2=100),))
+        assert system.is_monolithic
+
+    def test_monolithic_packaging_forces_monolithic_flag(self):
+        system = ChipletSystem("sys", self._chiplets(), packaging=MonolithicSpec())
+        assert system.is_monolithic
+
+    def test_duplicate_names_rejected(self):
+        chiplets = (
+            Chiplet("same", "logic", 7, area_mm2=10),
+            Chiplet("same", "memory", 7, area_mm2=10),
+        )
+        with pytest.raises(ValueError):
+            ChipletSystem("sys", chiplets)
+
+    def test_empty_chiplets_rejected(self):
+        with pytest.raises(ValueError):
+            ChipletSystem("sys", ())
+
+    def test_invalid_volume_and_iterations(self):
+        with pytest.raises(ValueError):
+            ChipletSystem("sys", self._chiplets(), system_volume=0)
+        with pytest.raises(ValueError):
+            ChipletSystem("sys", self._chiplets(), design_iterations=0)
+
+    def test_chiplet_lookup(self):
+        system = ChipletSystem("sys", self._chiplets())
+        assert system.chiplet("memory").design_type is DesignType.MEMORY
+        with pytest.raises(KeyError):
+            system.chiplet("missing")
+
+    def test_with_nodes(self):
+        system = ChipletSystem("sys", self._chiplets())
+        retargeted = system.with_nodes(10, 22)
+        assert retargeted.node_configuration() == (10.0, 22.0)
+        # The original is untouched (frozen dataclasses).
+        assert system.node_configuration() == (7.0, 10.0)
+        with pytest.raises(ValueError):
+            system.with_nodes(7)
+
+    def test_with_packaging_operating_volume(self):
+        system = ChipletSystem("sys", self._chiplets())
+        spec = OperatingSpec(average_power_w=10)
+        updated = (
+            system.with_packaging(RDLFanoutSpec(layers=9))
+            .with_operating(spec)
+            .with_volume(5_000)
+        )
+        assert isinstance(updated.packaging, RDLFanoutSpec)
+        assert updated.packaging.layers == 9
+        assert updated.operating.average_power_w == 10
+        assert updated.system_volume == 5_000
+
+    def test_with_chiplets_and_rename(self):
+        system = ChipletSystem("sys", self._chiplets())
+        single = system.with_chiplets((Chiplet("solo", "logic", 7, area_mm2=5),), name="new")
+        assert single.name == "new"
+        assert single.chiplet_count == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the dollar-cost model (repro.cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.model import ChipletCostModel
+from repro.testcases import ga102
+
+
+@pytest.fixture(scope="module")
+def cost(table):
+    return ChipletCostModel(table=table)
+
+
+class TestDieCost:
+    def test_die_cost_positive_and_grows_with_area(self, cost):
+        assert 0 < cost.die_cost_usd(50, 7) < cost.die_cost_usd(200, 7)
+
+    def test_large_die_costs_superlinearly_more(self, cost):
+        """Yield loss makes the big die more than 4x the cost of a quarter-size die."""
+        quarter = cost.die_cost_usd(150, 7)
+        full = cost.die_cost_usd(600, 7)
+        assert full > 4 * quarter
+
+    def test_older_node_wafer_is_cheaper_per_area(self, cost):
+        assert cost.die_cost_usd(100, 65) < cost.die_cost_usd(100, 7)
+
+    def test_nearest_node_price_lookup(self, cost):
+        # 8 nm is not in the price table; it should use the closest entry and
+        # land between the 7 nm and 10 nm costs.
+        mid = cost.die_cost_usd(100, 8)
+        assert cost.die_cost_usd(100, 10) <= mid <= cost.die_cost_usd(100, 7)
+
+    def test_invalid_area(self, cost):
+        with pytest.raises(ValueError):
+            cost.die_cost_usd(0, 7)
+
+
+class TestAssemblyAndNre:
+    def test_single_die_has_no_assembly_cost(self, cost):
+        assert cost.assembly_cost_usd(500, 1) == 0.0
+
+    def test_assembly_cost_grows_with_die_count(self, cost):
+        assert cost.assembly_cost_usd(500, 6) > cost.assembly_cost_usd(500, 2)
+
+    def test_assembly_invalid_die_count(self, cost):
+        with pytest.raises(ValueError):
+            cost.assembly_cost_usd(500, 0)
+
+    def test_nre_amortises_with_volume(self, cost):
+        low = cost.nre_cost_usd(1e9, 7, volume=10_000)
+        high = cost.nre_cost_usd(1e9, 7, volume=1_000_000)
+        assert high < low
+
+    def test_reused_chiplet_has_no_nre(self, cost):
+        assert cost.nre_cost_usd(1e9, 7, volume=1000, reused=True) == 0.0
+
+    def test_nre_invalid_volume(self, cost):
+        with pytest.raises(ValueError):
+            cost.nre_cost_usd(1e9, 7, volume=0)
+
+
+class TestSystemCost:
+    def test_report_composition(self, cost):
+        report = cost.estimate(ga102.three_chiplet((7, 10, 14)))
+        assert report.total_cost_usd == pytest.approx(
+            report.silicon_cost_usd + report.assembly_cost_usd + report.nre_cost_usd
+        )
+        assert set(report.die_costs_usd) == {"digital", "memory", "analog"}
+        assert report.assembly_cost_usd > 0
+
+    def test_chiplet_system_cheaper_than_monolith(self, cost):
+        """Fig. 15: disaggregation reduces the dollar cost of a large SoC."""
+        mono = cost.estimate(ga102.monolithic(7))
+        chiplets = cost.estimate(ga102.three_chiplet((7, 10, 14)))
+        assert chiplets.silicon_cost_usd < mono.silicon_cost_usd
+
+    def test_monolithic_has_no_assembly_cost(self, cost):
+        assert cost.estimate(ga102.monolithic(7)).assembly_cost_usd == 0.0
+
+    def test_ga102_cost_order_of_magnitude(self, cost):
+        """A GA102-class die should cost hundreds of dollars to manufacture."""
+        report = cost.estimate(ga102.monolithic(7))
+        assert 100 < report.silicon_cost_usd < 3000

@@ -1,0 +1,104 @@
+"""Unit tests for repro.design.design_cfp (Eq. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design.design_cfp import DesignCarbonModel
+
+
+@pytest.fixture(scope="module")
+def model(table):
+    return DesignCarbonModel(table=table, design_power_w=10.0, design_carbon_source="coal")
+
+
+class TestChipletDesignCfp:
+    def test_single_spr_run_cfp_matches_hand_calculation(self, model):
+        """24 CPU-hours x 10 W x 700 g/kWh = 168 g for the 700k-gate block."""
+        transistors = 700_000 * 6.25
+        assert model.single_spr_run_cfp_g(transistors, 7) == pytest.approx(168.0, rel=1e-6)
+
+    def test_ga102_single_spr_run_is_of_order_a_tonne(self, model):
+        """The paper quotes thousands of kg for a single GA102-scale SP&R run."""
+        cfp_kg = model.single_spr_run_cfp_g(28.3e9, 7) / 1000.0
+        assert 500 < cfp_kg < 20_000
+
+    def test_amortisation_divides_by_volume(self, model):
+        full = model.chiplet_design_cfp(1e9, 7, manufactured_volume=1)
+        amortised = model.chiplet_design_cfp(1e9, 7, manufactured_volume=100_000)
+        assert amortised.total_cfp_g == pytest.approx(full.total_cfp_g)
+        assert amortised.amortised_cfp_g == pytest.approx(full.total_cfp_g / 100_000)
+
+    def test_reused_chiplet_has_zero_design_cfp(self, model):
+        result = model.chiplet_design_cfp(1e9, 7, reused=True)
+        assert result.total_cfp_g == 0.0
+        assert result.amortised_cfp_g == 0.0
+        assert result.reused
+
+    def test_older_node_design_is_cheaper(self, model):
+        at_7 = model.chiplet_design_cfp(1e9, 7).total_cfp_g
+        at_65 = model.chiplet_design_cfp(1e9, 65).total_cfp_g
+        assert at_65 < at_7
+
+    def test_invalid_volume(self, model):
+        with pytest.raises(ValueError):
+            model.chiplet_design_cfp(1e9, 7, manufactured_volume=0)
+
+    def test_constructor_validation(self, table):
+        with pytest.raises(ValueError):
+            DesignCarbonModel(table=table, design_power_w=0)
+        with pytest.raises(ValueError):
+            DesignCarbonModel(table=table, transistors_per_gate=0)
+
+
+class TestSystemDesignCfp:
+    def _entries(self, reused=False):
+        return [
+            {"name": "digital", "transistors": 20e9, "node": 7, "manufactured_volume": 1e5},
+            {
+                "name": "memory",
+                "transistors": 5e9,
+                "node": 10,
+                "manufactured_volume": 1e5,
+                "reused": reused,
+            },
+        ]
+
+    def test_eq12_composition(self, model):
+        result = model.system_design_cfp(self._entries(), system_volume=1e5)
+        per_chiplet = sum(r.amortised_cfp_g for r in result.chiplets)
+        assert result.total_amortised_cfp_g == pytest.approx(
+            per_chiplet + result.comm_amortised_cfp_g
+        )
+        assert result.comm_amortised_cfp_g == pytest.approx(
+            result.comm_total_cfp_g / 1e5
+        )
+        assert result.total_unamortised_cfp_g > result.total_amortised_cfp_g
+
+    def test_monolithic_system_has_no_comm_design_cfp(self, model):
+        result = model.system_design_cfp(
+            self._entries(), system_volume=1e5, has_inter_die_comm=False
+        )
+        assert result.comm_total_cfp_g == 0.0
+        assert result.comm_amortised_cfp_g == 0.0
+
+    def test_reuse_lowers_the_system_design_cfp(self, model):
+        fresh = model.system_design_cfp(self._entries(reused=False), system_volume=1e5)
+        reused = model.system_design_cfp(self._entries(reused=True), system_volume=1e5)
+        assert reused.total_amortised_cfp_g < fresh.total_amortised_cfp_g
+
+    def test_larger_chiplet_volume_amortises_better(self, model):
+        """Fig. 12(a): increasing NM_i / NS lowers Cdes per system."""
+        entries_low = [
+            {"name": "c", "transistors": 10e9, "node": 7, "manufactured_volume": 1e5}
+        ]
+        entries_high = [
+            {"name": "c", "transistors": 10e9, "node": 7, "manufactured_volume": 1e6}
+        ]
+        low = model.system_design_cfp(entries_low, system_volume=1e5)
+        high = model.system_design_cfp(entries_high, system_volume=1e5)
+        assert high.total_amortised_cfp_g < low.total_amortised_cfp_g
+
+    def test_invalid_system_volume(self, model):
+        with pytest.raises(ValueError):
+            model.system_design_cfp(self._entries(), system_volume=0)

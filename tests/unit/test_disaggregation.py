@@ -1,0 +1,160 @@
+"""Unit tests for repro.core.disaggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chiplet import Chiplet
+from repro.core.disaggregation import (
+    all_node_configurations,
+    carbon_area_product,
+    carbon_delay_product,
+    carbon_power_product,
+    monolithic_counterpart,
+    nc_sweep,
+    node_configuration_sweep,
+    split_block,
+)
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.testcases import ga102
+
+
+@pytest.fixture(scope="module")
+def base_system():
+    return ChipletSystem(
+        name="dse-sys",
+        chiplets=(
+            Chiplet("digital", "logic", 7, area_mm2=200.0),
+            Chiplet("memory", "memory", 7, area_mm2=60.0),
+        ),
+        packaging=RDLFanoutSpec(),
+        operating=OperatingSpec(lifetime_years=2, duty_cycle=0.2, average_power_w=40.0),
+    )
+
+
+class TestNodeConfigurationSweep:
+    def test_all_node_configurations_count(self):
+        configs = all_node_configurations([7, 10, 14], 2)
+        assert len(configs) == 9
+        assert (7.0, 7.0) in configs
+        assert (14.0, 10.0) in configs
+        with pytest.raises(ValueError):
+            all_node_configurations([7], 0)
+
+    def test_sweep_returns_one_report_per_configuration(self, base_system, estimator):
+        configs = [(7, 7), (7, 14), (10, 10)]
+        results = node_configuration_sweep(base_system, configs, estimator)
+        assert set(results) == {(7.0, 7.0), (7.0, 14.0), (10.0, 10.0)}
+        for nodes, report in results.items():
+            assert report.node_configuration == nodes
+
+    def test_sweep_does_not_mutate_the_base_system(self, base_system, estimator):
+        node_configuration_sweep(base_system, [(10, 10)], estimator)
+        assert base_system.node_configuration() == (7.0, 7.0)
+
+
+class TestSplitBlock:
+    def test_split_preserves_total_functionality(self, scaling):
+        block = Chiplet("big", "logic", 7, area_mm2=300.0)
+        pieces = split_block(block, 4)
+        assert len(pieces) == 4
+        total = sum(p.transistor_count(scaling) for p in pieces)
+        assert total == pytest.approx(block.transistor_count(scaling))
+
+    def test_split_by_transistors(self, scaling):
+        block = Chiplet("big", "logic", 7, transistors=8.0e9)
+        pieces = split_block(block, 2)
+        assert all(p.transistors == pytest.approx(4.0e9) for p in pieces)
+
+    def test_split_names_are_unique(self):
+        pieces = split_block(Chiplet("blk", "logic", 7, area_mm2=100.0), 3)
+        assert len({p.name for p in pieces}) == 3
+
+    def test_split_into_one_is_identity(self):
+        block = Chiplet("blk", "logic", 7, area_mm2=100.0)
+        assert split_block(block, 1) == (block,)
+
+    def test_invalid_part_count(self):
+        with pytest.raises(ValueError):
+            split_block(Chiplet("blk", "logic", 7, area_mm2=10.0), 0)
+
+
+class TestMonolithicCounterpart:
+    def test_counterpart_is_single_die_without_packaging(self, base_system):
+        mono = monolithic_counterpart(base_system)
+        assert mono.chiplet_count == 1
+        assert mono.is_monolithic
+        assert mono.system_volume == base_system.system_volume
+
+    def test_counterpart_targets_the_most_advanced_node_by_default(self, base_system):
+        mixed = base_system.with_nodes(7, 22)
+        mono = monolithic_counterpart(mixed)
+        assert mono.chiplets[0].node == 7.0
+
+    def test_explicit_node_override(self, base_system):
+        mono = monolithic_counterpart(base_system, node=14)
+        assert mono.chiplets[0].node == 14.0
+
+
+class TestNcSweep:
+    def test_nc_sweep_structure(self, estimator):
+        system = ga102.three_chiplet((7, 10, 14))
+        results = nc_sweep(system, "digital", [2, 4], estimator=estimator)
+        assert set(results) == {2, 4}
+        # 2 digital pieces + memory + analog = 4 chiplets, etc.
+        assert len(results[2].chiplets) == 4
+        assert len(results[4].chiplets) == 6
+
+    def test_nc_sweep_manufacturing_decreases_with_more_chiplets(self, estimator):
+        """Fig. 10: Cmfg falls as the big block is split into smaller dies."""
+        system = ga102.three_chiplet((7, 10, 14))
+        results = nc_sweep(system, "digital", [1, 4, 8], estimator=estimator)
+        assert (
+            results[8].manufacturing_cfp_g
+            < results[4].manufacturing_cfp_g
+            < results[1].manufacturing_cfp_g
+        )
+
+    def test_nc_sweep_hi_overheads_increase(self, estimator):
+        """Fig. 10: C_HI rises as the chiplet count grows."""
+        system = ga102.three_chiplet((7, 10, 14))
+        results = nc_sweep(system, "digital", [1, 8], estimator=estimator)
+        assert results[8].hi_cfp_g > results[1].hi_cfp_g
+
+    def test_unknown_block_name(self, estimator, base_system):
+        with pytest.raises(KeyError):
+            nc_sweep(base_system, "does-not-exist", [2], estimator=estimator)
+
+
+class TestProductCurves:
+    def test_products_scale_with_their_metric(self, estimator, base_system):
+        report = estimator.estimate(base_system)
+        assert carbon_delay_product(report, 2.0) == pytest.approx(
+            2 * carbon_delay_product(report, 1.0)
+        )
+        assert carbon_power_product(report, 10.0) == pytest.approx(
+            report.total_cfp_kg * 10.0
+        )
+        assert carbon_area_product(report, 100.0) == pytest.approx(
+            report.total_cfp_kg * 100.0
+        )
+
+    def test_default_power_and_area_come_from_the_report(self, estimator, base_system):
+        report = estimator.estimate(base_system)
+        assert carbon_power_product(report) == pytest.approx(
+            report.total_cfp_kg * report.operational.energy.total_power_w
+        )
+        assert carbon_area_product(report) == pytest.approx(
+            report.total_cfp_kg * report.total_silicon_area_mm2
+        )
+
+    def test_negative_inputs_rejected(self, estimator, base_system):
+        report = estimator.estimate(base_system)
+        with pytest.raises(ValueError):
+            carbon_delay_product(report, -1.0)
+        with pytest.raises(ValueError):
+            carbon_power_product(report, -1.0)
+        with pytest.raises(ValueError):
+            carbon_area_product(report, -1.0)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.design.eda (Eq. 13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design.eda import (
+    DEFAULT_TRANSISTORS_PER_GATE,
+    SPRTimeModel,
+    gates_from_transistors,
+)
+
+
+@pytest.fixture(scope="module")
+def spr(table):
+    return SPRTimeModel(table=table)
+
+
+class TestGateConversion:
+    def test_ga102_transistors_give_roughly_4point5_billion_gates(self):
+        gates = gates_from_transistors(28.3e9)
+        assert 4.0e9 < gates < 5.0e9
+
+    def test_custom_ratio(self):
+        assert gates_from_transistors(100, transistors_per_gate=4) == pytest.approx(25)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gates_from_transistors(-1)
+        with pytest.raises(ValueError):
+            gates_from_transistors(10, transistors_per_gate=0)
+
+
+class TestSPRCalibration:
+    def test_700k_gates_at_7nm_takes_24_cpu_hours(self, spr):
+        """The paper's calibration point for a single SP&R run."""
+        assert spr.spr_hours(700_000, 7) == pytest.approx(24.0, rel=1e-6)
+
+    def test_spr_time_is_linear_in_gates(self, spr):
+        assert spr.spr_hours(1.4e6, 7) == pytest.approx(2 * spr.spr_hours(0.7e6, 7))
+
+    def test_ga102_scale_spr_run(self, spr):
+        """4.5 B gates at 7 nm should land near the paper's 1.5e5 CPU-hours."""
+        hours = spr.spr_hours(4.5e9, 7)
+        assert 1.0e5 < hours < 2.0e5
+
+    def test_older_nodes_close_faster(self, spr):
+        """EDA productivity scaling: the same design is cheaper at 65 nm."""
+        assert spr.spr_hours(1e6, 65) < spr.spr_hours(1e6, 14) < spr.spr_hours(1e6, 7)
+
+    def test_analysis_is_a_fraction_of_spr(self, spr):
+        assert spr.analysis_hours(1e6, 7) == pytest.approx(0.2 * spr.spr_hours(1e6, 7))
+
+    def test_negative_gates_rejected(self, spr):
+        with pytest.raises(ValueError):
+            spr.spr_hours(-1, 7)
+
+
+class TestEq13Breakdown:
+    def test_breakdown_sums_correctly(self, spr):
+        breakdown = spr.breakdown(1e6, 7, iterations=100)
+        assert breakdown.total_hours == pytest.approx(
+            breakdown.implementation_hours + breakdown.verification_hours
+        )
+        assert breakdown.implementation_hours == pytest.approx(
+            (breakdown.spr_hours_per_run + breakdown.analysis_hours_per_run) * 100
+        )
+
+    def test_verification_share_is_80_percent(self, spr):
+        breakdown = spr.breakdown(1e6, 7, iterations=100)
+        share = breakdown.verification_hours / breakdown.total_hours
+        assert share == pytest.approx(0.8, rel=1e-6)
+
+    def test_more_iterations_more_time(self, spr):
+        assert spr.design_hours(1e6, 7, iterations=200) > spr.design_hours(
+            1e6, 7, iterations=50
+        )
+
+    def test_invalid_iterations(self, spr):
+        with pytest.raises(ValueError):
+            spr.breakdown(1e6, 7, iterations=0)
+
+    def test_custom_shares_validated(self, table):
+        with pytest.raises(ValueError):
+            SPRTimeModel(table=table, verification_share=1.0)
+        with pytest.raises(ValueError):
+            SPRTimeModel(table=table, analysis_fraction=-0.1)
+
+    def test_zero_verification_share(self, table):
+        model = SPRTimeModel(table=table, verification_share=0.0)
+        breakdown = model.breakdown(1e6, 7, iterations=10)
+        assert breakdown.verification_hours == 0.0

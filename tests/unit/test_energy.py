@@ -1,0 +1,111 @@
+"""Unit tests for repro.operational.energy (Eq. 14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operational.energy import HOURS_PER_YEAR, EnergyModel, OperatingSpec
+
+
+@pytest.fixture(scope="module")
+def energy(table):
+    return EnergyModel(table=table)
+
+
+class TestOperatingSpecValidation:
+    def test_defaults_are_valid(self):
+        OperatingSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lifetime_years": 0},
+            {"duty_cycle": 1.5},
+            {"vdd_v": -0.1},
+            {"frequency_ghz": -1},
+            {"switching_activity": 2},
+            {"comm_power_w": -1},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            OperatingSpec(**kwargs)
+
+    def test_with_comm_power(self):
+        spec = OperatingSpec().with_comm_power(3.0)
+        assert spec.comm_power_w == 3.0
+
+
+class TestMeasuredEnergyPaths:
+    def test_annual_energy_override_is_used_directly(self, energy):
+        spec = OperatingSpec(annual_energy_kwh=228.0, duty_cycle=0.2)
+        breakdown = energy.breakdown(spec)
+        assert breakdown.annual_energy_kwh == pytest.approx(228.0)
+
+    def test_comm_power_is_added_on_top_of_measured_energy(self, energy):
+        base = OperatingSpec(annual_energy_kwh=100.0, duty_cycle=0.2)
+        with_comm = base.with_comm_power(10.0)
+        extra = energy.breakdown(with_comm).annual_energy_kwh - energy.breakdown(base).annual_energy_kwh
+        expected = 10.0 * 0.2 * HOURS_PER_YEAR / 1000.0
+        assert extra == pytest.approx(expected)
+
+    def test_average_power_path(self, energy):
+        spec = OperatingSpec(average_power_w=100.0, duty_cycle=0.5)
+        breakdown = energy.breakdown(spec)
+        assert breakdown.annual_energy_kwh == pytest.approx(100.0 * 0.5 * HOURS_PER_YEAR / 1000.0)
+        assert breakdown.total_power_w == pytest.approx(100.0)
+
+
+class TestEq14Path:
+    def test_dynamic_plus_leakage(self, energy):
+        spec = OperatingSpec(
+            duty_cycle=0.1,
+            vdd_v=0.8,
+            frequency_ghz=2.0,
+            switching_activity=0.2,
+            leakage_current_a=1.0,
+            load_capacitance_f=1.0e-9,
+        )
+        breakdown = energy.breakdown(spec)
+        assert breakdown.leakage_power_w == pytest.approx(0.8)
+        assert breakdown.dynamic_power_w == pytest.approx(0.2 * 1e-9 * 0.8**2 * 2e9)
+        assert breakdown.total_power_w == pytest.approx(
+            breakdown.leakage_power_w + breakdown.dynamic_power_w
+        )
+
+    def test_area_derived_leakage_and_capacitance(self, energy, table):
+        spec = OperatingSpec(duty_cycle=0.2, vdd_v=0.8)
+        breakdown = energy.breakdown(spec, total_area_mm2=100.0, node=7)
+        node = table.get(7)
+        assert breakdown.leakage_power_w == pytest.approx(
+            0.8 * node.leakage_a_per_mm2 * 100.0
+        )
+        assert breakdown.dynamic_power_w > 0
+
+    def test_vdd_derived_from_node_when_not_given(self, energy, table):
+        spec = OperatingSpec(duty_cycle=0.2)
+        breakdown = energy.breakdown(spec, total_area_mm2=50.0, node=65)
+        expected_leak = table.get(65).vdd_v * table.get(65).leakage_a_per_mm2 * 50.0
+        assert breakdown.leakage_power_w == pytest.approx(expected_leak)
+
+    def test_missing_derivation_inputs_raise(self, energy):
+        with pytest.raises(ValueError):
+            energy.breakdown(OperatingSpec())
+
+    def test_higher_vdd_more_energy(self, energy):
+        low = OperatingSpec(vdd_v=0.7, leakage_current_a=1.0, load_capacitance_f=1e-9)
+        high = OperatingSpec(vdd_v=1.2, leakage_current_a=1.0, load_capacitance_f=1e-9)
+        assert energy.annual_energy_kwh(high) > energy.annual_energy_kwh(low)
+
+    def test_duty_cycle_scales_energy_linearly(self, energy):
+        base = OperatingSpec(duty_cycle=0.1, average_power_w=50.0)
+        double = OperatingSpec(duty_cycle=0.2, average_power_w=50.0)
+        assert energy.annual_energy_kwh(double) == pytest.approx(
+            2 * energy.annual_energy_kwh(base)
+        )
+
+    def test_density_helpers_validate_inputs(self, energy):
+        with pytest.raises(ValueError):
+            energy.leakage_current_a(-1, 7)
+        with pytest.raises(ValueError):
+            energy.load_capacitance_f(-1, 7)

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.estimator and repro.core.results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chiplet import Chiplet
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.interposer import PassiveInterposerSpec
+from repro.packaging.rdl import RDLFanoutSpec
+
+
+def small_system(packaging=None, operating=None):
+    """A compact 3-chiplet system used across the estimator tests."""
+    return ChipletSystem(
+        name="unit-sys",
+        chiplets=(
+            Chiplet("digital", "logic", 7, area_mm2=120.0),
+            Chiplet("memory", "memory", 10, area_mm2=60.0),
+            Chiplet("analog", "analog", 14, area_mm2=30.0),
+        ),
+        packaging=packaging if packaging is not None else RDLFanoutSpec(),
+        operating=operating if operating is not None else OperatingSpec(
+            lifetime_years=2.0, duty_cycle=0.2, average_power_w=30.0
+        ),
+        system_volume=100_000,
+    )
+
+
+class TestEstimateStructure:
+    def test_totals_compose(self, estimator):
+        report = estimator.estimate(small_system())
+        assert report.embodied_cfp_g == pytest.approx(
+            report.manufacturing_cfp_g + report.design_cfp_g + report.hi_cfp_g
+        )
+        assert report.total_cfp_g == pytest.approx(
+            report.embodied_cfp_g + report.operational_cfp_g
+        )
+        assert report.manufacturing_cfp_g == pytest.approx(
+            sum(c.manufacturing_cfp_g for c in report.chiplets)
+        )
+
+    def test_every_component_positive(self, estimator):
+        report = estimator.estimate(small_system())
+        assert report.manufacturing_cfp_g > 0
+        assert report.design_cfp_g > 0
+        assert report.hi_cfp_g > 0
+        assert report.operational_cfp_g > 0
+        assert 0 < report.embodied_fraction < 1
+
+    def test_per_chiplet_reports(self, estimator):
+        report = estimator.estimate(small_system())
+        assert {c.name for c in report.chiplets} == {"digital", "memory", "analog"}
+        for chiplet in report.chiplets:
+            assert chiplet.total_area_mm2 == pytest.approx(
+                chiplet.base_area_mm2 + chiplet.overhead_area_mm2
+            )
+            assert chiplet.overhead_area_mm2 >= 0
+            assert 0 < chiplet.manufacturing.yield_value <= 1
+        assert report.chiplet("memory").node_nm == 10.0
+        with pytest.raises(KeyError):
+            report.chiplet("missing")
+
+    def test_node_configuration_recorded(self, estimator):
+        report = estimator.estimate(small_system())
+        assert report.node_configuration == (7.0, 10.0, 14.0)
+
+    def test_monolithic_system_has_no_hi_cfp(self, estimator, ga102_monolithic):
+        report = estimator.estimate(ga102_monolithic)
+        assert report.hi_cfp_g == 0.0
+        assert report.packaging.architecture == "monolithic"
+
+    def test_breakdown_and_to_dict_and_summary(self, estimator):
+        report = estimator.estimate(small_system())
+        breakdown = report.breakdown()
+        assert set(breakdown) == {
+            "manufacturing_cfp_g",
+            "design_cfp_g",
+            "hi_cfp_g",
+            "embodied_cfp_g",
+            "operational_cfp_g",
+            "total_cfp_g",
+        }
+        as_dict = report.to_dict()
+        assert as_dict["system"] == "unit-sys"
+        assert len(as_dict["chiplets"]) == 3
+        text = report.summary()
+        assert "unit-sys" in text
+        assert "Ctot" in text
+
+    def test_kg_properties(self, estimator):
+        report = estimator.estimate(small_system())
+        assert report.embodied_cfp_kg == pytest.approx(report.embodied_cfp_g / 1000.0)
+        assert report.total_cfp_kg == pytest.approx(report.total_cfp_g / 1000.0)
+        assert report.operational_cfp_kg == pytest.approx(report.operational_cfp_g / 1000.0)
+
+
+class TestEstimatorConfigEffects:
+    def test_excluding_wafer_waste_lowers_cmfg(self, estimator, estimator_no_waste):
+        system = small_system()
+        with_waste = estimator.estimate(system)
+        without = estimator_no_waste.estimate(system)
+        assert without.manufacturing_cfp_g < with_waste.manufacturing_cfp_g
+
+    def test_excluding_design_cfp(self):
+        system = small_system()
+        no_design = EcoChip(EstimatorConfig(include_design=False)).estimate(system)
+        assert no_design.design_cfp_g == 0.0
+
+    def test_renewable_fab_lowers_embodied(self):
+        system = small_system()
+        coal = EcoChip(EstimatorConfig(fab_carbon_source="coal", package_carbon_source="coal")).estimate(system)
+        wind = EcoChip(EstimatorConfig(fab_carbon_source="wind", package_carbon_source="wind")).estimate(system)
+        assert wind.embodied_cfp_g < coal.embodied_cfp_g
+
+    def test_wafer_diameter_configurable(self):
+        system = small_system()
+        big = EcoChip(EstimatorConfig(wafer_diameter_mm=450)).estimate(system)
+        small_wafer = EcoChip(EstimatorConfig(wafer_diameter_mm=150)).estimate(system)
+        assert small_wafer.manufacturing_cfp_g > big.manufacturing_cfp_g
+
+
+class TestOperatingSpecDerivation:
+    def test_comm_power_is_injected_into_operational_model(self, estimator):
+        system = small_system()
+        report = estimator.estimate(system)
+        assert report.operational.energy.comm_power_w == pytest.approx(
+            report.packaging.comm_power_w
+        )
+        assert report.packaging.comm_power_w > 0
+
+    def test_eq14_derivation_from_chiplet_areas(self, estimator):
+        system = small_system(operating=OperatingSpec(lifetime_years=2.0, duty_cycle=0.2))
+        report = estimator.estimate(system)
+        assert report.operational.energy.leakage_power_w > 0
+        assert report.operational.energy.dynamic_power_w > 0
+
+    def test_passive_interposer_inflates_chiplet_areas(self, estimator):
+        base = estimator.estimate(small_system())
+        interposer = estimator.estimate(small_system(packaging=PassiveInterposerSpec()))
+        for name in ("digital", "memory", "analog"):
+            assert interposer.chiplet(name).overhead_area_mm2 > 0
+        # Router overheads differ from PHY overheads.
+        assert interposer.chiplet("digital").overhead_area_mm2 != pytest.approx(
+            base.chiplet("digital").overhead_area_mm2
+        )

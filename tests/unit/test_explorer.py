@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.explorer (carbon-aware DSE)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chiplet import Chiplet
+from repro.core.explorer import OBJECTIVES, DesignSpaceExplorer, pareto_front
+from repro.core.system import ChipletSystem
+from repro.operational.energy import OperatingSpec
+from repro.packaging.bridge import SiliconBridgeSpec
+from repro.packaging.rdl import RDLFanoutSpec
+
+
+@pytest.fixture(scope="module")
+def base_system():
+    return ChipletSystem(
+        name="dse",
+        chiplets=(
+            Chiplet("digital", "logic", 7, area_mm2=150.0, area_reference_node=7),
+            Chiplet("memory", "memory", 7, area_mm2=60.0, area_reference_node=7),
+        ),
+        packaging=RDLFanoutSpec(),
+        operating=OperatingSpec(lifetime_years=2, duty_cycle=0.2, average_power_w=25.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(include_cost=True)
+
+
+@pytest.fixture(scope="module")
+def points(explorer, base_system):
+    return explorer.explore(
+        base_system,
+        node_choices=[7, 14],
+        packaging_choices=[RDLFanoutSpec(), SiliconBridgeSpec()],
+    )
+
+
+class TestExploration:
+    def test_exhaustive_enumeration_size(self, points):
+        # 2 nodes ^ 2 chiplets x 2 packaging choices = 8 candidates.
+        assert len(points) == 8
+        assert len({p.label for p in points}) == 8
+
+    def test_every_point_has_carbon_and_cost(self, points):
+        for point in points:
+            assert point.carbon.total_cfp_g > 0
+            assert point.cost is not None and point.cost.total_cost_usd > 0
+
+    def test_objective_lookup(self, points):
+        point = points[0]
+        for name in OBJECTIVES:
+            assert point.objective(name) >= 0
+        with pytest.raises(KeyError):
+            point.objective("coolness")
+
+    def test_cost_objective_without_cost_model(self, base_system):
+        explorer = DesignSpaceExplorer(include_cost=False)
+        point = explorer.evaluate(base_system)
+        assert point.cost is None
+        assert point.objective("cost_usd") == float("inf")
+
+    def test_invalid_inputs(self, explorer, base_system):
+        with pytest.raises(ValueError):
+            explorer.explore(base_system, node_choices=[])
+        with pytest.raises(ValueError):
+            explorer.explore(base_system, node_choices=[7], packaging_choices=[])
+
+
+class TestSelection:
+    def test_best_minimises_the_objective(self, explorer, points):
+        best = explorer.best(points, objective="total_carbon_g")
+        assert best.carbon.total_cfp_g == min(p.carbon.total_cfp_g for p in points)
+
+    def test_constraints_filter_candidates(self, explorer, points):
+        area_bound = sorted(p.objective("silicon_area_mm2") for p in points)[3]
+        constrained = explorer.best(
+            points, objective="total_carbon_g", constraints={"silicon_area_mm2": area_bound}
+        )
+        assert constrained.objective("silicon_area_mm2") <= area_bound
+
+    def test_unsatisfiable_constraints_raise(self, explorer, points):
+        with pytest.raises(ValueError):
+            explorer.best(points, constraints={"silicon_area_mm2": 0.001})
+
+    def test_summarise_is_sorted_by_first_objective(self, explorer, points):
+        rows = explorer.summarise(points, ["total_carbon_g", "cost_usd"])
+        values = [row[1]["total_carbon_g"] for row in rows]
+        assert values == sorted(values)
+        assert len(rows) == len(points)
+
+
+class TestParetoFront:
+    def test_front_is_non_empty_and_non_dominated(self, points):
+        front = pareto_front(points, ["embodied_carbon_g", "power_w"])
+        assert front
+        for candidate in front:
+            for other in points:
+                assert not (
+                    other.objective("embodied_carbon_g") < candidate.objective("embodied_carbon_g")
+                    and other.objective("power_w") < candidate.objective("power_w")
+                )
+
+    def test_single_objective_front_is_the_minimum(self, explorer, points):
+        front = pareto_front(points, ["total_carbon_g"])
+        best = explorer.best(points, "total_carbon_g")
+        assert min(p.objective("total_carbon_g") for p in front) == pytest.approx(
+            best.objective("total_carbon_g")
+        )
+
+    def test_front_requires_objectives(self, points):
+        with pytest.raises(ValueError):
+            pareto_front(points, [])
+
+    def test_best_point_is_always_on_the_front(self, explorer, points):
+        objectives = ["total_carbon_g", "cost_usd"]
+        front = pareto_front(points, objectives)
+        best_carbon = explorer.best(points, "total_carbon_g")
+        assert any(p.label == best_carbon.label for p in front)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.noc.orion (router area/power model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.orion import OrionRouterModel, RouterSpec
+
+
+@pytest.fixture(scope="module")
+def model(table):
+    return OrionRouterModel(table=table)
+
+
+class TestRouterSpecValidation:
+    def test_defaults_match_the_paper(self):
+        spec = RouterSpec()
+        assert spec.flit_width_bits == 512
+        assert spec.ports == 5
+
+    def test_buffer_bits(self):
+        spec = RouterSpec(ports=4, flit_width_bits=128, virtual_channels=2, buffer_depth_flits=4)
+        assert spec.buffer_bits == 4 * 2 * 4 * 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ports": 1},
+            {"flit_width_bits": 0},
+            {"virtual_channels": 0},
+            {"buffer_depth_flits": 0},
+            {"clock_ghz": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RouterSpec(**kwargs)
+
+
+class TestRouterArea:
+    def test_area_grows_with_ports_flits_and_buffers(self, model):
+        base = model.area_mm2(RouterSpec(), 65)
+        more_ports = model.area_mm2(RouterSpec(ports=8), 65)
+        wider = model.area_mm2(RouterSpec(flit_width_bits=1024), 65)
+        deeper = model.area_mm2(RouterSpec(buffer_depth_flits=16), 65)
+        assert more_ports > base
+        assert wider > base
+        assert deeper > base
+
+    def test_older_node_router_is_larger(self, model):
+        """The active-vs-passive interposer argument: a 65 nm router is much
+        larger than the same router inside a 7 nm chiplet."""
+        advanced = model.area_mm2(RouterSpec(), 7)
+        legacy = model.area_mm2(RouterSpec(), 65)
+        assert legacy > 5 * advanced
+
+    def test_router_area_is_small_relative_to_chiplets(self, model):
+        """Section V-B: routing overheads are near-negligible vs core areas."""
+        assert model.area_mm2(RouterSpec(), 65) < 5.0
+        assert model.area_mm2(RouterSpec(), 7) < 0.5
+
+    def test_transistor_count_positive_and_monotone(self, model):
+        small = model.transistor_count(RouterSpec(flit_width_bits=64))
+        large = model.transistor_count(RouterSpec(flit_width_bits=512))
+        assert 0 < small < large
+
+
+class TestRouterPower:
+    def test_estimate_fields_consistent(self, model):
+        est = model.estimate(RouterSpec(), 65, injection_rate=0.3)
+        assert est.total_power_w == pytest.approx(
+            est.dynamic_power_w + est.leakage_power_w
+        )
+        assert est.energy_per_flit_nj > 0
+        assert est.area_mm2 == pytest.approx(model.area_mm2(RouterSpec(), 65))
+
+    def test_dynamic_power_scales_with_injection_rate(self, model):
+        idle = model.estimate(RouterSpec(), 65, injection_rate=0.0)
+        busy = model.estimate(RouterSpec(), 65, injection_rate=0.6)
+        assert idle.dynamic_power_w == pytest.approx(0.0)
+        assert busy.dynamic_power_w > 0
+        assert busy.leakage_power_w == pytest.approx(idle.leakage_power_w)
+
+    def test_energy_per_flit_lower_on_advanced_node(self, model):
+        assert model.energy_per_flit_nj(RouterSpec(), 7) < model.energy_per_flit_nj(
+            RouterSpec(), 65
+        )
+
+    def test_power_is_sub_watt_for_default_router(self, model):
+        est = model.estimate(RouterSpec(), 65, injection_rate=0.3)
+        assert est.total_power_w < 2.0
+
+    def test_invalid_injection_rate(self, model):
+        with pytest.raises(ValueError):
+            model.estimate(RouterSpec(), 65, injection_rate=1.5)

@@ -1,0 +1,251 @@
+"""Unit tests for the packaging-architecture models (Section III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.slicing import SlicingFloorplanner
+from repro.packaging.base import PackagedChiplet
+from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
+from repro.packaging.interposer import (
+    ActiveInterposerModel,
+    ActiveInterposerSpec,
+    PassiveInterposerModel,
+    PassiveInterposerSpec,
+)
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
+from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
+from repro.packaging.threed import BondType, ThreeDStackModel, ThreeDStackSpec
+from repro.technology.scaling import DesignType
+
+
+def make_chiplets(areas, node=7.0):
+    """Helper: build PackagedChiplet records from a name->area dict."""
+    return [
+        PackagedChiplet(name=name, area_mm2=area, node=node, design_type=DesignType.LOGIC)
+        for name, area in areas.items()
+    ]
+
+
+def make_floorplan(areas, spacing=0.5):
+    """Helper: floorplan a name->area dict."""
+    return SlicingFloorplanner(spacing_mm=spacing).floorplan(areas)
+
+
+@pytest.fixture(scope="module")
+def two_chiplets():
+    areas = {"a": 250.0, "b": 250.0}
+    return make_chiplets(areas), make_floorplan(areas)
+
+
+@pytest.fixture(scope="module")
+def six_chiplets():
+    areas = {f"c{i}": 83.0 for i in range(6)}
+    return make_chiplets(areas), make_floorplan(areas)
+
+
+class TestMonolithicModel:
+    def test_no_overheads(self, two_chiplets):
+        chiplets, floorplan = two_chiplets
+        result = MonolithicModel(MonolithicSpec()).evaluate(chiplets, floorplan)
+        assert result.package_cfp_g == 0.0
+        assert result.comm_cfp_g == 0.0
+        assert result.total_cfp_g == 0.0
+        assert result.package_yield == 1.0
+        assert result.comm_power_w == 0.0
+        assert result.architecture == "monolithic"
+
+
+class TestRDLFanoutModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RDLFanoutSpec(layers=0)
+        with pytest.raises(ValueError):
+            RDLFanoutSpec(technology_nm=-5)
+        with pytest.raises(ValueError):
+            RDLFanoutSpec(phy_lanes=0)
+
+    def test_cfp_scales_linearly_with_layer_count(self, two_chiplets):
+        """Fig. 11(a): C_HI grows linearly in L_RDL."""
+        chiplets, floorplan = two_chiplets
+        cfps = []
+        for layers in (3, 6, 9):
+            model = RDLFanoutModel(RDLFanoutSpec(layers=layers))
+            cfps.append(model.evaluate(chiplets, floorplan).package_cfp_g)
+        assert cfps[0] < cfps[1] < cfps[2]
+        assert cfps[2] / cfps[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_phy_overhead_added_per_chiplet(self, two_chiplets):
+        chiplets, floorplan = two_chiplets
+        model = RDLFanoutModel(RDLFanoutSpec())
+        overhead = model.chiplet_area_overhead_mm2(chiplets[0], chiplet_count=2)
+        assert overhead > 0
+        # A single-chiplet "system" needs no PHY.
+        assert model.chiplet_area_overhead_mm2(chiplets[0], chiplet_count=1) == 0.0
+        result = model.evaluate(chiplets, floorplan)
+        assert set(result.chiplet_overhead_mm2) == {"a", "b"}
+        assert result.comm_power_w > 0
+
+    def test_package_yield_below_one(self, six_chiplets):
+        chiplets, floorplan = six_chiplets
+        result = RDLFanoutModel(RDLFanoutSpec()).evaluate(chiplets, floorplan)
+        assert 0 < result.package_yield < 1
+        assert result.total_cfp_g == pytest.approx(
+            result.package_cfp_g + result.comm_cfp_g
+        )
+
+
+class TestSiliconBridgeModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SiliconBridgeSpec(bridge_layers=0)
+        with pytest.raises(ValueError):
+            SiliconBridgeSpec(bridge_area_mm2=0)
+        with pytest.raises(ValueError):
+            SiliconBridgeSpec(bridge_range_mm=0)
+
+    def test_bridges_per_edge_ceiling_rule(self):
+        model = SiliconBridgeModel(SiliconBridgeSpec(bridge_range_mm=2.0))
+        assert model.bridges_for_edge(0.0) == 0
+        assert model.bridges_for_edge(1.5) == 1
+        assert model.bridges_for_edge(2.0) == 1
+        assert model.bridges_for_edge(2.1) == 2
+        assert model.bridges_for_edge(9.0) == 5
+
+    def test_bridge_count_grows_with_chiplet_count(self, two_chiplets, six_chiplets):
+        model = SiliconBridgeModel(SiliconBridgeSpec())
+        few = model.bridge_count(two_chiplets[1])
+        many = model.bridge_count(six_chiplets[1])
+        assert many > few > 0
+
+    def test_larger_bridge_range_lowers_cfp(self, six_chiplets):
+        """Fig. 11(b): increasing the EMIB range reduces C_HI."""
+        chiplets, floorplan = six_chiplets
+        short = SiliconBridgeModel(SiliconBridgeSpec(bridge_range_mm=2.0)).evaluate(
+            chiplets, floorplan
+        )
+        long = SiliconBridgeModel(SiliconBridgeSpec(bridge_range_mm=4.0)).evaluate(
+            chiplets, floorplan
+        )
+        assert long.package_cfp_g < short.package_cfp_g
+
+    def test_detail_reports_bridge_statistics(self, two_chiplets):
+        chiplets, floorplan = two_chiplets
+        result = SiliconBridgeModel(SiliconBridgeSpec()).evaluate(chiplets, floorplan)
+        assert result.detail["bridge_count"] >= 1
+        assert result.detail["per_bridge_cfp_g"] > 0
+        assert 0 < result.detail["bridge_yield"] <= 1
+
+
+class TestInterposerModels:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PassiveInterposerSpec(beol_layers=0)
+        with pytest.raises(ValueError):
+            ActiveInterposerSpec(router_injection_rate=2.0)
+
+    def test_passive_adds_router_area_to_chiplets(self, two_chiplets):
+        chiplets, _ = two_chiplets
+        model = PassiveInterposerModel(PassiveInterposerSpec())
+        overhead = model.chiplet_area_overhead_mm2(chiplets[0], chiplet_count=2)
+        assert overhead > 0
+        assert model.chiplet_area_overhead_mm2(chiplets[0], chiplet_count=1) == 0.0
+
+    def test_active_charges_routers_to_the_package(self, two_chiplets):
+        chiplets, floorplan = two_chiplets
+        model = ActiveInterposerModel(ActiveInterposerSpec())
+        assert model.chiplet_area_overhead_mm2(chiplets[0], chiplet_count=2) == 0.0
+        result = model.evaluate(chiplets, floorplan)
+        assert result.comm_cfp_g > 0
+        assert result.detail["router_count"] == 2
+
+    def test_active_costs_more_than_passive(self, six_chiplets):
+        """Fig. 9: active-interposer routing overheads exceed passive ones."""
+        chiplets, floorplan = six_chiplets
+        passive = PassiveInterposerModel(PassiveInterposerSpec()).evaluate(
+            chiplets, floorplan
+        )
+        active = ActiveInterposerModel(ActiveInterposerSpec()).evaluate(
+            chiplets, floorplan
+        )
+        assert active.total_cfp_g > passive.total_cfp_g
+
+    def test_older_interposer_node_is_cheaper(self, six_chiplets):
+        """Fig. 11(c): older interposer nodes have lower EPA and lower C_HI."""
+        chiplets, floorplan = six_chiplets
+        at_65 = ActiveInterposerModel(
+            ActiveInterposerSpec(technology_nm=65)
+        ).evaluate(chiplets, floorplan)
+        at_28 = ActiveInterposerModel(
+            ActiveInterposerSpec(technology_nm=28)
+        ).evaluate(chiplets, floorplan)
+        assert at_65.total_cfp_g < at_28.total_cfp_g
+
+    def test_interposer_costs_more_than_rdl(self, six_chiplets):
+        """Fig. 9: interposer-based packages are the most carbon-expensive."""
+        chiplets, floorplan = six_chiplets
+        rdl = RDLFanoutModel(RDLFanoutSpec()).evaluate(chiplets, floorplan)
+        passive = PassiveInterposerModel(PassiveInterposerSpec()).evaluate(
+            chiplets, floorplan
+        )
+        assert passive.total_cfp_g > rdl.total_cfp_g
+
+
+class TestThreeDStackModel:
+    def test_bond_type_parsing(self):
+        assert BondType.parse("tsv") is BondType.TSV
+        assert BondType.parse("ubump") is BondType.MICROBUMP
+        assert BondType.parse("hybrid") is BondType.HYBRID_BOND
+        with pytest.raises(ValueError):
+            BondType.parse("glue")
+
+    def test_spec_defaults_per_bond_type(self):
+        assert ThreeDStackSpec(bond_type="tsv").pitch_um == pytest.approx(36.0)
+        assert ThreeDStackSpec(bond_type="hybrid").pitch_um == pytest.approx(9.0)
+        with pytest.raises(ValueError):
+            ThreeDStackSpec(pitch_um=-1)
+        with pytest.raises(ValueError):
+            ThreeDStackSpec(connection_fill_factor=0.0)
+
+    def test_connection_count_follows_pitch(self):
+        fine = ThreeDStackModel(ThreeDStackSpec(bond_type="microbump", pitch_um=10))
+        coarse = ThreeDStackModel(ThreeDStackSpec(bond_type="microbump", pitch_um=40))
+        assert fine.connections_per_mm2() > coarse.connections_per_mm2()
+        assert fine.connections_per_mm2() == pytest.approx((1000.0 / 10) ** 2)
+
+    def test_larger_pitch_lowers_cfp(self, two_chiplets):
+        """Fig. 11(d): larger TSV pitches mean fewer TSVs and lower C_HI."""
+        chiplets, floorplan = two_chiplets
+        fine = ThreeDStackModel(ThreeDStackSpec(bond_type="tsv", pitch_um=10)).evaluate(
+            chiplets, floorplan
+        )
+        coarse = ThreeDStackModel(ThreeDStackSpec(bond_type="tsv", pitch_um=45)).evaluate(
+            chiplets, floorplan
+        )
+        assert coarse.package_cfp_g < fine.package_cfp_g
+        assert coarse.package_yield > fine.package_yield
+
+    def test_interface_connections_use_smaller_footprint(self):
+        model = ThreeDStackModel(ThreeDStackSpec(bond_type="microbump", pitch_um=36))
+        chiplets = make_chiplets({"bottom": 100.0, "top": 40.0})
+        counts = model.interface_connections(chiplets)
+        assert len(counts) == 1
+        assert counts[0] == pytest.approx(40.0 * model.connections_per_mm2())
+
+    def test_hybrid_bonding_cheaper_than_microbumps(self, two_chiplets):
+        chiplets, floorplan = two_chiplets
+        ubump = ThreeDStackModel(ThreeDStackSpec(bond_type="microbump")).evaluate(
+            chiplets, floorplan
+        )
+        hybrid = ThreeDStackModel(ThreeDStackSpec(bond_type="hybrid")).evaluate(
+            chiplets, floorplan
+        )
+        assert hybrid.detail["bonds_cfp_g"] < ubump.detail["bonds_cfp_g"]
+
+    def test_single_die_stack_has_no_bond_cfp(self):
+        model = ThreeDStackModel(ThreeDStackSpec())
+        areas = {"only": 50.0}
+        result = model.evaluate(make_chiplets(areas), make_floorplan(areas))
+        assert result.detail["total_connections"] == 0
+        assert result.detail["bonds_cfp_g"] == 0.0
+        assert result.package_cfp_g > 0  # still sits on a substrate

@@ -1,0 +1,91 @@
+"""Unit tests for repro.packaging.registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
+from repro.packaging.interposer import (
+    ActiveInterposerModel,
+    ActiveInterposerSpec,
+    PassiveInterposerModel,
+    PassiveInterposerSpec,
+)
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
+from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
+from repro.packaging.registry import PACKAGING_SPECS, build_packaging_model, spec_from_dict
+from repro.packaging.threed import ThreeDStackModel, ThreeDStackSpec
+
+
+class TestBuildPackagingModel:
+    @pytest.mark.parametrize(
+        "spec, model_cls",
+        [
+            (MonolithicSpec(), MonolithicModel),
+            (RDLFanoutSpec(), RDLFanoutModel),
+            (SiliconBridgeSpec(), SiliconBridgeModel),
+            (PassiveInterposerSpec(), PassiveInterposerModel),
+            (ActiveInterposerSpec(), ActiveInterposerModel),
+            (ThreeDStackSpec(), ThreeDStackModel),
+        ],
+    )
+    def test_spec_maps_to_matching_model(self, spec, model_cls):
+        model = build_packaging_model(spec)
+        assert isinstance(model, model_cls)
+        assert model.spec is spec
+
+    def test_unknown_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            build_packaging_model(object())  # type: ignore[arg-type]
+
+    def test_carbon_source_is_forwarded(self):
+        coal = build_packaging_model(RDLFanoutSpec(), package_carbon_source="coal")
+        wind = build_packaging_model(RDLFanoutSpec(), package_carbon_source="wind")
+        assert (
+            wind.package_carbon_intensity_g_per_kwh
+            < coal.package_carbon_intensity_g_per_kwh
+        )
+
+
+class TestSpecFromDict:
+    def test_basic_construction(self):
+        spec = spec_from_dict({"type": "rdl_fanout", "layers": 8, "technology_nm": 40})
+        assert isinstance(spec, RDLFanoutSpec)
+        assert spec.layers == 8
+        assert spec.technology_nm == 40
+
+    @pytest.mark.parametrize(
+        "alias, spec_cls",
+        [
+            ("emib", SiliconBridgeSpec),
+            ("bridge", SiliconBridgeSpec),
+            ("rdl", RDLFanoutSpec),
+            ("fanout", RDLFanoutSpec),
+            ("passive", PassiveInterposerSpec),
+            ("active_interposer", ActiveInterposerSpec),
+            ("3d", ThreeDStackSpec),
+            ("mono", MonolithicSpec),
+        ],
+    )
+    def test_aliases(self, alias, spec_cls):
+        assert isinstance(spec_from_dict({"type": alias}), spec_cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(spec_from_dict({"type": "EMIB"}), SiliconBridgeSpec)
+
+    def test_missing_type_key(self):
+        with pytest.raises(KeyError):
+            spec_from_dict({"layers": 6})
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            spec_from_dict({"type": "wire-bond"})
+
+    def test_unexpected_parameter_raises_type_error(self):
+        with pytest.raises(TypeError):
+            spec_from_dict({"type": "rdl", "bogus_parameter": 1})
+
+    def test_every_registered_alias_is_constructible_with_defaults(self):
+        for alias in PACKAGING_SPECS:
+            spec = spec_from_dict({"type": alias})
+            assert spec is not None

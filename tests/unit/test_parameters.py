@@ -1,0 +1,79 @@
+"""Unit tests for repro.technology.parameters (Table I ranges)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.parameters import PARAMETER_RANGES, table_rows, validate_parameter
+
+
+class TestParameterRanges:
+    def test_table_has_all_model_groups(self):
+        models = {spec.model for spec in PARAMETER_RANGES.values()}
+        assert {"Cmfg", "Cpackage", "Cmfg,comm", "Cwhitespace", "Cdes", "Coperational"} <= models
+
+    def test_key_paper_ranges_present(self):
+        assert PARAMETER_RANGES["defect_density"].minimum == pytest.approx(0.07)
+        assert PARAMETER_RANGES["defect_density"].maximum == pytest.approx(0.30)
+        assert PARAMETER_RANGES["epa"].maximum == pytest.approx(3.5)
+        assert PARAMETER_RANGES["rdl_layers"].minimum == 3
+        assert PARAMETER_RANGES["rdl_layers"].maximum == 9
+        assert PARAMETER_RANGES["lifetime_years"].maximum == 5
+
+    def test_contains_is_inclusive(self):
+        spec = PARAMETER_RANGES["defect_density"]
+        assert spec.contains(0.07)
+        assert spec.contains(0.30)
+        assert not spec.contains(0.31)
+        assert not spec.contains(0.0)
+
+    def test_table_rows_returns_every_row(self):
+        rows = table_rows()
+        assert len(rows) == len(PARAMETER_RANGES)
+        assert all(r.name in PARAMETER_RANGES for r in rows)
+
+
+class TestValidateParameter:
+    def test_in_range_value_passes(self):
+        assert validate_parameter("epa", 2.0)
+
+    def test_out_of_range_value_fails(self):
+        assert not validate_parameter("epa", 10.0)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError):
+            validate_parameter("epa", 10.0, strict=True)
+
+    def test_unknown_parameter_is_accepted(self):
+        assert validate_parameter("not_a_real_parameter", 1.0e9)
+
+
+class TestDefaultTableRespectsTable1:
+    """The built-in technology table should respect the paper's ranges."""
+
+    def test_defect_densities_in_range(self, table):
+        spec = PARAMETER_RANGES["defect_density"]
+        for node in table:
+            assert spec.contains(node.defect_density_per_cm2), node.name
+
+    def test_epa_in_range(self, table):
+        spec = PARAMETER_RANGES["epa"]
+        for node in table:
+            assert spec.contains(node.epa_kwh_per_cm2), node.name
+
+    def test_transistor_density_in_range(self, table):
+        spec = PARAMETER_RANGES["transistor_density"]
+        for node in table:
+            assert spec.contains(node.logic_density_mtr_per_mm2), node.name
+
+    def test_gas_emissions_in_range(self, table):
+        spec = PARAMETER_RANGES["gas_emissions"]
+        for node in table:
+            assert spec.contains(node.gas_kg_per_cm2), node.name
+
+    def test_epla_in_range(self, table):
+        rdl_spec = PARAMETER_RANGES["epla_rdl"]
+        bridge_spec = PARAMETER_RANGES["epla_bridge"]
+        for node in table:
+            assert rdl_spec.contains(node.epla_rdl_kwh_per_cm2), node.name
+            assert bridge_spec.contains(node.epla_bridge_kwh_per_cm2), node.name

@@ -1,0 +1,61 @@
+"""Unit tests for repro.floorplan.partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.partition import build_partition_tree
+
+
+class TestPartitionTree:
+    def test_single_chiplet_is_a_leaf(self):
+        tree = build_partition_tree({"only": 42.0})
+        assert tree.is_leaf
+        assert tree.chiplet == "only"
+        assert tree.total_area == pytest.approx(42.0)
+        assert tree.depth() == 1
+        assert tree.internal_nodes() == 0
+
+    def test_leaves_cover_every_chiplet_exactly_once(self):
+        areas = {f"c{i}": float(i + 1) * 10 for i in range(7)}
+        tree = build_partition_tree(areas)
+        assert sorted(tree.leaves()) == sorted(areas)
+
+    def test_total_area_is_preserved_at_every_level(self):
+        areas = {"a": 100.0, "b": 50.0, "c": 25.0, "d": 25.0}
+        tree = build_partition_tree(areas)
+        assert tree.total_area == pytest.approx(200.0)
+        assert tree.left.total_area + tree.right.total_area == pytest.approx(200.0)
+
+    def test_full_binary_tree_structure(self):
+        areas = {f"c{i}": 10.0 for i in range(6)}
+        tree = build_partition_tree(areas)
+        # A full binary tree with n leaves has n-1 internal nodes.
+        assert tree.internal_nodes() == len(areas) - 1
+
+    def test_top_split_is_area_balanced(self):
+        areas = {"big": 100.0, "m1": 30.0, "m2": 30.0, "m3": 40.0}
+        tree = build_partition_tree(areas)
+        imbalance = abs(tree.left.total_area - tree.right.total_area)
+        assert imbalance <= 100.0  # never worse than the single largest item
+
+    def test_two_equal_chiplets_split_evenly(self):
+        tree = build_partition_tree({"a": 50.0, "b": 50.0})
+        assert tree.left.total_area == pytest.approx(50.0)
+        assert tree.right.total_area == pytest.approx(50.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            build_partition_tree({})
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ValueError):
+            build_partition_tree({"a": 0.0})
+        with pytest.raises(ValueError):
+            build_partition_tree({"a": -5.0})
+
+    def test_deterministic_for_equal_areas(self):
+        areas = {"x": 10.0, "y": 10.0, "z": 10.0}
+        first = build_partition_tree(areas).leaves()
+        second = build_partition_tree(areas).leaves()
+        assert first == second

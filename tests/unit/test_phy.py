@@ -1,0 +1,70 @@
+"""Unit tests for repro.noc.phy (die-to-die PHY model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.phy import PhyModel
+
+
+@pytest.fixture(scope="module")
+def phy(table):
+    return PhyModel(table=table)
+
+
+class TestPhyArea:
+    def test_area_grows_with_lane_count(self, phy):
+        assert phy.area_mm2(7, lanes=128) > phy.area_mm2(7, lanes=32)
+
+    def test_phys_are_small_ips(self, phy):
+        """Section III-D(2): PHYs have small areas compared to chiplets."""
+        assert phy.area_mm2(7, lanes=64) < 2.0
+        assert phy.area_mm2(65, lanes=64) < 10.0
+
+    def test_older_node_phy_is_larger(self, phy):
+        assert phy.area_mm2(65, lanes=64) > phy.area_mm2(7, lanes=64)
+
+    def test_analog_scaling_not_logic_scaling(self, phy, table):
+        """PHY area ratio between nodes follows the analog density trend."""
+        ratio = phy.area_mm2(65, 64) / phy.area_mm2(7, 64)
+        analog_ratio = (
+            table.get(7).analog_density_mtr_per_mm2
+            / table.get(65).analog_density_mtr_per_mm2
+        )
+        logic_ratio = (
+            table.get(7).logic_density_mtr_per_mm2
+            / table.get(65).logic_density_mtr_per_mm2
+        )
+        assert ratio == pytest.approx(analog_ratio, rel=1e-6)
+        assert ratio < logic_ratio
+
+    def test_invalid_lane_count(self, phy):
+        with pytest.raises(ValueError):
+            phy.estimate(7, lanes=0)
+
+
+class TestPhyPowerAndBandwidth:
+    def test_bandwidth_scales_with_lanes_and_rate(self, table):
+        slow = PhyModel(table=table, lane_rate_gbps=8.0)
+        fast = PhyModel(table=table, lane_rate_gbps=32.0)
+        assert fast.estimate(7, 64).bandwidth_gbps == pytest.approx(
+            4 * slow.estimate(7, 64).bandwidth_gbps
+        )
+
+    def test_average_power_scales_with_utilization(self, phy):
+        assert phy.average_power_w(7, 64, utilization=0.4) == pytest.approx(
+            2 * phy.average_power_w(7, 64, utilization=0.2)
+        )
+        assert phy.average_power_w(7, 64, utilization=0.0) == 0.0
+
+    def test_average_power_is_modest(self, phy):
+        """A 64-lane link at 20% utilisation should be well under a watt."""
+        assert phy.average_power_w(7, 64, utilization=0.2) < 1.0
+
+    def test_invalid_utilization(self, phy):
+        with pytest.raises(ValueError):
+            phy.average_power_w(7, 64, utilization=1.5)
+
+    def test_invalid_lane_rate(self, table):
+        with pytest.raises(ValueError):
+            PhyModel(table=table, lane_rate_gbps=0)

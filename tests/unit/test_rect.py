@@ -1,0 +1,71 @@
+"""Unit tests for repro.floorplan.rect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.rect import Rect
+
+
+class TestRectBasics:
+    def test_area_and_edges(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.area == pytest.approx(12.0)
+        assert r.x2 == pytest.approx(4.0)
+        assert r.y2 == pytest.approx(6.0)
+        assert r.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, -1)
+
+    def test_aspect_ratio(self):
+        assert Rect(0, 0, 4, 2).aspect_ratio == pytest.approx(2.0)
+        assert Rect(0, 0, 4, 0).aspect_ratio == float("inf")
+
+    def test_translated_and_rotated(self):
+        r = Rect(1, 1, 2, 3)
+        moved = r.translated(2, -1)
+        assert (moved.x, moved.y, moved.width, moved.height) == (3, 0, 2, 3)
+        rotated = r.rotated()
+        assert (rotated.width, rotated.height) == (3, 2)
+        assert rotated.area == pytest.approx(r.area)
+
+
+class TestRectRelations:
+    def test_overlap_detection(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # touching edges do not overlap
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_shared_edge_vertical_abutment(self):
+        a = Rect(0, 0, 2, 4)
+        b = Rect(2, 1, 2, 2)
+        assert a.shared_edge_length(b) == pytest.approx(2.0)
+        assert b.shared_edge_length(a) == pytest.approx(2.0)
+
+    def test_shared_edge_horizontal_abutment(self):
+        a = Rect(0, 0, 4, 1)
+        b = Rect(1, 1, 2, 2)
+        assert a.shared_edge_length(b) == pytest.approx(2.0)
+
+    def test_no_shared_edge_for_disjoint_rects(self):
+        assert Rect(0, 0, 1, 1).shared_edge_length(Rect(5, 5, 1, 1)) == 0.0
+
+    def test_corner_touch_has_zero_shared_edge(self):
+        assert Rect(0, 0, 1, 1).shared_edge_length(Rect(1, 1, 1, 1)) == 0.0
+
+    def test_manhattan_distance(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(4, 6, 2, 2)
+        assert a.manhattan_distance(b) == pytest.approx(4.0 + 6.0)
+
+    def test_bounding_box(self):
+        box = Rect.bounding([Rect(0, 0, 1, 1), Rect(3, 4, 2, 1)])
+        assert (box.x, box.y, box.x2, box.y2) == (0, 0, 5, 5)
+
+    def test_bounding_box_of_nothing_is_degenerate(self):
+        assert Rect.bounding([]).area == 0.0

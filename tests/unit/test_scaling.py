@@ -1,0 +1,87 @@
+"""Unit tests for repro.technology.scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology.scaling import AreaScalingModel, DesignType
+
+
+class TestDesignTypeParsing:
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("logic", DesignType.LOGIC),
+            ("digital", DesignType.LOGIC),
+            ("gpu", DesignType.LOGIC),
+            ("memory", DesignType.MEMORY),
+            ("sram", DesignType.MEMORY),
+            ("cache", DesignType.MEMORY),
+            ("analog", DesignType.ANALOG),
+            ("io", DesignType.ANALOG),
+            ("PHY", DesignType.ANALOG),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert DesignType.parse(alias) is expected
+
+    def test_parse_passthrough_for_enum(self):
+        assert DesignType.parse(DesignType.MEMORY) is DesignType.MEMORY
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(ValueError):
+            DesignType.parse("fpga-fabric")
+
+
+class TestAreaScaling:
+    def test_area_round_trips_through_transistors(self, scaling):
+        area = 123.4
+        transistors = scaling.transistors_from_area(area, "logic", 7)
+        assert scaling.area_mm2(transistors, "logic", 7) == pytest.approx(area)
+
+    def test_area_grows_on_older_nodes(self, scaling):
+        transistors = 1.0e9
+        assert scaling.area_mm2(transistors, "logic", 14) > scaling.area_mm2(
+            transistors, "logic", 7
+        )
+
+    def test_logic_grows_faster_than_memory_and_analog(self, scaling):
+        """The mix-and-match property: 7nm -> 14nm penalty ordering."""
+        logic_growth = scaling.rescale_area(100, "logic", 7, 14) / 100
+        memory_growth = scaling.rescale_area(100, "memory", 7, 14) / 100
+        analog_growth = scaling.rescale_area(100, "analog", 7, 14) / 100
+        assert logic_growth > memory_growth > analog_growth
+        assert analog_growth < 1.2  # analog barely scales
+
+    def test_rescale_is_identity_on_same_node(self, scaling):
+        assert scaling.rescale_area(77.0, "memory", 10, 10) == pytest.approx(77.0)
+
+    def test_rescale_is_invertible(self, scaling):
+        forward = scaling.rescale_area(50.0, "logic", 7, 22)
+        back = scaling.rescale_area(forward, "logic", 22, 7)
+        assert back == pytest.approx(50.0)
+
+    def test_negative_inputs_are_rejected(self, scaling):
+        with pytest.raises(ValueError):
+            scaling.area_mm2(-1, "logic", 7)
+        with pytest.raises(ValueError):
+            scaling.transistors_from_area(-1, "logic", 7)
+
+    def test_scaling_factors_reference_is_one(self, scaling):
+        factors = scaling.scaling_factors("logic", reference=7)
+        assert factors[7.0] == pytest.approx(1.0)
+        assert factors[65.0] > factors[14.0] > factors[7.0]
+
+    def test_density_matches_table(self, scaling, table):
+        assert scaling.density_mtr_per_mm2("logic", 7) == pytest.approx(
+            table.get(7).logic_density_mtr_per_mm2
+        )
+        assert scaling.density_mtr_per_mm2(DesignType.ANALOG, 65) == pytest.approx(
+            table.get(65).analog_density_mtr_per_mm2
+        )
+
+    def test_ga102_order_of_magnitude(self, scaling):
+        """28.3 B transistors of logic at 7 nm should land near 300 mm²
+        (the real GA102 is 628 mm² including SRAM and analog)."""
+        area = scaling.area_mm2(28.3e9, "logic", 7)
+        assert 200 < area < 700

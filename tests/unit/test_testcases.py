@@ -1,0 +1,128 @@
+"""Unit tests for the built-in testcases (repro.testcases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.packaging.bridge import SiliconBridgeSpec
+from repro.packaging.rdl import RDLFanoutSpec
+from repro.packaging.threed import ThreeDStackSpec
+from repro.testcases import a15, arvr, emr, ga102
+from repro.testcases.registry import get_testcase, list_testcases
+from repro.technology.scaling import DesignType
+
+
+class TestGa102:
+    def test_monolithic_total_area_close_to_628mm2(self, scaling):
+        system = ga102.monolithic(7)
+        assert system.chiplet_count == 1
+        area = system.chiplets[0].area_at_node(scaling)
+        assert 600 < area < 660
+
+    def test_three_chiplet_block_types(self):
+        system = ga102.three_chiplet((7, 10, 14))
+        types = {c.name: c.design_type for c in system.chiplets}
+        assert types["digital"] is DesignType.LOGIC
+        assert types["memory"] is DesignType.MEMORY
+        assert types["analog"] is DesignType.ANALOG
+        assert isinstance(system.packaging, RDLFanoutSpec)
+        assert system.node_configuration() == (7.0, 10.0, 14.0)
+
+    def test_four_chiplet_splits_the_digital_block(self, scaling):
+        three = ga102.three_chiplet((7, 7, 7))
+        four = ga102.four_chiplet((7, 7, 7, 7))
+        assert four.chiplet_count == 4
+        three_area = sum(c.area_at_node(scaling) for c in three.chiplets)
+        four_area = sum(c.area_at_node(scaling) for c in four.chiplets)
+        assert four_area == pytest.approx(three_area, rel=1e-6)
+
+    def test_wrong_node_tuple_length_rejected(self):
+        with pytest.raises(ValueError):
+            ga102.three_chiplet((7, 10))
+        with pytest.raises(ValueError):
+            ga102.four_chiplet((7, 10, 14))
+
+    def test_operating_spec_uses_profiled_annual_energy(self):
+        spec = ga102.operating_spec()
+        assert spec.annual_energy_kwh == pytest.approx(228.0)
+        assert spec.lifetime_years == pytest.approx(2.0)
+
+
+class TestA15:
+    def test_monolithic_area_close_to_108mm2(self, scaling):
+        system = a15.monolithic(7)
+        area = system.chiplets[0].area_at_node(scaling)
+        assert 100 < area < 120
+
+    def test_battery_driven_energy_is_small(self):
+        spec = a15.operating_spec()
+        assert spec.annual_energy_kwh < 10.0
+
+    def test_three_chiplet_uses_narrow_phy(self):
+        system = a15.three_chiplet((7, 14, 10))
+        assert isinstance(system.packaging, RDLFanoutSpec)
+        assert system.packaging.phy_lanes == 32
+
+
+class TestEmr:
+    def test_native_design_is_two_equal_chiplets_with_emib(self, scaling):
+        system = emr.two_chiplet()
+        assert system.chiplet_count == 2
+        assert isinstance(system.packaging, SiliconBridgeSpec)
+        areas = [c.area_at_node(scaling) for c in system.chiplets]
+        assert areas[0] == pytest.approx(areas[1])
+
+    def test_monolithic_counterpart_has_the_combined_area(self, scaling):
+        mono = emr.monolithic(10)
+        two = emr.two_chiplet((10, 10))
+        mono_area = mono.chiplets[0].area_at_node(scaling)
+        two_area = sum(c.area_at_node(scaling) for c in two.chiplets)
+        assert mono_area == pytest.approx(two_area, rel=1e-6)
+
+    def test_server_power_profile(self):
+        spec = emr.operating_spec()
+        assert spec.average_power_w == pytest.approx(280.0)
+        assert spec.duty_cycle > 0.5
+
+
+class TestArvr:
+    def test_configuration_catalogue(self):
+        assert len(arvr.ACCELERATOR_CONFIGS) == 8
+        config = arvr.config("3D-1K-4MB")
+        assert config.sram_tiers == 2
+        assert config.total_sram_mb == 4
+        with pytest.raises(KeyError):
+            arvr.config("3D-9K-1MB")
+
+    def test_system_has_one_compute_die_plus_tiers(self):
+        system = arvr.system("3D-2K-12MB")
+        assert system.chiplet_count == 1 + 3
+        assert isinstance(system.packaging, ThreeDStackSpec)
+        names = [c.name for c in system.chiplets]
+        assert names[0] == "compute"
+
+    def test_latency_decreases_and_power_decreases_with_tiers(self):
+        series = [arvr.config(f"3D-1K-{mb}MB") for mb in (2, 4, 6, 8)]
+        latencies = [c.latency_ms for c in series]
+        powers = [c.average_power_w for c in series]
+        assert latencies == sorted(latencies, reverse=True)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(KeyError):
+            arvr.system("3D-1K-32MB")
+
+
+class TestRegistry:
+    def test_every_registered_testcase_builds(self, estimator):
+        for name in list_testcases():
+            system = get_testcase(name)
+            report = estimator.estimate(system)
+            assert report.total_cfp_g > 0, name
+
+    def test_unknown_testcase_rejected(self):
+        with pytest.raises(KeyError):
+            get_testcase("pentium-4")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_testcase("GA102-Monolithic").chiplet_count == 1

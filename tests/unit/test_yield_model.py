@@ -1,0 +1,103 @@
+"""Unit tests for repro.manufacturing.yield_model (Eq. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manufacturing.yield_model import (
+    YieldModel,
+    assembly_yield,
+    bonding_yield,
+    negative_binomial_yield,
+)
+
+
+class TestNegativeBinomialYield:
+    def test_zero_area_yields_one(self):
+        assert negative_binomial_yield(0.0, 0.2) == pytest.approx(1.0)
+
+    def test_zero_defect_density_yields_one(self):
+        assert negative_binomial_yield(500.0, 0.0) == pytest.approx(1.0)
+
+    def test_matches_closed_form(self):
+        # 100 mm2 = 1 cm2, D0 = 0.3/cm2, alpha = 3:
+        expected = (1 + 1.0 * 0.3 / 3.0) ** -3
+        assert negative_binomial_yield(100.0, 0.3, 3.0) == pytest.approx(expected)
+
+    def test_yield_decreases_with_area(self):
+        small = negative_binomial_yield(50.0, 0.2)
+        large = negative_binomial_yield(500.0, 0.2)
+        assert 0 < large < small <= 1.0
+
+    def test_yield_decreases_with_defect_density(self):
+        clean = negative_binomial_yield(200.0, 0.07)
+        dirty = negative_binomial_yield(200.0, 0.30)
+        assert dirty < clean
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            negative_binomial_yield(-1.0, 0.2)
+        with pytest.raises(ValueError):
+            negative_binomial_yield(1.0, -0.2)
+        with pytest.raises(ValueError):
+            negative_binomial_yield(1.0, 0.2, clustering_alpha=0.0)
+
+
+class TestBondingAndAssemblyYield:
+    def test_zero_connections_is_perfect(self):
+        assert bonding_yield(0) == pytest.approx(1.0)
+
+    def test_more_connections_lower_yield(self):
+        assert bonding_yield(1e6) < bonding_yield(1e4) < 1.0
+
+    def test_bonding_yield_bounds(self):
+        with pytest.raises(ValueError):
+            bonding_yield(-1)
+        with pytest.raises(ValueError):
+            bonding_yield(10, per_connection_yield=0.0)
+        with pytest.raises(ValueError):
+            bonding_yield(10, per_connection_yield=1.5)
+
+    def test_assembly_yield_composition(self):
+        combined = assembly_yield(4, per_die_attach_yield=0.99, connection_count=1000)
+        assert combined == pytest.approx(0.99**4 * bonding_yield(1000))
+
+    def test_assembly_yield_decreases_with_die_count(self):
+        assert assembly_yield(8) < assembly_yield(2) <= 1.0
+
+    def test_assembly_yield_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assembly_yield(-1)
+        with pytest.raises(ValueError):
+            assembly_yield(2, per_die_attach_yield=1.2)
+
+
+class TestYieldModelWrapper:
+    def test_die_yield_uses_node_defect_density(self, yield_model, table):
+        area = 300.0
+        node = table.get(7)
+        expected = negative_binomial_yield(
+            area, node.defect_density_per_cm2, node.clustering_alpha
+        )
+        assert yield_model.die_yield(area, 7) == pytest.approx(expected)
+
+    def test_older_node_has_better_yield_at_same_area(self, yield_model):
+        assert yield_model.die_yield(400, 65) > yield_model.die_yield(400, 7)
+
+    def test_clustering_alpha_override(self, table):
+        default = YieldModel(table=table)
+        wide = YieldModel(table=table, clustering_alpha=10.0)
+        # Larger alpha (less clustering) means lower yield for the same D0*A.
+        assert wide.die_yield(400, 7) < default.die_yield(400, 7)
+
+    def test_known_good_die_alias(self, yield_model):
+        assert yield_model.known_good_die_fraction(123, 10) == pytest.approx(
+            yield_model.die_yield(123, 10)
+        )
+
+    def test_dies_needed_is_inverse_yield(self, yield_model):
+        y = yield_model.die_yield(250, 7)
+        assert yield_model.dies_needed(250, 7) == pytest.approx(1.0 / y)
+        assert yield_model.dies_needed(250, 7, good_dies=10) == pytest.approx(10.0 / y)
+        with pytest.raises(ValueError):
+            yield_model.dies_needed(250, 7, good_dies=-1)
