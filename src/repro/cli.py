@@ -5,20 +5,24 @@ entry point: load a design directory, estimate its total carbon footprint,
 optionally sweep the nodes listed in ``node_list.txt`` for each chiplet, and
 print (or write) the results.
 
-Two additional subcommand-style conveniences are provided:
+Additional conveniences:
 
 * ``--testcase <name>`` runs one of the built-in testcases instead of a
   design directory (see ``--list-testcases``).
 * ``--output <file>`` writes the full JSON report of the base configuration.
+* ``eco-chip sweep --spec <file> --jobs N --out results.jsonl`` evaluates a
+  declarative scenario grid in parallel, streaming results to disk (see
+  :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
 
 import argparse
+import heapq
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.disaggregation import all_node_configurations, node_configuration_sweep
+from repro.core.disaggregation import iter_node_configurations
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
@@ -34,6 +38,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Estimate the embodied and operational carbon footprint of "
             "monolithic and chiplet-based (heterogeneously integrated) systems."
+        ),
+        epilog=(
+            "Scenario grids: 'eco-chip sweep --spec <file> --jobs N --out "
+            "results.jsonl' (see 'eco-chip sweep --help')."
         ),
     )
     source = parser.add_mutually_exclusive_group()
@@ -101,15 +109,24 @@ def _estimator_from_args(args: argparse.Namespace) -> EcoChip:
 
 
 def _print_sweep(system: ChipletSystem, nodes: List[float], estimator: EcoChip) -> None:
-    configurations = all_node_configurations(nodes, system.chiplet_count)
-    results = node_configuration_sweep(system, configurations, estimator)
-    header = f"{'configuration':<24} {'Cmfg (kg)':>12} {'Cdes (kg)':>12} {'C_HI (kg)':>12} {'Cemb (kg)':>12} {'Ctot (kg)':>12}"
+    """Stream one row per node configuration (constant memory, no sort).
+
+    Rows are printed as soon as they are estimated, in grid order, so huge
+    sweeps start producing output immediately instead of materialising the
+    whole result dictionary first.
+    """
+    header = (
+        f"{'configuration':<24} {'packaging':<20} {'Cmfg (kg)':>12} {'Cdes (kg)':>12} "
+        f"{'C_HI (kg)':>12} {'Cemb (kg)':>12} {'Ctot (kg)':>12}"
+    )
     print(header)
     print("-" * len(header))
-    for config, report in sorted(results.items(), key=lambda item: item[1].total_cfp_g):
+    for config in iter_node_configurations(nodes, system.chiplet_count):
+        report = estimator.estimate(system.with_nodes(*config))
         label = "(" + ",".join(f"{int(n)}" for n in config) + ")"
         print(
-            f"{label:<24} {report.manufacturing_cfp_g / 1000.0:>12.2f} "
+            f"{label:<24} {report.packaging.architecture:<20} "
+            f"{report.manufacturing_cfp_g / 1000.0:>12.2f} "
             f"{report.design_cfp_g / 1000.0:>12.2f} "
             f"{report.hi_cfp_g / 1000.0:>12.2f} "
             f"{report.embodied_cfp_g / 1000.0:>12.2f} "
@@ -117,10 +134,175 @@ def _print_sweep(system: ChipletSystem, nodes: List[float], estimator: EcoChip) 
         )
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``eco-chip sweep`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="eco-chip sweep",
+        description=(
+            "Evaluate a declarative scenario grid (nodes x packaging x fab "
+            "sources x lifetimes x volumes) in parallel, streaming results "
+            "to a JSONL/CSV file."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--spec", help="Sweep-spec file (.json or YAML-ish .yaml)")
+    source.add_argument("--preset", help="Name of a built-in sweep preset (see --list-presets)")
+    parser.add_argument(
+        "--list-presets", action="store_true", help="List the built-in sweep presets and exit"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="Worker processes (1 = serial, default)"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, help="Scenarios per worker shard (default: auto)"
+    )
+    parser.add_argument(
+        "--out", help="Stream results to this file (.jsonl/.ndjson or .csv)"
+    )
+    parser.add_argument(
+        "--no-memoize",
+        action="store_true",
+        help="Disable the manufacturing/design kernel caches",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="Print the N lowest-carbon scenarios (default: 5)"
+    )
+    parser.add_argument(
+        "--pareto",
+        metavar="OBJ1,OBJ2[,...]",
+        help=(
+            "Also print the Pareto front under the named comma-separated "
+            "objectives (e.g. total_carbon_g,silicon_area_mm2)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="Only print the run summary line"
+    )
+    return parser
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    """Implementation of ``eco-chip sweep``; returns a process exit code."""
+    from repro.core.explorer import pareto_front
+    from repro.sweep.engine import SweepEngine
+    from repro.sweep.spec import PRESETS, SweepSpec
+    from repro.sweep.store import open_store, rows_from_records
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        for name in sorted(PRESETS):
+            print(name)
+        return 0
+    if not args.spec and not args.preset:
+        parser.print_help()
+        return 1
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.preset:
+            spec = SweepSpec.preset(args.preset)
+        else:
+            spec = SweepSpec.from_file(args.spec)
+        scenarios = spec.expand()
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not scenarios:
+        print("error: the spec expands into zero scenarios", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.out:
+        try:
+            store = open_store(args.out)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    engine = SweepEngine(
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        memoize=not args.no_memoize,
+    )
+    # Stream with bounded memory: track a running best and a top-N heap;
+    # records are only accumulated when --pareto needs the full set.
+    top_n = args.top if not args.quiet else 0
+    top_heap: List = []  # (-total_carbon_g, sequence, record)
+    pareto_records: Optional[List] = [] if args.pareto else None
+    best = None
+    count = 0
+    try:
+        for record in engine.iter_records(scenarios):
+            if store is not None:
+                store.append(record)
+            count += 1
+            if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
+                best = record
+            if top_n > 0:
+                heapq.heappush(top_heap, (-record["total_carbon_g"], count, record))
+                if len(top_heap) > top_n:
+                    heapq.heappop(top_heap)
+            if pareto_records is not None:
+                pareto_records.append(record)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if store is not None:
+            store.close()
+
+    assert best is not None  # scenarios is non-empty
+    print(
+        f"sweep {spec.name!r}: {count} scenarios, jobs={args.jobs}, "
+        f"best Ctot = {best['total_carbon_g'] / 1000.0:.2f} kg "
+        f"({best['base']} nodes={best['nodes']} {best['packaging']}/{best['fab_source']})"
+    )
+    if store is not None:
+        print(f"results written to {store.path}")
+
+    if top_n > 0:
+        top_records = sorted(
+            (record for _, _, record in top_heap), key=lambda r: r["total_carbon_g"]
+        )
+        print(f"\ntop {len(top_records)} scenarios by total carbon:")
+        header = f"{'rank':>4} {'Ctot (kg)':>12} {'nodes':<16} {'packaging':<20} {'source':<14} base"
+        print(header)
+        print("-" * len(header))
+        for rank, record in enumerate(top_records, start=1):
+            nodes = record["nodes"]
+            node_text = "(" + ",".join(f"{n:g}" for n in nodes) + ")" if nodes else "-"
+            print(
+                f"{rank:>4} {record['total_carbon_g'] / 1000.0:>12.2f} "
+                f"{node_text:<16} {record['packaging']:<20} "
+                f"{record['fab_source']:<14} {record['base']}"
+            )
+
+    if pareto_records is not None:
+        objectives = [name.strip() for name in args.pareto.split(",") if name.strip()]
+        try:
+            front = pareto_front(rows_from_records(pareto_records), objectives)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nPareto front under {objectives} ({len(front)} points):")
+        for row in front:
+            values = ", ".join(f"{name}={row.objective(name):.4g}" for name in objectives)
+            print(f"  {row.label}: {values}")
+
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "sweep":
+        return _sweep_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.list_testcases:
         for name in list_testcases():
@@ -152,7 +334,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(report.summary())
 
     if args.output:
-        path = write_report(report, args.output)
+        try:
+            path = write_report(report, args.output)
+        except OSError as exc:
+            print(f"error: cannot write report to {args.output}: {exc}", file=sys.stderr)
+            return 2
         print(f"\nreport written to {path}")
 
     if args.sweep_nodes:

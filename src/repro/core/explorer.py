@@ -70,21 +70,75 @@ def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
 
 
-def pareto_front(points: Sequence[DesignPoint], objectives: Sequence[str]) -> List[DesignPoint]:
-    """The non-dominated subset of ``points`` under the named objectives."""
+def _skyline_2d(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
+    """Indices of the 2-objective non-dominated set, O(n log n).
+
+    Sweep the points in lexicographic order: an earlier point ``p`` can only
+    dominate a later point ``q`` (``p.x <= q.x`` by sort order), which it
+    does iff ``p.y <= q.y`` and the vectors differ.  Tracking the minimum
+    ``y`` seen so far — and the smallest ``x`` achieving it, to keep exact
+    duplicates mutually non-dominating — decides each point in O(1).
+    """
+    order = sorted(range(len(vectors)), key=lambda i: vectors[i])
+    survivors: List[int] = []
+    best_y = float("inf")
+    best_y_x = float("inf")  # smallest x among points achieving best_y
+    for index in order:
+        x, y = vectors[index]
+        if y < best_y:
+            best_y, best_y_x = y, x
+            survivors.append(index)
+        elif y == best_y and x == best_y_x:
+            survivors.append(index)  # exact duplicate of the current minimum
+    return survivors
+
+
+def _skyline_bnl(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
+    """Indices of the k-objective non-dominated set (block-nested loop).
+
+    Points are visited in lexicographic order so likely dominators enter the
+    window early; each candidate is compared against the current window with
+    an early exit on the first dominator.  Worst case O(n^2) comparisons,
+    but O(n * |front|) in practice — far below the all-pairs scan for the
+    small fronts design-space sweeps produce.
+    """
+    order = sorted(range(len(vectors)), key=lambda i: vectors[i])
+    window: List[int] = []
+    for index in order:
+        candidate = vectors[index]
+        dominated = False
+        for kept in window:
+            if _dominates(vectors[kept], candidate):
+                dominated = True
+                break
+        if dominated:
+            continue
+        # Lexicographic order guarantees earlier window entries are never
+        # dominated by later candidates, so the window only grows.
+        window.append(index)
+    return window
+
+
+def pareto_front(points: Sequence["DesignPoint"], objectives: Sequence[str]) -> List["DesignPoint"]:
+    """The non-dominated subset of ``points`` under the named objectives.
+
+    Accepts any objects exposing ``objective(name) -> float`` (both
+    :class:`DesignPoint` and :class:`repro.sweep.store.SweepRow`).  Uses a
+    sort-based skyline: O(n log n) for two objectives, a block-nested loop
+    with early exit otherwise.  The result preserves input order.
+    """
     if not objectives:
         raise ValueError("at least one objective is required")
     vectors = [tuple(point.objective(name) for name in objectives) for point in points]
-    front = []
-    for index, point in enumerate(points):
-        dominated = any(
-            _dominates(vectors[other], vectors[index])
-            for other in range(len(points))
-            if other != index
-        )
-        if not dominated:
-            front.append(point)
-    return front
+    if len(objectives) == 1:
+        best = min((v[0] for v in vectors), default=None)
+        return [point for point, v in zip(points, vectors) if v[0] == best]
+    if len(objectives) == 2:
+        survivors = _skyline_2d(vectors)
+    else:
+        survivors = _skyline_bnl(vectors)
+    keep = set(survivors)
+    return [point for index, point in enumerate(points) if index in keep]
 
 
 class DesignSpaceExplorer:
@@ -110,18 +164,45 @@ class DesignSpaceExplorer:
         cost = self.cost_model.estimate(system) if self.cost_model is not None else None
         return DesignPoint(system=system, carbon=carbon, cost=cost)
 
+    def evaluate_many(
+        self,
+        systems: Sequence[ChipletSystem],
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> List[DesignPoint]:
+        """Evaluate many candidate systems, optionally across processes.
+
+        Delegates to the sweep engine
+        (:func:`repro.sweep.engine.evaluate_systems`): ``jobs=1`` runs
+        serially with memoised manufacturing/design kernels, ``jobs>1``
+        shards the candidates over worker processes.  Results are returned
+        in input order and are identical for any ``jobs`` value.
+        """
+        from repro.sweep.engine import evaluate_systems  # deferred: avoids an import cycle
+
+        return evaluate_systems(
+            systems,
+            config=self.estimator.config,
+            table=self.estimator.table,
+            include_cost=self.cost_model is not None,
+            jobs=jobs,
+            chunk_size=chunk_size,
+        )
+
     def explore(
         self,
         system: ChipletSystem,
         node_choices: Sequence[float],
         packaging_choices: Optional[Iterable[PackagingSpec]] = None,
+        jobs: int = 1,
     ) -> List[DesignPoint]:
         """Evaluate every node assignment (and optionally packaging choice).
 
         The search is exhaustive: ``len(node_choices) ** chiplet_count``
         node assignments times the number of packaging choices.  For the
         paper-scale problems (3 chiplets, 3–4 nodes, 5 packages) this is a
-        few hundred estimator calls and runs in seconds.
+        few hundred estimator calls and runs in seconds; larger spaces can
+        be fanned out over ``jobs`` worker processes.
         """
         if not node_choices:
             raise ValueError("at least one node choice is required")
@@ -131,15 +212,16 @@ class DesignSpaceExplorer:
         if not packagings:
             raise ValueError("packaging_choices was given but empty")
 
-        points = []
+        candidates = []
         for nodes in all_node_configurations(node_choices, system.chiplet_count):
             candidate = system.with_nodes(*nodes)
             for packaging in packagings:
-                variant = (
+                candidates.append(
                     candidate.with_packaging(packaging) if packaging is not None else candidate
                 )
-                points.append(self.evaluate(variant))
-        return points
+        if jobs == 1:
+            return [self.evaluate(variant) for variant in candidates]
+        return self.evaluate_many(candidates, jobs=jobs)
 
     # -- selection -------------------------------------------------------------------
     def best(

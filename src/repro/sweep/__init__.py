@@ -1,0 +1,51 @@
+"""Parallel scenario-sweep engine for large carbon design-space studies.
+
+The paper's closing argument (Section VI) is that carbon must be treated as
+a first-order design metric, which requires evaluating *large* scenario
+spaces — every node assignment times every packaging architecture times
+every fab energy source, lifetime and manufacturing volume.  This package
+provides the scale-out machinery for that:
+
+:mod:`repro.sweep.spec`
+    Declarative :class:`~repro.sweep.spec.SweepSpec` scenario grids with
+    cartesian-product expansion and named presets.
+:mod:`repro.sweep.engine`
+    :class:`~repro.sweep.engine.SweepEngine` — sharded, process-parallel
+    scenario evaluation with memoised manufacturing/design kernels and a
+    deterministic serial fallback.
+:mod:`repro.sweep.store`
+    Streaming JSONL/CSV result stores (crash-safe, constant memory) and
+    row adapters feeding :func:`repro.core.explorer.pareto_front`.
+"""
+
+from repro.sweep.engine import KernelCacheStats, SweepEngine, SweepSummary, install_kernel_cache
+from repro.sweep.spec import PRESETS, Scenario, SweepSpec, load_spec
+from repro.sweep.store import (
+    CsvResultStore,
+    JsonlResultStore,
+    SweepRow,
+    iter_records,
+    load_records,
+    load_rows,
+    open_store,
+    rows_from_records,
+)
+
+__all__ = [
+    "SweepSpec",
+    "Scenario",
+    "PRESETS",
+    "load_spec",
+    "SweepEngine",
+    "SweepSummary",
+    "KernelCacheStats",
+    "install_kernel_cache",
+    "JsonlResultStore",
+    "CsvResultStore",
+    "SweepRow",
+    "open_store",
+    "iter_records",
+    "load_records",
+    "load_rows",
+    "rows_from_records",
+]

@@ -1,0 +1,476 @@
+"""Sharded, process-parallel evaluation of sweep scenarios.
+
+The engine turns an expanded scenario list into flattened result records:
+
+* ``jobs=1`` evaluates serially in-process (deterministic, no pickling);
+* ``jobs>1`` shards the scenarios into chunks and fans them out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  ``executor.map``
+  preserves chunk order, so the record stream — and therefore every total —
+  is bit-identical to the serial path.
+
+Each evaluator process memoises the two hot kernels of the estimation
+pipeline: the per-die manufacturing CFP (keyed on area, node and design
+type) and the per-chiplet design CFP (keyed on transistors, node,
+iterations, volume and reuse).  Across a scenario grid most sub-evaluations
+repeat — e.g. the analog chiplet's manufacturing CFP is identical in every
+scenario that keeps it at 14 nm — so the cache collapses the grid's cost
+from ``scenarios x chiplets`` kernel runs to the number of *distinct*
+kernel inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.results import SystemCarbonReport
+from repro.core.system import ChipletSystem
+from repro.design.eda import DEFAULT_DESIGN_ITERATIONS
+from repro.sweep.spec import Scenario, SweepSpec, resolve_base
+from repro.sweep.store import ResultStore
+from repro.technology.nodes import TechnologyTable
+from repro.technology.scaling import DesignType
+
+Record = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# Kernel memoisation
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class KernelCacheStats:
+    """Hit/miss counters of the memoised estimator kernels."""
+
+    manufacturing_hits: int = 0
+    manufacturing_misses: int = 0
+    design_hits: int = 0
+    design_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across both kernels."""
+        return self.manufacturing_hits + self.design_hits
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across both kernels."""
+        return self.manufacturing_misses + self.design_misses
+
+
+def install_kernel_cache(
+    estimator: EcoChip, stats: Optional[KernelCacheStats] = None
+) -> KernelCacheStats:
+    """Memoise ``estimator``'s manufacturing and design CFP kernels in place.
+
+    Results are cached on the value-determining inputs only; the cosmetic
+    ``name`` argument is re-attached on the way out, so cached results are
+    bit-identical to uncached ones.  Installing twice is a no-op.
+
+    Returns:
+        The stats object tracking hits and misses for this estimator.
+    """
+    existing = getattr(estimator, "_kernel_cache_stats", None)
+    if existing is not None:
+        return existing
+    stats = stats if stats is not None else KernelCacheStats()
+
+    manufacturing = estimator.manufacturing
+    raw_cfp_for_area = manufacturing.cfp_for_area
+    manufacturing_cache: Dict[Tuple[float, float, DesignType], Any] = {}
+
+    def cfp_for_area(area_mm2, node, design_type=DesignType.LOGIC, name=""):
+        dtype = DesignType.parse(design_type)
+        key = (float(area_mm2), manufacturing.table.get(node).feature_nm, dtype)
+        hit = manufacturing_cache.get(key)
+        if hit is None:
+            stats.manufacturing_misses += 1
+            hit = raw_cfp_for_area(area_mm2, node, dtype, name="")
+            manufacturing_cache[key] = hit
+        else:
+            stats.manufacturing_hits += 1
+        return dataclasses.replace(hit, name=name) if name else hit
+
+    manufacturing.cfp_for_area = cfp_for_area  # type: ignore[method-assign]
+
+    design = estimator.design_model
+    raw_chiplet_design_cfp = design.chiplet_design_cfp
+    design_cache: Dict[Tuple[float, float, int, float, bool], Any] = {}
+
+    def chiplet_design_cfp(
+        transistors,
+        node,
+        iterations=DEFAULT_DESIGN_ITERATIONS,
+        manufactured_volume=1.0,
+        name="",
+        reused=False,
+    ):
+        key = (
+            float(transistors),
+            design.table.get(node).feature_nm,
+            int(iterations),
+            float(manufactured_volume),
+            bool(reused),
+        )
+        hit = design_cache.get(key)
+        if hit is None:
+            stats.design_misses += 1
+            hit = raw_chiplet_design_cfp(
+                transistors,
+                node,
+                iterations=iterations,
+                manufactured_volume=manufactured_volume,
+                name="",
+                reused=reused,
+            )
+            design_cache[key] = hit
+        else:
+            stats.design_hits += 1
+        return dataclasses.replace(hit, name=name) if name else hit
+
+    design.chiplet_design_cfp = chiplet_design_cfp  # type: ignore[method-assign]
+
+    estimator._kernel_cache_stats = stats  # type: ignore[attr-defined]
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Scenario evaluation (shared by the serial path and worker processes)
+# ---------------------------------------------------------------------------
+def _source_name(source: Any) -> str:
+    return str(getattr(source, "value", source))
+
+
+def make_record(
+    scenario: Scenario, system: ChipletSystem, report: SystemCarbonReport, fab_source: str
+) -> Record:
+    """Flatten one evaluated scenario into a JSON/CSV-friendly record.
+
+    Metric keys deliberately match :data:`repro.core.explorer.OBJECTIVES`
+    so reloaded records plug into the Pareto tooling unchanged.
+    """
+    record = scenario.to_record()
+    record.update(
+        {
+            "system": system.name,
+            "nodes": [float(n) for n in report.node_configuration],
+            "packaging": report.packaging.architecture,
+            "fab_source": fab_source,
+            "lifetime_years": report.operational.lifetime_years,
+            "system_volume": system.system_volume,
+            "total_carbon_g": report.total_cfp_g,
+            "embodied_carbon_g": report.embodied_cfp_g,
+            "manufacturing_carbon_g": report.manufacturing_cfp_g,
+            "design_carbon_g": report.design_cfp_g,
+            "hi_carbon_g": report.hi_cfp_g,
+            "operational_carbon_g": report.operational_cfp_g,
+            "silicon_area_mm2": report.total_silicon_area_mm2,
+            "package_area_mm2": report.packaging.package_area_mm2,
+            "power_w": report.operational.energy.total_power_w,
+        }
+    )
+    return record
+
+
+class _ScenarioEvaluator:
+    """Per-process evaluation context: base-system, estimator and kernel caches."""
+
+    def __init__(self, default_config: Optional[EstimatorConfig], memoize: bool):
+        self.default_config = default_config if default_config is not None else EstimatorConfig()
+        self.memoize = memoize
+        self.stats = KernelCacheStats()
+        self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
+        self._estimators: Dict[Optional[str], EcoChip] = {}
+
+    def _base(self, scenario: Scenario) -> ChipletSystem:
+        key = (scenario.base_kind, scenario.base_ref)
+        system = self._bases.get(key)
+        if system is None:
+            system = resolve_base(scenario.base_kind, scenario.base_ref)
+            self._bases[key] = system
+        return system
+
+    def _estimator(self, fab_source: Optional[str]) -> EcoChip:
+        estimator = self._estimators.get(fab_source)
+        if estimator is None:
+            if fab_source is None:
+                config = self.default_config
+            else:
+                config = dataclasses.replace(
+                    self.default_config,
+                    fab_carbon_source=fab_source,
+                    package_carbon_source=fab_source,
+                    design_carbon_source=fab_source,
+                )
+            estimator = EcoChip(config=config)
+            if self.memoize:
+                install_kernel_cache(estimator, self.stats)
+            self._estimators[fab_source] = estimator
+        return estimator
+
+    def evaluate(self, scenario: Scenario) -> Record:
+        """Evaluate one scenario into a flattened record."""
+        system = scenario.build_system(base=self._base(scenario))
+        estimator = self._estimator(scenario.fab_source)
+        report = estimator.estimate(system)
+        fab_source = (
+            scenario.fab_source
+            if scenario.fab_source is not None
+            else _source_name(self.default_config.fab_carbon_source)
+        )
+        return make_record(scenario, system, report, fab_source)
+
+
+#: Worker-process evaluator, created once per worker by the pool initializer.
+_EVALUATOR: Optional[_ScenarioEvaluator] = None
+
+
+def _init_worker(default_config: Optional[EstimatorConfig], memoize: bool) -> None:
+    global _EVALUATOR
+    _EVALUATOR = _ScenarioEvaluator(default_config, memoize)
+
+
+def _evaluate_chunk(scenarios: Sequence[Scenario]) -> List[Record]:
+    assert _EVALUATOR is not None, "worker initializer did not run"
+    return [_EVALUATOR.evaluate(scenario) for scenario in scenarios]
+
+
+def shard(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SweepSummary:
+    """Outcome of one :meth:`SweepEngine.run`.
+
+    Attributes:
+        scenario_count: Number of scenarios evaluated.
+        elapsed_s: Wall-clock duration of the run.
+        jobs: Parallelism the run used.
+        best: Record with the lowest ``total_carbon_g`` (``None`` when the
+            spec was empty).
+        store_path: Where records were streamed (``None`` without a store).
+        cache_stats: Kernel-cache counters (serial runs only; workers keep
+            their own counters).
+    """
+
+    scenario_count: int
+    elapsed_s: float
+    jobs: int
+    best: Optional[Record]
+    store_path: Optional[str] = None
+    cache_stats: Optional[KernelCacheStats] = None
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Evaluation throughput."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.scenario_count / self.elapsed_s
+
+
+class SweepEngine:
+    """Evaluates sweep scenarios, serially or across worker processes.
+
+    Args:
+        jobs: Worker processes; ``1`` runs serially in-process.
+        chunk_size: Scenarios per shard; defaults to an even split across
+            ``8 x jobs`` chunks (capped at 256) so workers stay busy
+            without excessive pickling round-trips.
+        memoize: Memoise the manufacturing/design kernels in each process.
+        config: Estimator configuration shared by all scenarios (scenario
+            ``fab_source`` overrides the energy sources per scenario).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        memoize: bool = True,
+        config: Optional[EstimatorConfig] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.memoize = memoize
+        self.config = config
+        #: Kernel-cache stats of the last serial run (None after parallel runs).
+        self.last_cache_stats: Optional[KernelCacheStats] = None
+
+    # -- streaming ------------------------------------------------------------------
+    def _resolve_scenarios(
+        self, sweep: Union[SweepSpec, Iterable[Scenario]]
+    ) -> List[Scenario]:
+        if isinstance(sweep, SweepSpec):
+            return sweep.expand()
+        return list(sweep)
+
+    def _chunk_size_for(self, scenario_count: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        target_chunks = self.jobs * 8
+        return max(1, min(256, -(-scenario_count // max(1, target_chunks))))
+
+    def iter_records(self, sweep: Union[SweepSpec, Iterable[Scenario]]) -> Iterator[Record]:
+        """Yield one flattened record per scenario, in scenario order.
+
+        The serial and parallel paths run the same per-scenario code, so
+        the records (and any totals derived from them) are bit-identical
+        for any ``jobs`` value.
+        """
+        self.last_cache_stats = None
+        scenarios = self._resolve_scenarios(sweep)
+        if not scenarios:
+            return
+        if self.jobs == 1:
+            evaluator = _ScenarioEvaluator(self.config, self.memoize)
+            self.last_cache_stats = evaluator.stats
+            for scenario in scenarios:
+                yield evaluator.evaluate(scenario)
+            return
+        chunks = shard(scenarios, self._chunk_size_for(len(scenarios)))
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            initializer=_init_worker,
+            initargs=(self.config, self.memoize),
+        ) as pool:
+            for chunk_records in pool.map(_evaluate_chunk, chunks):
+                for record in chunk_records:
+                    yield record
+
+    # -- one-shot -------------------------------------------------------------------
+    def run(
+        self,
+        sweep: Union[SweepSpec, Iterable[Scenario]],
+        store: Optional[ResultStore] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> SweepSummary:
+        """Evaluate every scenario, streaming records into ``store``.
+
+        Args:
+            sweep: A spec (expanded here) or pre-expanded scenarios.
+            store: Streaming result store; each record is appended (and
+                flushed) as soon as it is computed.
+            progress: Optional ``(done, total)`` callback per record.
+
+        Returns:
+            A :class:`SweepSummary` with counts, timing and the best record.
+        """
+        scenarios = self._resolve_scenarios(sweep)
+        total = len(scenarios)
+        best: Optional[Record] = None
+        done = 0
+        start = time.perf_counter()
+        for record in self.iter_records(scenarios):
+            if store is not None:
+                store.append(record)
+            if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
+                best = record
+            done += 1
+            if progress is not None:
+                progress(done, total)
+        elapsed = time.perf_counter() - start
+        return SweepSummary(
+            scenario_count=done,
+            elapsed_s=elapsed,
+            jobs=self.jobs,
+            best=best,
+            store_path=str(store.path) if store is not None else None,
+            cache_stats=self.last_cache_stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# System-level fan-out for DesignSpaceExplorer.evaluate_many
+# ---------------------------------------------------------------------------
+class _SystemEvaluator:
+    """Per-process evaluator for pre-built :class:`ChipletSystem` objects."""
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig],
+        table: Optional[TechnologyTable],
+        include_cost: bool,
+        memoize: bool,
+    ):
+        from repro.core.explorer import DesignPoint  # deferred: explorer imports us lazily
+        from repro.cost.model import ChipletCostModel
+
+        self._point_cls = DesignPoint
+        self.estimator = EcoChip(config=config, table=table)
+        if memoize:
+            install_kernel_cache(self.estimator)
+        self.cost_model = (
+            ChipletCostModel(table=self.estimator.table) if include_cost else None
+        )
+
+    def evaluate(self, system: ChipletSystem):
+        carbon = self.estimator.estimate(system)
+        cost = self.cost_model.estimate(system) if self.cost_model is not None else None
+        return self._point_cls(system=system, carbon=carbon, cost=cost)
+
+
+_SYSTEM_EVALUATOR: Optional[_SystemEvaluator] = None
+
+
+def _init_system_worker(
+    config: Optional[EstimatorConfig],
+    table: Optional[TechnologyTable],
+    include_cost: bool,
+    memoize: bool,
+) -> None:
+    global _SYSTEM_EVALUATOR
+    _SYSTEM_EVALUATOR = _SystemEvaluator(config, table, include_cost, memoize)
+
+
+def _evaluate_system_chunk(systems: Sequence[ChipletSystem]) -> List[Any]:
+    assert _SYSTEM_EVALUATOR is not None, "worker initializer did not run"
+    return [_SYSTEM_EVALUATOR.evaluate(system) for system in systems]
+
+
+def evaluate_systems(
+    systems: Sequence[ChipletSystem],
+    config: Optional[EstimatorConfig] = None,
+    table: Optional[TechnologyTable] = None,
+    include_cost: bool = False,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    memoize: bool = True,
+) -> List[Any]:
+    """Evaluate many systems into ``DesignPoint``s, optionally in parallel.
+
+    This is the backend of
+    :meth:`repro.core.explorer.DesignSpaceExplorer.evaluate_many`; results
+    are returned in input order for any ``jobs`` value.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    systems = list(systems)
+    if not systems:
+        return []
+    if jobs == 1:
+        evaluator = _SystemEvaluator(config, table, include_cost, memoize)
+        return [evaluator.evaluate(system) for system in systems]
+    if chunk_size is None:
+        chunk_size = max(1, min(256, -(-len(systems) // (jobs * 8))))
+    chunks = shard(systems, chunk_size)
+    points: List[Any] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        initializer=_init_system_worker,
+        initargs=(config, table, include_cost, memoize),
+    ) as pool:
+        for chunk_points in pool.map(_evaluate_system_chunk, chunks):
+            points.extend(chunk_points)
+    return points

@@ -1,0 +1,498 @@
+"""Declarative sweep specifications and their cartesian expansion.
+
+A :class:`SweepSpec` describes a grid of scenarios over the knobs the paper
+sweeps in its experiments: technology-node assignments (Fig. 7), packaging
+architectures (Figs. 9, 11), fab energy sources (Table I's 30–700 g/kWh
+range), lifetimes (Fig. 4) and manufacturing volumes (Fig. 12), applied to
+built-in testcases or on-disk design directories.  Specs are plain frozen
+dataclasses, buildable from JSON/YAML-ish dictionaries or files, and expand
+into a flat list of picklable :class:`Scenario` objects that
+:class:`repro.sweep.engine.SweepEngine` evaluates in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.disaggregation import all_node_configurations
+from repro.core.system import ChipletSystem
+from repro.io.loaders import load_design_directory
+from repro.packaging.registry import spec_from_dict
+from repro.technology.carbon_sources import carbon_intensity
+from repro.testcases.registry import get_testcase
+
+PathLike = Union[str, Path]
+
+#: Base-system kinds a scenario can reference.
+BASE_TESTCASE = "testcase"
+BASE_DESIGN_DIR = "design_dir"
+
+
+# ---------------------------------------------------------------------------
+# Scenario: one fully-resolved point of the grid
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One expanded scenario: a base system plus the knob overrides.
+
+    Scenarios are deliberately *descriptions*, not resolved systems: they
+    are tiny and picklable, so the engine can ship them to worker processes
+    which rebuild the (much larger) system objects locally.
+
+    Attributes:
+        index: Position in the expanded grid (stable across runs).
+        base_kind: ``"testcase"`` or ``"design_dir"``.
+        base_ref: Testcase name or design-directory path.
+        nodes: Node assignment for the chiplets (``None`` keeps the base).
+        packaging: Packaging configuration dict (``None`` keeps the base).
+        fab_source: Fab/packaging/design energy source (``None`` keeps the
+            engine default).
+        lifetime_years: Use-phase lifetime override.
+        system_volume: Manufacturing volume ``NS`` override.
+    """
+
+    index: int
+    base_kind: str
+    base_ref: str
+    nodes: Optional[Tuple[float, ...]] = None
+    packaging: Optional[Mapping[str, Any]] = None
+    fab_source: Optional[str] = None
+    lifetime_years: Optional[float] = None
+    system_volume: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier of the scenario."""
+        parts = [self.base_ref]
+        if self.nodes is not None:
+            parts.append("(" + ",".join(f"{n:g}" for n in self.nodes) + ")")
+        if self.packaging is not None:
+            parts.append(str(self.packaging.get("type", "?")))
+        if self.fab_source is not None:
+            parts.append(self.fab_source)
+        if self.lifetime_years is not None:
+            parts.append(f"{self.lifetime_years:g}y")
+        if self.system_volume is not None:
+            parts.append(f"NS={self.system_volume:g}")
+        return "/".join(parts)
+
+    def build_system(self, base: Optional[ChipletSystem] = None) -> ChipletSystem:
+        """Resolve the scenario into a concrete :class:`ChipletSystem`.
+
+        Args:
+            base: Pre-resolved base system (callers that evaluate many
+                scenarios of the same base pass it to avoid re-loading).
+        """
+        system = base if base is not None else resolve_base(self.base_kind, self.base_ref)
+        if self.nodes is not None:
+            system = system.with_nodes(*self.nodes)
+        if self.packaging is not None:
+            system = system.with_packaging(spec_from_dict(dict(self.packaging)))
+        if self.system_volume is not None:
+            system = system.with_volume(self.system_volume)
+        if self.lifetime_years is not None:
+            system = system.with_operating(
+                dataclasses.replace(system.operating, lifetime_years=self.lifetime_years)
+            )
+        return system
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-friendly dictionary of the scenario parameters."""
+        return {
+            "scenario": self.index,
+            "base": self.base_ref,
+            "nodes": list(self.nodes) if self.nodes is not None else None,
+            "packaging": (
+                str(self.packaging.get("type", "?")) if self.packaging is not None else None
+            ),
+            "fab_source": self.fab_source,
+            "lifetime_years": self.lifetime_years,
+            "system_volume": self.system_volume,
+        }
+
+
+def resolve_base(base_kind: str, base_ref: str) -> ChipletSystem:
+    """Build the base system a scenario refers to."""
+    if base_kind == BASE_TESTCASE:
+        return get_testcase(base_ref)
+    if base_kind == BASE_DESIGN_DIR:
+        return load_design_directory(base_ref).system
+    raise ValueError(f"unknown scenario base kind {base_kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec: the declarative grid
+# ---------------------------------------------------------------------------
+_SPEC_KEYS = {
+    "name",
+    "testcases",
+    "design_dirs",
+    "nodes",
+    "node_configs",
+    "packaging",
+    "carbon_sources",
+    "lifetimes",
+    "system_volumes",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A declarative scenario grid (cartesian product of the axes).
+
+    Every axis is optional; an empty axis means "keep the base system's
+    value".  ``nodes`` expands into every per-chiplet assignment
+    (``len(nodes) ** chiplet_count`` configurations per base system) while
+    ``node_configs`` lists explicit assignments; the two are mutually
+    exclusive.
+
+    Attributes:
+        name: Spec name, recorded in result rows.
+        testcases: Built-in testcase names to use as base systems.
+        design_dirs: ECO-CHIP design directories to use as base systems.
+        nodes: Node choices for mix-and-match expansion.
+        node_configs: Explicit node assignments (tuples, one per chiplet).
+        packaging: Packaging configurations (dicts with a ``type`` key).
+        carbon_sources: Fab energy sources to sweep.
+        lifetimes: Lifetimes (years) to sweep.
+        system_volumes: Manufacturing volumes ``NS`` to sweep.
+    """
+
+    name: str = "sweep"
+    testcases: Tuple[str, ...] = ()
+    design_dirs: Tuple[str, ...] = ()
+    nodes: Tuple[float, ...] = ()
+    node_configs: Tuple[Tuple[float, ...], ...] = ()
+    packaging: Tuple[Mapping[str, Any], ...] = ()
+    carbon_sources: Tuple[str, ...] = ()
+    lifetimes: Tuple[float, ...] = ()
+    system_volumes: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.testcases and not self.design_dirs:
+            raise ValueError("a sweep spec needs at least one testcase or design_dir")
+        if self.nodes and self.node_configs:
+            raise ValueError("'nodes' and 'node_configs' are mutually exclusive")
+        for value in self.lifetimes:
+            if value <= 0:
+                raise ValueError(f"lifetimes must be positive, got {value}")
+        for value in self.system_volumes:
+            if value <= 0:
+                raise ValueError(f"system volumes must be positive, got {value}")
+        for config in self.packaging:
+            spec_from_dict(dict(config))  # validate eagerly: raises KeyError/TypeError
+        for source in self.carbon_sources:
+            carbon_intensity(source)  # validate eagerly
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, config: Mapping[str, Any], base_dir: Optional[PathLike] = None
+    ) -> "SweepSpec":
+        """Build a spec from a JSON/YAML-style dictionary.
+
+        Scalars are promoted to one-element axes, packaging entries may be
+        plain architecture names (``"rdl"``) or full dicts, and
+        ``design_dirs`` are resolved relative to ``base_dir`` (usually the
+        directory of the spec file).
+        """
+        unknown = set(config) - _SPEC_KEYS
+        if unknown:
+            raise KeyError(
+                f"unknown sweep-spec keys {sorted(unknown)}; known keys: {sorted(_SPEC_KEYS)}"
+            )
+
+        def listify(value: Any) -> List[Any]:
+            if value is None:
+                return []
+            if isinstance(value, (str, bytes, Mapping)):
+                return [value]
+            if isinstance(value, (list, tuple)):
+                return list(value)
+            return [value]
+
+        design_dirs = []
+        for entry in listify(config.get("design_dirs")):
+            path = Path(str(entry))
+            if base_dir is not None and not path.is_absolute():
+                path = Path(base_dir) / path
+            design_dirs.append(str(path))
+
+        packaging = []
+        for entry in listify(config.get("packaging")):
+            if isinstance(entry, str):
+                packaging.append({"type": entry})
+            elif isinstance(entry, Mapping):
+                packaging.append(dict(entry))
+            else:
+                raise TypeError(
+                    f"packaging entries must be names or dicts, got {entry!r}"
+                )
+
+        node_configs = tuple(
+            tuple(float(n) for n in entry)
+            for entry in listify(config.get("node_configs"))
+        )
+
+        return cls(
+            name=str(config.get("name", "sweep")),
+            testcases=tuple(str(t) for t in listify(config.get("testcases"))),
+            design_dirs=tuple(design_dirs),
+            nodes=tuple(float(n) for n in listify(config.get("nodes"))),
+            node_configs=node_configs,
+            packaging=tuple(packaging),
+            carbon_sources=tuple(str(s) for s in listify(config.get("carbon_sources"))),
+            lifetimes=tuple(float(v) for v in listify(config.get("lifetimes"))),
+            system_volumes=tuple(float(v) for v in listify(config.get("system_volumes"))),
+        )
+
+    @classmethod
+    def from_file(cls, path: PathLike) -> "SweepSpec":
+        """Load a spec from a ``.json`` or YAML-ish ``.yaml``/``.yml`` file."""
+        target = Path(path)
+        text = target.read_text(encoding="utf-8")
+        if target.suffix.lower() in (".yaml", ".yml"):
+            data = parse_yamlish(text)
+        else:
+            data = json.loads(text)
+            if not isinstance(data, dict):
+                raise ValueError(f"{target}: expected a JSON object at the top level")
+        return cls.from_dict(data, base_dir=target.parent)
+
+    @classmethod
+    def preset(cls, name: str) -> "SweepSpec":
+        """One of the named scenario presets in :data:`PRESETS`."""
+        key = name.strip().lower()
+        config = PRESETS.get(key)
+        if config is None:
+            raise KeyError(f"unknown sweep preset {name!r}; known presets: {sorted(PRESETS)}")
+        return cls.from_dict(config)
+
+    # -- expansion ------------------------------------------------------------------
+    def expand(self) -> List[Scenario]:
+        """The flat list of scenarios (cartesian product of the axes).
+
+        Node assignments depend on each base system's chiplet count, so the
+        base systems are resolved once here (in the parent process); the
+        returned scenarios stay small and picklable.
+        """
+        bases: List[Tuple[str, str]] = [(BASE_TESTCASE, t) for t in self.testcases]
+        bases += [(BASE_DESIGN_DIR, d) for d in self.design_dirs]
+
+        packaging_axis: Sequence[Optional[Mapping[str, Any]]] = self.packaging or (None,)
+        source_axis: Sequence[Optional[str]] = self.carbon_sources or (None,)
+        lifetime_axis: Sequence[Optional[float]] = self.lifetimes or (None,)
+        volume_axis: Sequence[Optional[float]] = self.system_volumes or (None,)
+
+        scenarios: List[Scenario] = []
+        for base_kind, base_ref in bases:
+            node_axis: Sequence[Optional[Tuple[float, ...]]]
+            if self.node_configs or self.nodes:
+                system = resolve_base(base_kind, base_ref)
+                if self.node_configs:
+                    for config in self.node_configs:
+                        if len(config) != system.chiplet_count:
+                            raise ValueError(
+                                f"node config {config} has {len(config)} entries but "
+                                f"{base_ref!r} has {system.chiplet_count} chiplets"
+                            )
+                    node_axis = self.node_configs
+                else:
+                    node_axis = all_node_configurations(self.nodes, system.chiplet_count)
+            else:
+                node_axis = (None,)
+            for nodes, packaging, source, lifetime, volume in itertools.product(
+                node_axis, packaging_axis, source_axis, lifetime_axis, volume_axis
+            ):
+                scenarios.append(
+                    Scenario(
+                        index=len(scenarios),
+                        base_kind=base_kind,
+                        base_ref=base_ref,
+                        nodes=nodes,
+                        packaging=packaging,
+                        fab_source=source,
+                        lifetime_years=lifetime,
+                        system_volume=volume,
+                    )
+                )
+        return scenarios
+
+    def count(self) -> int:
+        """Number of scenarios the spec expands into.
+
+        Computed arithmetically from the axis lengths (base systems are
+        resolved only for their chiplet counts) — no scenario objects are
+        allocated, so sizing a huge grid stays cheap.
+        """
+        other_axes = (
+            max(1, len(self.packaging))
+            * max(1, len(self.carbon_sources))
+            * max(1, len(self.lifetimes))
+            * max(1, len(self.system_volumes))
+        )
+        bases: List[Tuple[str, str]] = [(BASE_TESTCASE, t) for t in self.testcases]
+        bases += [(BASE_DESIGN_DIR, d) for d in self.design_dirs]
+        total = 0
+        for base_kind, base_ref in bases:
+            if self.node_configs:
+                node_count = len(self.node_configs)
+            elif self.nodes:
+                chiplets = resolve_base(base_kind, base_ref).chiplet_count
+                node_count = len(self.nodes) ** chiplets
+            else:
+                node_count = 1
+            total += node_count * other_axes
+        return total
+
+
+def load_spec(path: PathLike) -> SweepSpec:
+    """Convenience alias for :meth:`SweepSpec.from_file`."""
+    return SweepSpec.from_file(path)
+
+
+# ---------------------------------------------------------------------------
+# Named presets
+# ---------------------------------------------------------------------------
+#: Named scenario presets.  ``ga102-grid`` is the paper-scale grid used by
+#: the acceptance benchmark (4 nodes ^ 3 chiplets x 5 packagings x 2 fab
+#: sources = 640 scenarios); ``ga102-quick`` is a fast smoke grid for CI.
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "ga102-grid": {
+        "name": "ga102-grid",
+        "testcases": ["ga102-3chiplet"],
+        "nodes": [7, 10, 14, 22],
+        "packaging": ["rdl_fanout", "silicon_bridge", "passive_interposer", "active_interposer", "3d"],
+        "carbon_sources": ["coal", "renewable_mix"],
+    },
+    "ga102-quick": {
+        "name": "ga102-quick",
+        "testcases": ["ga102-3chiplet"],
+        "nodes": [7, 14],
+        "packaging": ["rdl_fanout", "silicon_bridge"],
+    },
+    "green-fab": {
+        "name": "green-fab",
+        "testcases": ["ga102-3chiplet", "a15-3chiplet", "emr-2chiplet"],
+        "carbon_sources": ["coal", "gas", "grid_usa", "grid_taiwan", "solar", "wind"],
+        "lifetimes": [2, 4, 6, 8],
+    },
+    "volume-amortisation": {
+        "name": "volume-amortisation",
+        "testcases": ["ga102-3chiplet", "a15-3chiplet"],
+        "system_volumes": [1e3, 1e4, 1e5, 1e6, 1e7],
+        "packaging": ["rdl_fanout", "passive_interposer"],
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Minimal YAML-ish parser (no external dependency)
+# ---------------------------------------------------------------------------
+def _parse_scalar(text: str) -> Any:
+    value = text.strip()
+    if not value or value == "null" or value == "~":
+        return None
+    if value.lower() == "true":
+        return True
+    if value.lower() == "false":
+        return False
+    if (value[0] == value[-1] == '"') or (value[0] == value[-1] == "'"):
+        return value[1:-1] if len(value) >= 2 else value
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def _split_inline(text: str) -> List[str]:
+    """Split on top-level commas, respecting ``[]``/``{}`` nesting and quotes."""
+    parts, depth, current = [], 0, []
+    quote: Optional[str] = None
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "\"'":
+            quote = char
+            current.append(char)
+            continue
+        if char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_inline(text: str) -> Any:
+    value = text.strip()
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        return [_parse_inline(part) for part in _split_inline(inner)] if inner else []
+    if value.startswith("{") and value.endswith("}"):
+        inner = value[1:-1].strip()
+        result: Dict[str, Any] = {}
+        for part in _split_inline(inner):
+            if ":" not in part:
+                raise ValueError(f"cannot parse inline mapping entry {part!r}")
+            key, _, rest = part.partition(":")
+            result[str(_parse_scalar(key))] = _parse_inline(rest)
+        return result
+    return _parse_scalar(value)
+
+
+def parse_yamlish(text: str) -> Dict[str, Any]:
+    """Parse the YAML subset used by sweep-spec files.
+
+    Supported constructs: top-level ``key: value`` pairs with scalar or
+    inline ``[...]``/``{...}`` values, and block lists of scalars or inline
+    mappings introduced by ``- ``.  Comments (``#``) and blank lines are
+    ignored.  This is intentionally *not* a YAML parser — it exists so spec
+    files stay readable without adding a dependency.
+    """
+    data: Dict[str, Any] = {}
+    current_key: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("- "):
+            if current_key is None:
+                raise ValueError(f"list item outside of a key: {raw_line!r}")
+            data.setdefault(current_key, [])
+            if not isinstance(data[current_key], list):
+                raise ValueError(f"key {current_key!r} mixes scalar and list values")
+            data[current_key].append(_parse_inline(stripped[2:]))
+            continue
+        if line[0].isspace():
+            raise ValueError(f"unsupported indentation in spec file: {raw_line!r}")
+        if ":" not in stripped:
+            raise ValueError(f"cannot parse spec line {raw_line!r}")
+        key, _, rest = stripped.partition(":")
+        current_key = key.strip()
+        rest = rest.strip()
+        if rest:
+            data[current_key] = _parse_inline(rest)
+        else:
+            data[current_key] = []
+    return data

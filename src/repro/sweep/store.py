@@ -1,0 +1,237 @@
+"""Streaming result stores for scenario sweeps.
+
+Sweep runs can produce tens of thousands of result rows; holding them all in
+memory (the failure mode of the old ``node_configuration_sweep`` dict) does
+not scale and loses everything on a crash.  The stores here append one
+flattened record at a time — each ``append`` writes and flushes a complete
+line/row, so a killed run leaves a valid, resumable file behind and memory
+stays constant regardless of sweep size.
+
+Reloading turns records back into :class:`SweepRow` objects that expose the
+same ``objective(name)`` protocol as
+:class:`repro.core.explorer.DesignPoint`, so the existing
+:func:`repro.core.explorer.pareto_front` and summary tooling work on stored
+sweep results unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Writers
+# ---------------------------------------------------------------------------
+class ResultStore:
+    """Base class: append flattened records to a file incrementally.
+
+    Subclasses implement :meth:`_write`.  Every append flushes, so partial
+    runs leave well-formed files (crash-safe streaming).
+    """
+
+    def __init__(self, path: PathLike, append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8", newline="")
+        self.count = 0
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Write one record and flush it to disk."""
+        if self._handle.closed:
+            raise ValueError(f"store {self.path} is closed")
+        self._write(record)
+        self._handle.flush()
+        self.count += 1
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class JsonlResultStore(ResultStore):
+    """One JSON object per line (the default sweep output format)."""
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+
+
+class CsvResultStore(ResultStore):
+    """CSV rows with a header derived from the first record.
+
+    Numeric lists (e.g. node configurations) are flattened to
+    ``;``-separated strings — with a trailing ``;`` marking one-element
+    lists — so the file stays one row per scenario and round-trips through
+    :func:`load_records`.  When appending to an existing file the header
+    already on disk wins: records are written in that column order, and a
+    record with keys the header does not know raises instead of silently
+    misaligning columns.
+    """
+
+    def __init__(self, path: PathLike, append: bool = False):
+        fieldnames: Optional[List[str]] = None
+        if append:
+            target = Path(path)
+            if target.is_file() and target.stat().st_size > 0:
+                with open(target, "r", encoding="utf-8", newline="") as handle:
+                    fieldnames = next(csv.reader(handle), None)
+        super().__init__(path, append=append)
+        self._writer: Optional[csv.DictWriter] = None
+        if fieldnames:
+            self._writer = csv.DictWriter(self._handle, fieldnames=fieldnames, restval="")
+
+    @staticmethod
+    def _flatten(value: Any) -> Any:
+        if isinstance(value, (list, tuple)):
+            text = ";".join(str(v) for v in value)
+            return text + ";" if len(value) == 1 else text
+        return value
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        flat = {key: self._flatten(value) for key, value in record.items()}
+        if self._writer is None:
+            self._writer = csv.DictWriter(self._handle, fieldnames=list(flat), restval="")
+            self._writer.writeheader()
+        self._writer.writerow(flat)
+
+
+#: File suffix -> store class.
+_STORE_FOR_SUFFIX = {
+    ".jsonl": JsonlResultStore,
+    ".ndjson": JsonlResultStore,
+    ".json": JsonlResultStore,
+    ".csv": CsvResultStore,
+}
+
+
+def open_store(path: PathLike, fmt: Optional[str] = None, append: bool = False) -> ResultStore:
+    """Open the store matching ``fmt`` (or the file suffix).
+
+    Raises:
+        ValueError: for unknown formats/suffixes.
+    """
+    target = Path(path)
+    if fmt is not None:
+        key = "." + fmt.strip().lower().lstrip(".")
+    else:
+        key = target.suffix.lower()
+    store_cls = _STORE_FOR_SUFFIX.get(key)
+    if store_cls is None:
+        raise ValueError(
+            f"unknown result-store format {key!r}; known formats: "
+            f"{sorted(set(_STORE_FOR_SUFFIX))}"
+        )
+    return store_cls(target, append=append)
+
+
+# ---------------------------------------------------------------------------
+# Readers
+# ---------------------------------------------------------------------------
+def _revive_scalar(value: str) -> Any:
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def _revive_csv_value(value: str) -> Any:
+    if value == "":
+        return None
+    if ";" in value:
+        parts = value.split(";")
+        if parts[-1] == "":  # trailing ';' marks a one-element list
+            parts = parts[:-1]
+        revived = [_revive_scalar(part) for part in parts]
+        if revived and all(isinstance(item, (int, float)) for item in revived):
+            return revived
+        return value  # a plain string that happens to contain ';'
+    return _revive_scalar(value)
+
+
+def iter_records(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Stream records back from a JSONL or CSV store file."""
+    target = Path(path)
+    if target.suffix.lower() == ".csv":
+        with open(target, "r", encoding="utf-8", newline="") as handle:
+            for row in csv.DictReader(handle):
+                yield {key: _revive_csv_value(value) for key, value in row.items()}
+        return
+    with open(target, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_records(path: PathLike) -> List[Dict[str, Any]]:
+    """All records of a store file as a list of dicts."""
+    return list(iter_records(path))
+
+
+# ---------------------------------------------------------------------------
+# Row adapter for Pareto / summary analysis
+# ---------------------------------------------------------------------------
+class SweepRow:
+    """A stored sweep record exposing the ``DesignPoint`` objective protocol.
+
+    Sweep records store their metrics under the same names as
+    :data:`repro.core.explorer.OBJECTIVES`, so rows can be fed straight into
+    :func:`repro.core.explorer.pareto_front` and
+    :meth:`repro.core.explorer.DesignSpaceExplorer.best`.
+    """
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: Mapping[str, Any]):
+        self.record = dict(record)
+
+    @property
+    def label(self) -> str:
+        """Readable identifier reconstructed from the record."""
+        nodes = self.record.get("nodes")
+        if isinstance(nodes, (list, tuple)):
+            node_text = "(" + ",".join(f"{float(n):g}" for n in nodes) + ")"
+        else:
+            node_text = str(self.record.get("base", "?"))
+        return f"{node_text}/{self.record.get('packaging', '?')}"
+
+    def objective(self, name: str) -> float:
+        """Value of the named objective (smaller is better)."""
+        value = self.record.get(name)
+        if value is None:
+            raise KeyError(
+                f"record has no objective {name!r}; known fields: {sorted(self.record)}"
+            )
+        return float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepRow({self.record.get('scenario')}, {self.label})"
+
+
+def rows_from_records(records: Sequence[Mapping[str, Any]]) -> List[SweepRow]:
+    """Wrap raw record dicts into :class:`SweepRow` objects."""
+    return [SweepRow(record) for record in records]
+
+
+def load_rows(path: PathLike) -> List[SweepRow]:
+    """Load a store file directly into :class:`SweepRow` objects."""
+    return rows_from_records(load_records(path))

@@ -120,3 +120,110 @@ class TestParetoFront:
         front = pareto_front(points, objectives)
         best_carbon = explorer.best(points, "total_carbon_g")
         assert any(p.label == best_carbon.label for p in front)
+
+
+# ---------------------------------------------------------------------------
+# Skyline algorithm correctness (sort-based pareto_front vs brute force)
+# ---------------------------------------------------------------------------
+class _Vector:
+    """Minimal object satisfying the pareto_front objective protocol."""
+
+    def __init__(self, values):
+        self.values = dict(values)
+
+    def objective(self, name):
+        return self.values[name]
+
+
+def _naive_front(points, objectives):
+    """Reference O(n^2) all-pairs implementation."""
+    vectors = [tuple(p.objective(name) for name in objectives) for p in points]
+
+    def dominates(a, b):
+        return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+    return [
+        p
+        for i, p in enumerate(points)
+        if not any(dominates(vectors[j], vectors[i]) for j in range(len(points)) if j != i)
+    ]
+
+
+class TestSkylineCorrectness:
+    @pytest.mark.parametrize("objective_count", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force_on_random_points(self, objective_count, seed):
+        import random
+
+        rng = random.Random(seed)
+        names = [f"o{i}" for i in range(objective_count)]
+        points = [
+            _Vector({name: rng.randint(0, 9) for name in names}) for _ in range(200)
+        ]
+        expected = _naive_front(points, names)
+        actual = pareto_front(points, names)
+        assert actual == expected  # same points, same (input) order
+
+    def test_exact_duplicates_survive_together(self):
+        points = [
+            _Vector({"a": 1.0, "b": 2.0}),
+            _Vector({"a": 1.0, "b": 2.0}),
+            _Vector({"a": 2.0, "b": 3.0}),
+        ]
+        front = pareto_front(points, ["a", "b"])
+        assert front == points[:2]
+
+    def test_ties_on_one_axis_are_resolved_strictly(self):
+        # (1, 5) dominates (2, 5): equal second objective, strictly better first.
+        points = [_Vector({"a": 2.0, "b": 5.0}), _Vector({"a": 1.0, "b": 5.0})]
+        assert pareto_front(points, ["a", "b"]) == [points[1]]
+
+    def test_preserves_input_order(self):
+        points = [
+            _Vector({"a": 3.0, "b": 1.0}),
+            _Vector({"a": 2.0, "b": 2.0}),
+            _Vector({"a": 1.0, "b": 3.0}),
+        ]
+        assert pareto_front(points, ["a", "b"]) == points
+
+    def test_single_objective_keeps_all_minima(self):
+        points = [_Vector({"a": 1.0}), _Vector({"a": 2.0}), _Vector({"a": 1.0})]
+        front = pareto_front(points, ["a"])
+        assert front == [points[0], points[2]]
+
+    def test_large_front_all_non_dominated(self):
+        # Anti-chain: every point trades one objective for the other.
+        points = [_Vector({"a": float(i), "b": float(100 - i)}) for i in range(100)]
+        assert pareto_front(points, ["a", "b"]) == points
+
+
+class TestBestConstraints:
+    def test_unknown_constraint_objective_raises_key_error(self, explorer, points):
+        with pytest.raises(KeyError, match="unknown objective"):
+            explorer.best(points, constraints={"coolness": 1.0})
+
+    def test_multiple_constraints_intersect(self, explorer, points):
+        area_values = sorted(p.objective("silicon_area_mm2") for p in points)
+        power_values = sorted(p.objective("power_w") for p in points)
+        chosen = explorer.best(
+            points,
+            objective="total_carbon_g",
+            constraints={
+                "silicon_area_mm2": area_values[-1],
+                "power_w": power_values[-1],
+            },
+        )
+        assert chosen.objective("total_carbon_g") == min(
+            p.objective("total_carbon_g") for p in points
+        )
+
+    def test_constraint_boundary_is_inclusive(self, explorer, points):
+        bound = min(p.objective("silicon_area_mm2") for p in points)
+        chosen = explorer.best(
+            points, objective="total_carbon_g", constraints={"silicon_area_mm2": bound}
+        )
+        assert chosen.objective("silicon_area_mm2") == bound
+
+    def test_empty_points_raise(self, explorer):
+        with pytest.raises(ValueError):
+            explorer.best([], objective="total_carbon_g")

@@ -179,3 +179,58 @@ class TestCli:
     def test_act_style_flags(self, capsys):
         code = main(["--testcase", "a15-monolithic", "--no-design-cfp", "--no-wafer-waste"])
         assert code == 0
+
+    def test_sweep_prints_packaging_architecture(self, tmp_path, capsys):
+        design_path = tmp_path / "design"
+        design_path.mkdir()
+        write_design_dir(design_path)
+        assert main(["--design-dir", str(design_path), "--sweep-nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "packaging" in out
+        assert "rdl_fanout" in out
+
+
+class TestCliErrorPaths:
+    def test_output_write_failure_returns_error_code(self, tmp_path, capsys):
+        # Pointing --output at an existing directory makes the write fail.
+        code = main(["--testcase", "a15-monolithic", "--output", str(tmp_path)])
+        assert code == 2
+        assert "cannot write report" in capsys.readouterr().err
+
+    def test_output_into_readonly_directory(self, tmp_path, capsys):
+        target = tmp_path / "locked"
+        target.mkdir()
+        target.chmod(0o500)
+        try:
+            code = main(
+                ["--testcase", "a15-monolithic", "--output", str(target / "report.json")]
+            )
+        finally:
+            target.chmod(0o700)
+        if code == 0:  # pragma: no cover - running as root bypasses permissions
+            pytest.skip("filesystem permissions not enforced (running as root)")
+        assert code == 2
+
+    def test_unknown_testcase_lists_alternatives(self, capsys):
+        assert main(["--testcase", "not-a-chip"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown testcase" in err
+        assert "ga102-3chiplet" in err
+
+    def test_missing_node_list_skips_sweep_with_warning(self, tmp_path, capsys):
+        design_path = tmp_path / "design"
+        design_path.mkdir()
+        write_design_dir(design_path, node_list=None)
+        code = main(["--design-dir", str(design_path), "--sweep-nodes"])
+        assert code == 0  # the base report still prints
+        captured = capsys.readouterr()
+        assert "no node_list.txt found" in captured.err
+        assert "Ctot" in captured.out
+
+    def test_broken_architecture_json_returns_error_code(self, tmp_path, capsys):
+        design_path = tmp_path / "design"
+        design_path.mkdir()
+        write_design_dir(design_path)
+        (design_path / "architecture.json").write_text('{"name": "x", "chiplets": []}')
+        assert main(["--design-dir", str(design_path)]) == 2
+        assert "error" in capsys.readouterr().err

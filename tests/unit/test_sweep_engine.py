@@ -1,0 +1,164 @@
+"""Unit tests for repro.sweep.engine (serial path, memoisation, sharding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.sweep.engine import (
+    KernelCacheStats,
+    SweepEngine,
+    install_kernel_cache,
+    make_record,
+    shard,
+)
+from repro.sweep.spec import Scenario, SweepSpec
+from repro.sweep.store import JsonlResultStore
+from repro.testcases import ga102
+
+QUICK = SweepSpec.preset("ga102-quick")
+
+
+class TestKernelCache:
+    def test_cached_results_are_bit_identical(self, ga102_3chiplet):
+        plain = EcoChip().estimate(ga102_3chiplet)
+        cached_estimator = EcoChip()
+        install_kernel_cache(cached_estimator)
+        first = cached_estimator.estimate(ga102_3chiplet)
+        second = cached_estimator.estimate(ga102_3chiplet)
+        assert first == plain
+        assert second == plain
+
+    def test_repeated_estimates_hit_the_cache(self, ga102_3chiplet):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.estimate(ga102_3chiplet)
+        misses = stats.misses
+        assert misses > 0 and stats.hits == 0
+        estimator.estimate(ga102_3chiplet)
+        assert stats.misses == misses  # nothing new to compute
+        assert stats.hits > 0
+
+    def test_shared_kernels_across_node_configs(self):
+        # Two configs that share the analog chiplet's node: its kernels are
+        # computed once.
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.estimate(ga102.three_chiplet((7, 14, 10)))
+        estimator.estimate(ga102.three_chiplet((7, 14, 14)))
+        assert stats.hits > 0
+
+    def test_install_is_idempotent(self):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        assert install_kernel_cache(estimator) is stats
+
+    def test_cache_respects_name_argument(self):
+        estimator = EcoChip()
+        install_kernel_cache(estimator)
+        a = estimator.manufacturing.cfp_for_area(100.0, 7, "logic", name="alpha")
+        b = estimator.manufacturing.cfp_for_area(100.0, 7, "logic", name="beta")
+        assert a.name == "alpha" and b.name == "beta"
+        assert a.total_g == b.total_g
+
+
+class TestSerialEngine:
+    def test_run_counts_and_best(self, tmp_path):
+        engine = SweepEngine(jobs=1)
+        with JsonlResultStore(tmp_path / "out.jsonl") as store:
+            summary = engine.run(QUICK, store=store)
+        assert summary.scenario_count == QUICK.count()
+        assert summary.jobs == 1
+        assert summary.store_path == str(tmp_path / "out.jsonl")
+        assert summary.best is not None
+        assert summary.best["total_carbon_g"] > 0
+        assert store.count == summary.scenario_count
+
+    def test_memoisation_does_not_change_results(self):
+        memoized = list(SweepEngine(jobs=1, memoize=True).iter_records(QUICK))
+        plain = list(SweepEngine(jobs=1, memoize=False).iter_records(QUICK))
+        assert memoized == plain
+
+    def test_serial_cache_stats_are_reported(self):
+        engine = SweepEngine(jobs=1)
+        summary = engine.run(QUICK)
+        assert isinstance(summary.cache_stats, KernelCacheStats)
+        assert summary.cache_stats.hits > 0  # the grid repeats many kernels
+
+    def test_records_match_direct_estimation(self):
+        scenario = Scenario(
+            index=0, base_kind="testcase", base_ref="ga102-3chiplet", nodes=(7.0, 14.0, 10.0)
+        )
+        [record] = list(SweepEngine(jobs=1).iter_records([scenario]))
+        direct = EcoChip().estimate(ga102.three_chiplet((7, 14, 10)))
+        assert record["total_carbon_g"] == direct.total_cfp_g
+        assert record["embodied_carbon_g"] == direct.embodied_cfp_g
+        assert record["silicon_area_mm2"] == direct.total_silicon_area_mm2
+
+    def test_fab_source_override_matches_configured_estimator(self):
+        scenario = Scenario(
+            index=0, base_kind="testcase", base_ref="ga102-3chiplet", fab_source="wind"
+        )
+        [record] = list(SweepEngine(jobs=1).iter_records([scenario]))
+        config = EstimatorConfig(
+            fab_carbon_source="wind", package_carbon_source="wind", design_carbon_source="wind"
+        )
+        from repro.testcases.registry import get_testcase
+
+        direct = EcoChip(config=config).estimate(get_testcase("ga102-3chiplet"))
+        assert record["total_carbon_g"] == direct.total_cfp_g
+        assert record["fab_source"] == "wind"
+
+    def test_progress_callback(self):
+        calls = []
+        SweepEngine(jobs=1).run(QUICK, progress=lambda done, total: calls.append((done, total)))
+        total = QUICK.count()
+        assert calls == [(i, total) for i in range(1, total + 1)]
+
+    def test_empty_scenario_list(self):
+        summary = SweepEngine(jobs=1).run([])
+        assert summary.scenario_count == 0
+        assert summary.best is None
+
+    def test_empty_run_does_not_report_stale_cache_stats(self):
+        engine = SweepEngine(jobs=1)
+        engine.run(QUICK)  # populates last_cache_stats
+        summary = engine.run([])
+        assert summary.cache_stats is None
+
+    def test_record_metric_keys_match_objectives(self):
+        from repro.core.explorer import OBJECTIVES
+
+        [record] = list(
+            SweepEngine(jobs=1).iter_records(
+                [Scenario(index=0, base_kind="testcase", base_ref="ga102-3chiplet")]
+            )
+        )
+        for name in OBJECTIVES:
+            if name == "cost_usd":  # sweeps do not run the dollar-cost model
+                continue
+            assert name in record, f"record is missing objective field {name}"
+
+
+class TestValidation:
+    def test_invalid_jobs_and_chunk_size(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=1, chunk_size=0)
+        with pytest.raises(ValueError):
+            shard([1, 2, 3], 0)
+
+    def test_shard_covers_all_items_in_order(self):
+        chunks = shard(list(range(10)), 3)
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_make_record_round_trips_scenario_fields(self, estimator, ga102_3chiplet):
+        scenario = Scenario(
+            index=7, base_kind="testcase", base_ref="ga102-3chiplet", fab_source="coal"
+        )
+        report = estimator.estimate(ga102_3chiplet)
+        record = make_record(scenario, ga102_3chiplet, report, "coal")
+        assert record["scenario"] == 7
+        assert record["packaging"] == report.packaging.architecture
+        assert record["lifetime_years"] == report.operational.lifetime_years

@@ -1,0 +1,170 @@
+"""Unit tests for repro.sweep.store (streaming result stores)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.explorer import pareto_front
+from repro.sweep.store import (
+    CsvResultStore,
+    JsonlResultStore,
+    SweepRow,
+    iter_records,
+    load_records,
+    load_rows,
+    open_store,
+    rows_from_records,
+)
+
+RECORDS = [
+    {"scenario": 0, "base": "ga102-3chiplet", "nodes": [7.0, 14.0, 10.0],
+     "packaging": "rdl_fanout", "total_carbon_g": 100.0, "silicon_area_mm2": 50.0},
+    {"scenario": 1, "base": "ga102-3chiplet", "nodes": [7.0, 7.0, 7.0],
+     "packaging": "silicon_bridge", "total_carbon_g": 90.0, "silicon_area_mm2": 60.0},
+    {"scenario": 2, "base": "ga102-3chiplet", "nodes": [14.0, 14.0, 14.0],
+     "packaging": "rdl_fanout", "total_carbon_g": 120.0, "silicon_area_mm2": 70.0},
+]
+
+
+class TestJsonlStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            for record in RECORDS:
+                store.append(record)
+            assert store.count == 3
+        assert load_records(path) == RECORDS
+
+    def test_each_append_is_flushed(self, tmp_path):
+        # Crash-safety: the file must be complete and valid after every append,
+        # without waiting for close().
+        path = tmp_path / "out.jsonl"
+        store = JsonlResultStore(path)
+        for done, record in enumerate(RECORDS, start=1):
+            store.append(record)
+            lines = [l for l in path.read_text().splitlines() if l.strip()]
+            assert len(lines) == done
+            json.loads(lines[-1])  # every line is already valid JSON
+        store.close()
+
+    def test_append_mode_extends_existing_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            store.append(RECORDS[0])
+        with JsonlResultStore(path, append=True) as store:
+            store.append(RECORDS[1])
+        assert load_records(path) == RECORDS[:2]
+
+    def test_append_after_close_rejected(self, tmp_path):
+        store = JsonlResultStore(tmp_path / "out.jsonl")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            store.append(RECORDS[0])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            store.append(RECORDS[0])
+        assert path.exists()
+
+
+class TestCsvStore:
+    def test_round_trip_revives_numbers_and_lists(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            for record in RECORDS:
+                store.append(record)
+        reloaded = load_records(path)
+        assert len(reloaded) == 3
+        assert reloaded[0]["total_carbon_g"] == 100.0
+        assert reloaded[0]["nodes"] == [7.0, 14.0, 10.0]
+        assert reloaded[1]["packaging"] == "silicon_bridge"
+
+    def test_single_element_lists_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            store.append({"scenario": 0, "nodes": [7.0], "total_carbon_g": 5.0})
+        [record] = load_records(path)
+        assert record["nodes"] == [7.0]
+
+    def test_strings_containing_semicolons_stay_strings(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            store.append({"scenario": 0, "base": "designs;v2", "total_carbon_g": 5.0})
+        [record] = load_records(path)
+        assert record["base"] == "designs;v2"
+
+    def test_append_mode_respects_existing_header_order(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            store.append({"a": 1, "b": 2})
+        with CsvResultStore(path, append=True) as store:
+            store.append({"b": 20, "a": 10})  # different key order
+        first, second = load_records(path)
+        assert first == {"a": 1, "b": 2}
+        assert second == {"a": 10, "b": 20}
+
+    def test_append_mode_rejects_unknown_columns(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            store.append({"a": 1})
+        with CsvResultStore(path, append=True) as store:
+            with pytest.raises(ValueError):
+                store.append({"a": 1, "surprise": 2})
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with CsvResultStore(path) as store:
+            for record in RECORDS:
+                store.append(record)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert lines[0].startswith("scenario,")
+
+
+class TestOpenStore:
+    def test_suffix_dispatch(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlResultStore)
+        assert isinstance(open_store(tmp_path / "a.ndjson"), JsonlResultStore)
+        assert isinstance(open_store(tmp_path / "a.csv"), CsvResultStore)
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.dat", fmt="csv"), CsvResultStore)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown result-store format"):
+            open_store(tmp_path / "a.parquet")
+
+
+class TestSweepRow:
+    def test_objective_protocol_feeds_pareto_front(self):
+        rows = rows_from_records(RECORDS)
+        front = pareto_front(rows, ["total_carbon_g", "silicon_area_mm2"])
+        # Record 2 is dominated by both others; 0 and 1 trade off.
+        assert {row.record["scenario"] for row in front} == {0, 1}
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError, match="no objective"):
+            SweepRow(RECORDS[0]).objective("coolness")
+
+    def test_label(self):
+        assert SweepRow(RECORDS[0]).label == "(7,14,10)/rdl_fanout"
+
+    def test_load_rows_from_file(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            for record in RECORDS:
+                store.append(record)
+        rows = load_rows(path)
+        assert [row.objective("total_carbon_g") for row in rows] == [100.0, 90.0, 120.0]
+
+    def test_iter_records_streams(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            for record in RECORDS:
+                store.append(record)
+        iterator = iter_records(path)
+        assert next(iterator)["scenario"] == 0
