@@ -1,0 +1,32 @@
+"""Machine-speed calibration benchmark for the CI regression gate.
+
+Committed baseline timings are only comparable across machines after
+normalising away raw CPU speed.  This fixed, dependency-free arithmetic
+workload is benchmarked alongside the real benchmarks; the regression gate
+(``scripts/benchmark_gate.py``) divides every benchmark mean by the
+calibration mean, so the committed baseline stores dimensionless ratios
+("this benchmark costs N calibration units") instead of absolute seconds.
+"""
+
+from __future__ import annotations
+
+#: Iteration count sized to ~5-10 ms on a current x86 core — long enough to
+#: be stable, short enough not to slow the suite.
+_ITERATIONS = 100_000
+
+#: Name the regression gate looks for in the pytest-benchmark JSON.
+CALIBRATION_NAME = "test_machine_calibration"
+
+
+def _workload() -> float:
+    total = 0.0
+    x = 1.0000001
+    for i in range(_ITERATIONS):
+        x = x * 1.0000001
+        total += x * x + i
+    return total
+
+
+def test_machine_calibration(benchmark):
+    result = benchmark(_workload)
+    assert result > 0

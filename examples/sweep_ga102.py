@@ -3,9 +3,10 @@
 
 Expands the paper-scale ``ga102-grid`` preset (4 nodes ^ 3 chiplets x 5
 packaging architectures x 2 fab energy sources = 640 scenarios), evaluates
-it serially and with worker processes, verifies the two paths agree
-bit-for-bit, streams the records to a JSONL file, and reports the Pareto
-front under total carbon vs silicon area.
+it serially, with worker processes, and through the compiled batch backend
+(``repro.fastpath``), verifies all paths agree bit-for-bit, streams the
+records to a JSONL file, and reports the Pareto front under total carbon vs
+silicon area.
 
 Run with::
 
@@ -50,10 +51,23 @@ def main() -> None:
         f"({len(parallel_records) / parallel_s:,.0f}/s) on {os.cpu_count()} cpu(s)"
     )
 
+    # Compiled batch backend: templates compile once, scenarios evaluate as
+    # flat arithmetic — same records, bit for bit, at much higher throughput.
+    batch_engine = SweepEngine(backend="batch")
+    start = time.perf_counter()
+    batch_records = list(batch_engine.iter_records(scenarios))
+    batch_s = time.perf_counter() - start
+    print(
+        f"batch:    {len(batch_records)} scenarios in {batch_s:.2f}s "
+        f"({len(batch_records) / batch_s:,.0f}/s, compile included)"
+    )
+
     stored = load_records(out_path)
     serial_total = sum(r["total_carbon_g"] for r in stored)
     parallel_total = sum(r["total_carbon_g"] for r in parallel_records)
+    batch_total = sum(r["total_carbon_g"] for r in batch_records)
     assert parallel_total == serial_total, "parallel and serial paths must agree exactly"
+    assert batch_total == serial_total, "batch and scalar backends must agree exactly"
     print(f"bit-identical totals across paths: {serial_total / 1000.0:,.1f} kg CO2e summed")
 
     best = serial.best

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: fail CI on >20% slowdown vs the committed baseline.
+
+Runs the full ``benchmarks/`` suite (the figure benchmarks plus the sweep
+throughput benchmark) under pytest-benchmark, normalises every benchmark's
+best-case (minimum) round time by the machine-calibration benchmark
+(``benchmarks/test_calibration.py``), and compares the resulting
+dimensionless costs against ``benchmarks/baseline.json``:
+
+* a benchmark whose normalised cost exceeds ``baseline * (1 + threshold)``
+  fails the gate (default threshold: 20%);
+* benchmarks missing from the baseline are reported but do not fail, so new
+  benchmarks can land together with their baseline refresh;
+* functional assertions inside the benchmarks (bit parity, the >= 10x sweep
+  speedup) fail the pytest run itself and therefore the gate.
+
+Refresh the baseline after an intentional performance change::
+
+    python scripts/benchmark_gate.py --update
+
+Timing noise on shared CI runners is real; the 20% bar plus calibration
+normalisation absorbs machine-speed differences, while genuine algorithmic
+regressions (typically 2x+) stay clearly above it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
+CALIBRATION_NAME = "test_machine_calibration"
+DEFAULT_THRESHOLD = 0.20
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the benchmark suite, writing pytest-benchmark JSON to ``json_path``."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/",
+        "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        sys.exit(f"benchmark suite failed (exit {result.returncode})")
+
+
+def normalised_costs(json_path: Path) -> dict:
+    """Benchmark name -> best-case runtime in calibration units.
+
+    Uses each benchmark's *minimum* round time: the least noisy estimator
+    of intrinsic cost (scheduler preemption and cache pollution only ever
+    inflate timings, never deflate them).
+    """
+    data = json.loads(json_path.read_text(encoding="utf-8"))
+    minima = {entry["name"]: entry["stats"]["min"] for entry in data["benchmarks"]}
+    calibration = minima.pop(CALIBRATION_NAME, None)
+    if not calibration:
+        sys.exit(f"calibration benchmark {CALIBRATION_NAME!r} missing from results")
+    return {name: minimum / calibration for name, minimum in sorted(minima.items())}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="Write the measured costs to benchmarks/baseline.json and exit",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="Allowed relative regression before failing (default: 0.20)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="Reuse an existing pytest-benchmark JSON instead of running pytest",
+    )
+    args = parser.parse_args(argv)
+
+    temporary = args.json is None
+    if temporary:
+        descriptor, raw_path = tempfile.mkstemp(suffix=".json", prefix="bench-")
+        os.close(descriptor)
+        json_path = Path(raw_path)
+    else:
+        json_path = args.json
+    try:
+        if temporary:
+            run_benchmarks(json_path)
+        costs = normalised_costs(json_path)
+    finally:
+        if temporary:
+            json_path.unlink(missing_ok=True)
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "_comment": (
+                        "Best-case benchmark runtimes in calibration units "
+                        "(min / test_machine_calibration min). Refresh with "
+                        "scripts/benchmark_gate.py --update after intentional "
+                        "performance changes."
+                    ),
+                    "costs": costs,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline updated: {BASELINE_PATH} ({len(costs)} benchmarks)")
+        return 0
+
+    if not BASELINE_PATH.is_file():
+        sys.exit(
+            f"no baseline at {BASELINE_PATH}; run scripts/benchmark_gate.py --update"
+        )
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))["costs"]
+
+    failures = []
+    for name, cost in costs.items():
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"NEW      {name}: {cost:.3f} (no baseline; refresh with --update)")
+            continue
+        ratio = cost / reference if reference > 0 else float("inf")
+        status = "OK" if ratio <= 1.0 + args.threshold else "REGRESSED"
+        print(f"{status:<8} {name}: {cost:.3f} vs baseline {reference:.3f} ({ratio:.2f}x)")
+        if status == "REGRESSED":
+            failures.append((name, ratio))
+    for name in sorted(set(baseline) - set(costs)):
+        print(f"MISSING  {name}: in baseline but not measured")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs the committed baseline:"
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x baseline")
+        return 1
+    print(f"\nbenchmark gate passed ({len(costs)} benchmarks within {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,10 @@ Additional conveniences:
 * ``eco-chip sweep --spec <file> --jobs N --out results.jsonl`` evaluates a
   declarative scenario grid in parallel, streaming results to disk (see
   :mod:`repro.sweep`).
+* ``eco-chip sweep --preset ga102-grid --backend batch`` evaluates the grid
+  through the compiled batch fast path (:mod:`repro.fastpath`), and
+  ``--resume results.jsonl`` continues an interrupted sweep by skipping the
+  scenario ids already in the file.
 """
 
 from __future__ import annotations
@@ -154,15 +158,39 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="Worker processes (1 = serial, default)"
     )
     parser.add_argument(
+        "--backend",
+        choices=["scalar", "batch"],
+        default="scalar",
+        help=(
+            "Evaluation backend: 'scalar' runs the full estimator pipeline "
+            "per scenario, 'batch' compiles scenario templates once and "
+            "evaluates grids as flat arithmetic (bit-identical results, "
+            "much faster on repetitive grids; default: scalar)"
+        ),
+    )
+    parser.add_argument(
         "--chunk-size", type=int, default=None, help="Scenarios per worker shard (default: auto)"
     )
     parser.add_argument(
         "--out", help="Stream results to this file (.jsonl/.ndjson or .csv)"
     )
     parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        help=(
+            "Resume into this result file: scenarios whose ids are already "
+            "in it are skipped, new records are appended (implies --out FILE)"
+        ),
+    )
+    parser.add_argument(
         "--no-memoize",
         action="store_true",
         help="Disable the manufacturing/design kernel caches",
+    )
+    parser.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="Omit the cost_usd (dollar-cost model) column from the records",
     )
     parser.add_argument(
         "--top", type=int, default=5, help="Print the N lowest-carbon scenarios (default: 5)"
@@ -183,8 +211,10 @@ def build_sweep_parser() -> argparse.ArgumentParser:
 
 def _sweep_main(argv: Sequence[str]) -> int:
     """Implementation of ``eco-chip sweep``; returns a process exit code."""
+    from pathlib import Path
+
     from repro.core.explorer import pareto_front
-    from repro.sweep.engine import SweepEngine
+    from repro.sweep.engine import SweepEngine, prepare_resume
     from repro.sweep.spec import PRESETS, SweepSpec
     from repro.sweep.store import open_store, rows_from_records
 
@@ -215,10 +245,39 @@ def _sweep_main(argv: Sequence[str]) -> int:
         print("error: the spec expands into zero scenarios", file=sys.stderr)
         return 2
 
-    store = None
-    if args.out:
+    out_path = args.out
+    append = False
+    skipped = 0
+    existing_records: List = []
+    if args.resume:
+        if args.out and Path(args.out).resolve() != Path(args.resume).resolve():
+            print(
+                "error: --resume writes into the resumed file; drop --out or "
+                "pass the same path",
+                file=sys.stderr,
+            )
+            return 2
+        out_path = args.resume
+        append = True
         try:
-            store = open_store(args.out)
+            scenarios, skipped, existing_records, repaired = prepare_resume(
+                scenarios, args.resume
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read resume file {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        if repaired:
+            print(f"repaired torn tail of {args.resume} (crashed run)")
+        if skipped:
+            print(f"resuming {args.resume}: {skipped} scenarios already evaluated")
+        if not scenarios:
+            print(f"nothing to do: all scenarios already in {args.resume}")
+            return 0
+
+    store = None
+    if out_path:
+        try:
+            store = open_store(out_path, append=append)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -227,6 +286,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         memoize=not args.no_memoize,
+        backend=args.backend,
+        include_cost=not args.no_cost,
     )
     # Stream with bounded memory: track a running best and a top-N heap;
     # records are only accumulated when --pareto needs the full set.
@@ -235,15 +296,32 @@ def _sweep_main(argv: Sequence[str]) -> int:
     pareto_records: Optional[List] = [] if args.pareto else None
     best = None
     count = 0
+    sequence = 0
+    # Records already in a resumed store compete in best/top/Pareto so a
+    # resumed run summarises the whole sweep, not just the new tail.
+    for record in existing_records:
+        total_g = record.get("total_carbon_g")
+        if total_g is None:
+            continue
+        if best is None or total_g < best["total_carbon_g"]:
+            best = record
+        if top_n > 0:
+            sequence += 1
+            heapq.heappush(top_heap, (-total_g, sequence, record))
+            if len(top_heap) > top_n:
+                heapq.heappop(top_heap)
+        if pareto_records is not None:
+            pareto_records.append(record)
     try:
         for record in engine.iter_records(scenarios):
             if store is not None:
                 store.append(record)
             count += 1
+            sequence += 1
             if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
                 best = record
             if top_n > 0:
-                heapq.heappush(top_heap, (-record["total_carbon_g"], count, record))
+                heapq.heappush(top_heap, (-record["total_carbon_g"], sequence, record))
                 if len(top_heap) > top_n:
                     heapq.heappop(top_heap)
             if pareto_records is not None:
@@ -256,8 +334,10 @@ def _sweep_main(argv: Sequence[str]) -> int:
             store.close()
 
     assert best is not None  # scenarios is non-empty
+    skip_note = f" ({skipped} resumed)" if skipped else ""
     print(
-        f"sweep {spec.name!r}: {count} scenarios, jobs={args.jobs}, "
+        f"sweep {spec.name!r}: {count} scenarios{skip_note}, jobs={args.jobs}, "
+        f"backend={args.backend}, "
         f"best Ctot = {best['total_carbon_g'] / 1000.0:.2f} kg "
         f"({best['base']} nodes={best['nodes']} {best['packaging']}/{best['fab_source']})"
     )

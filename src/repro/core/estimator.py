@@ -21,13 +21,17 @@ The estimation pipeline for a :class:`~repro.core.system.ChipletSystem`:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.chiplet import Chiplet
 from repro.core.results import ChipletCarbonReport, SystemCarbonReport
 from repro.core.system import ChipletSystem
-from repro.design.design_cfp import DesignCarbonModel
-from repro.floorplan.slicing import DEFAULT_CHIPLET_SPACING_MM, SlicingFloorplanner
+from repro.design.design_cfp import DesignCarbonModel, SystemDesignResult
+from repro.floorplan.slicing import (
+    DEFAULT_CHIPLET_SPACING_MM,
+    FloorplanResult,
+    SlicingFloorplanner,
+)
 from repro.manufacturing.chip import ChipManufacturingModel
 from repro.manufacturing.wafer import DEFAULT_WAFER_DIAMETER_MM
 from repro.noc.orion import RouterSpec
@@ -71,6 +75,33 @@ class EstimatorConfig:
     router_spec: RouterSpec = dataclasses.field(default_factory=RouterSpec)
 
 
+@dataclasses.dataclass(frozen=True)
+class SystemGeometry:
+    """Scenario-independent geometry of a system under one packaging model.
+
+    Produced by :meth:`EcoChip.compute_geometry` and consumed by the
+    manufacturing / packaging / operational stages of the pipeline — and by
+    :mod:`repro.fastpath`, which compiles it once per scenario template and
+    reuses it for every scenario that shares the same node assignment and
+    packaging architecture.
+
+    Attributes:
+        base_areas: Chiplet name -> die area of the chiplet's own logic.
+        overhead_areas: Chiplet name -> silicon added by the packaging
+            architecture inside the chiplet (routers, PHYs).
+        final_areas: Chiplet name -> ``base + overhead`` (manufactured area).
+        packaged_chiplets: Final-area chiplet descriptions, in system order,
+            ready for :meth:`repro.packaging.base.PackagingModel.evaluate`.
+        floorplan: Slicing floorplan of the final chiplet areas.
+    """
+
+    base_areas: Dict[str, float]
+    overhead_areas: Dict[str, float]
+    final_areas: Dict[str, float]
+    packaged_chiplets: Tuple[PackagedChiplet, ...]
+    floorplan: FloorplanResult
+
+
 class EcoChip:
     """Architecture-level total-CFP estimator for monolithic and HI systems.
 
@@ -104,58 +135,67 @@ class EcoChip:
         self.energy_model = EnergyModel(table=self.table)
         self.floorplanner = SlicingFloorplanner(spacing_mm=self.config.chiplet_spacing_mm)
 
-    # -- public API ---------------------------------------------------------------
-    def estimate(self, system: ChipletSystem) -> SystemCarbonReport:
-        """Full carbon report for ``system``."""
-        packaging_model = build_packaging_model(
+    # -- pure kernels --------------------------------------------------------------
+    # Each stage of the pipeline is a standalone kernel over explicit inputs,
+    # so callers (the fast path in particular) can run any subset of stages
+    # and reuse intermediate results across scenarios.
+    def build_packaging_model(self, system: ChipletSystem):
+        """The packaging model of ``system`` under this estimator's config."""
+        return build_packaging_model(
             system.packaging,
             table=self.table,
             package_carbon_source=self.config.package_carbon_source,
             router_spec=self.config.router_spec,
         )
 
-        # 1. base areas ---------------------------------------------------------
-        base_areas: Dict[str, float] = {}
-        for chiplet in system.chiplets:
-            base_areas[chiplet.name] = chiplet.area_at_node(self.scaling)
+    def compute_geometry(self, system: ChipletSystem, packaging_model) -> SystemGeometry:
+        """Steps 1–3: areas, per-chiplet packaging overheads and floorplan.
 
-        # 2. per-chiplet packaging overheads --------------------------------------
+        Each :class:`PackagedChiplet` is constructed once at the chiplet's
+        base area, used to query the architecture's area overhead (which
+        depends only on node and design type), and then re-issued with the
+        final area — the overhead-free case reuses the object as is.
+        """
+        base_areas: Dict[str, float] = {}
         overhead_areas: Dict[str, float] = {}
         final_areas: Dict[str, float] = {}
+        packaged_chiplets: List[PackagedChiplet] = []
         for chiplet in system.chiplets:
+            base_area = chiplet.area_at_node(self.scaling)
             packaged = PackagedChiplet(
                 name=chiplet.name,
-                area_mm2=base_areas[chiplet.name],
+                area_mm2=base_area,
                 node=float(chiplet.node),
                 design_type=chiplet.design_type,  # type: ignore[arg-type]
             )
             overhead = packaging_model.chiplet_area_overhead_mm2(
                 packaged, system.chiplet_count
             )
+            final_area = base_area + overhead
+            base_areas[chiplet.name] = base_area
             overhead_areas[chiplet.name] = overhead
-            final_areas[chiplet.name] = base_areas[chiplet.name] + overhead
-
-        # 3. floorplan ---------------------------------------------------------------
+            final_areas[chiplet.name] = final_area
+            if overhead:
+                packaged = dataclasses.replace(packaged, area_mm2=final_area)
+            packaged_chiplets.append(packaged)
         floorplan = self.floorplanner.floorplan(final_areas)
+        return SystemGeometry(
+            base_areas=base_areas,
+            overhead_areas=overhead_areas,
+            final_areas=final_areas,
+            packaged_chiplets=tuple(packaged_chiplets),
+            floorplan=floorplan,
+        )
 
-        # 4. packaging / HI overheads ---------------------------------------------------
-        packaged_chiplets = [
-            PackagedChiplet(
-                name=chiplet.name,
-                area_mm2=final_areas[chiplet.name],
-                node=float(chiplet.node),
-                design_type=chiplet.design_type,  # type: ignore[arg-type]
-            )
-            for chiplet in system.chiplets
-        ]
-        packaging_result = packaging_model.evaluate(packaged_chiplets, floorplan)
-
-        # 5. manufacturing -----------------------------------------------------------------
+    def manufacturing_reports(
+        self, system: ChipletSystem, geometry: SystemGeometry
+    ) -> Tuple[List[ChipletCarbonReport], float]:
+        """Step 5: per-chiplet manufacturing CFP (design slot left empty)."""
         chiplet_reports: List[ChipletCarbonReport] = []
         manufacturing_total = 0.0
         for chiplet in system.chiplets:
             mfg = self.manufacturing.cfp_for_area(
-                final_areas[chiplet.name],
+                geometry.final_areas[chiplet.name],
                 chiplet.node,
                 chiplet.design_type,
                 name=chiplet.name,
@@ -166,15 +206,17 @@ class EcoChip:
                     name=chiplet.name,
                     node_nm=float(chiplet.node),
                     design_type=chiplet.design_type,  # type: ignore[arg-type]
-                    base_area_mm2=base_areas[chiplet.name],
-                    overhead_area_mm2=overhead_areas[chiplet.name],
-                    total_area_mm2=final_areas[chiplet.name],
+                    base_area_mm2=geometry.base_areas[chiplet.name],
+                    overhead_area_mm2=geometry.overhead_areas[chiplet.name],
+                    total_area_mm2=geometry.final_areas[chiplet.name],
                     manufacturing=mfg,
-                    design=None,  # type: ignore[arg-type]  # filled below
+                    design=None,  # type: ignore[arg-type]  # filled by the caller
                 )
             )
+        return chiplet_reports, manufacturing_total
 
-        # 6. design ------------------------------------------------------------------------
+    def design_report(self, system: ChipletSystem) -> SystemDesignResult:
+        """Step 6: amortised design CFP of the whole system (Eq. 12)."""
         design_entries = [
             {
                 "name": chiplet.name,
@@ -189,12 +231,31 @@ class EcoChip:
             }
             for chiplet in system.chiplets
         ]
-        design_result = self.design_model.system_design_cfp(
+        return self.design_model.system_design_cfp(
             design_entries,
             iterations=system.design_iterations,
             system_volume=system.system_volume,
             has_inter_die_comm=not system.is_monolithic,
         )
+
+    # -- public API ---------------------------------------------------------------
+    def estimate(self, system: ChipletSystem) -> SystemCarbonReport:
+        """Full carbon report for ``system``."""
+        packaging_model = self.build_packaging_model(system)
+
+        # 1–3. areas, overheads, floorplan ------------------------------------------
+        geometry = self.compute_geometry(system, packaging_model)
+
+        # 4. packaging / HI overheads ---------------------------------------------------
+        packaging_result = packaging_model.evaluate(
+            geometry.packaged_chiplets, geometry.floorplan
+        )
+
+        # 5. manufacturing -----------------------------------------------------------------
+        chiplet_reports, manufacturing_total = self.manufacturing_reports(system, geometry)
+
+        # 6. design ------------------------------------------------------------------------
+        design_result = self.design_report(system)
         design_by_name = {r.name: r for r in design_result.chiplets}
         chiplet_reports = [
             dataclasses.replace(report, design=design_by_name[report.name])
@@ -204,7 +265,7 @@ class EcoChip:
 
         # 7. operational --------------------------------------------------------------------
         operating = self._effective_operating_spec(
-            system, final_areas, packaging_result.comm_power_w
+            system, geometry.final_areas, packaging_result.comm_power_w
         )
         operational = self.operational_model.evaluate(operating)
 

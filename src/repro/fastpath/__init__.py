@@ -1,0 +1,39 @@
+"""Compiled batch fast path for CFP estimation.
+
+Analyses a :class:`~repro.core.system.ChipletSystem` template once (area
+scaling, packaging overheads, floorplan geometry, per-chiplet manufacturing/
+design/operational coefficients) and then evaluates whole scenario batches
+as plain arithmetic — bit-identical to the scalar
+:class:`~repro.core.estimator.EcoChip` pipeline.  Used by
+``SweepEngine(backend="batch")`` and ``eco-chip sweep --backend batch``.
+"""
+
+from repro.fastpath.batch import (
+    NUMPY_MIN_GROUP,
+    BatchEstimator,
+    group_scenarios,
+)
+from repro.fastpath.compiled import (
+    ChipletTerms,
+    CompiledSystem,
+    CostTerms,
+    PackagingTerms,
+    SourceTerms,
+    TemplateCompiler,
+    compile_packaging,
+    packaging_signature,
+)
+
+__all__ = [
+    "BatchEstimator",
+    "ChipletTerms",
+    "CompiledSystem",
+    "CostTerms",
+    "NUMPY_MIN_GROUP",
+    "PackagingTerms",
+    "SourceTerms",
+    "TemplateCompiler",
+    "compile_packaging",
+    "group_scenarios",
+    "packaging_signature",
+]

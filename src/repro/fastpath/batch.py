@@ -1,0 +1,378 @@
+"""Batch evaluation of sweep scenarios over compiled templates.
+
+:class:`BatchEstimator` groups scenarios by their template key (base system,
+node assignment, packaging architecture), compiles each template once via
+:class:`repro.fastpath.compiled.TemplateCompiler`, and evaluates every
+scenario of a group as flat arithmetic over the compiled coefficients.  The
+records it produces are bit-identical (exact float equality, same keys in
+the same order) to the scalar path's
+:func:`repro.sweep.engine.make_record` output.
+
+Two evaluation backends produce the same bits:
+
+* a dependency-free pure-Python loop (always available), and
+* a NumPy backend (``pip install eco-chip-repro[fast]``) that evaluates a whole
+  group as element-wise operations over preallocated arrays.  IEEE-754
+  binary64 element-wise arithmetic matches Python's float arithmetic
+  operation for operation, so the backends are interchangeable at the bit
+  level; NumPy is only engaged for groups large enough to amortise array
+  construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import EstimatorConfig
+from repro.fastpath.compiled import (
+    _TO_MM2,
+    CompiledSystem,
+    SourceTerms,
+    TemplateCompiler,
+    packaging_signature,
+)
+from repro.sweep.engine import _source_name
+from repro.sweep.spec import Scenario
+from repro.technology.carbon_sources import carbon_intensity
+from repro.technology.nodes import TechnologyTable
+
+try:  # optional acceleration: the eco-chip-repro[fast] extra
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+Record = Dict[str, Any]
+
+#: Minimum group size for which the NumPy backend beats array-construction
+#: overhead (smaller groups always use the pure-Python loop).
+NUMPY_MIN_GROUP = 16
+
+
+def group_scenarios(
+    scenarios: Sequence[Scenario],
+) -> List[Tuple[Tuple, List[Tuple[int, Scenario]]]]:
+    """Group scenarios by template key, preserving first-occurrence order.
+
+    Returns ``[(template_key, [(position, scenario), ...]), ...]`` where
+    ``position`` is the scenario's index in the input sequence (*not* its
+    grid index, which survives resume filtering).
+    """
+    # Packaging axis dicts are shared between the scenarios of one spec
+    # expansion, so canonicalising per object identity avoids re-hashing the
+    # same mapping thousands of times.  The id cache is only valid while the
+    # scenarios (and therefore the dicts) are alive, i.e. within this call.
+    signature_by_id: Dict[int, Optional[Tuple]] = {}
+    groups: Dict[Tuple, List[Tuple[int, Scenario]]] = {}
+    for position, scenario in enumerate(scenarios):
+        packaging = scenario.packaging
+        if packaging is None:
+            signature = None
+        else:
+            signature = signature_by_id.get(id(packaging))
+            if signature is None:
+                signature = packaging_signature(packaging)
+                signature_by_id[id(packaging)] = signature
+        key = (scenario.base_kind, scenario.base_ref, scenario.nodes, signature)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = members = []
+        members.append((position, scenario))
+    return list(groups.items())
+
+
+class BatchEstimator:
+    """Evaluates scenario batches against compiled templates.
+
+    Args:
+        config: Estimator configuration shared by all scenarios (scenario
+            ``fab_source`` overrides the three energy sources, exactly like
+            the scalar sweep path).
+        table: Technology table override.
+        include_cost: Add ``cost_usd`` (the Chiplet-Actuary-style dollar
+            cost) to every record.
+        use_numpy: ``True`` forces the NumPy backend for every group,
+            ``False`` forces the pure-Python loop, ``None`` (default) picks
+            NumPy automatically when it is installed and a group is large
+            enough to benefit.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig] = None,
+        table: Optional[TechnologyTable] = None,
+        include_cost: bool = True,
+        use_numpy: Optional[bool] = None,
+    ):
+        if use_numpy and _np is None:
+            raise ImportError(
+                "use_numpy=True but numpy is not installed; "
+                "install the optional extra: pip install eco-chip-repro[fast]"
+            )
+        self.compiler = TemplateCompiler(
+            config=config, table=table, include_cost=include_cost
+        )
+        self.include_cost = include_cost
+        self.use_numpy = use_numpy
+        config = self.compiler.config
+        self._default_fab_label = _source_name(config.fab_carbon_source)
+        self._default_intensities = (
+            carbon_intensity(config.fab_carbon_source),
+            carbon_intensity(config.package_carbon_source),
+            carbon_intensity(config.design_carbon_source),
+        )
+        self._include_design = config.include_design
+        self._include_wafer_waste = config.include_wafer_waste
+
+    @property
+    def numpy_available(self) -> bool:
+        """True when the NumPy backend can be used in this environment."""
+        return _np is not None
+
+    # -- public API -----------------------------------------------------------------
+    def evaluate(self, scenarios: Iterable[Scenario]) -> List[Record]:
+        """Records for ``scenarios``, in input order."""
+        scenarios = list(scenarios)
+        records: List[Optional[Record]] = [None] * len(scenarios)
+        for key, members in group_scenarios(scenarios):
+            group_records = self.evaluate_group(
+                self.compile_for(members[0][1]), [s for _, s in members]
+            )
+            for (position, _), record in zip(members, group_records):
+                records[position] = record
+        return records  # type: ignore[return-value]
+
+    def compile_for(self, scenario: Scenario) -> CompiledSystem:
+        """The compiled template behind ``scenario``."""
+        return self.compiler.compile(
+            scenario.base_kind, scenario.base_ref, scenario.nodes, scenario.packaging
+        )
+
+    def evaluate_group(
+        self, template: CompiledSystem, scenarios: Sequence[Scenario]
+    ) -> List[Record]:
+        """Records for scenarios that all share ``template``."""
+        use_numpy = self.use_numpy
+        if use_numpy is None:
+            use_numpy = _np is not None and len(scenarios) >= NUMPY_MIN_GROUP
+        if use_numpy:
+            return self._evaluate_group_numpy(template, scenarios)
+        return self._evaluate_group_pure(template, scenarios)
+
+    # -- per-(template, fab source) terms ----------------------------------------------
+    def source_terms(
+        self, template: CompiledSystem, fab_source: Optional[str]
+    ) -> SourceTerms:
+        """Terms that depend on the fab source but not on lifetime/volume."""
+        terms = template.source_terms_cache.get(fab_source)
+        if terms is not None:
+            return terms
+        if fab_source is None:
+            fab_intensity, package_intensity, design_intensity = self._default_intensities
+            label = self._default_fab_label
+        else:
+            fab_intensity = package_intensity = design_intensity = carbon_intensity(
+                fab_source
+            )
+            label = fab_source
+
+        include_waste = self._include_wafer_waste
+        manufacturing_total = 0.0
+        design_parts: List[Tuple[bool, float]] = []
+        for chiplet in template.chiplets:
+            # Eq. 6 / Eq. 5 closed form — operation order mirrors
+            # CFPAModel.breakdown and ChipManufacturingModel.cfp_for_area.
+            energy_g_cm2 = chiplet.eff * fab_intensity * chiplet.epa
+            unyielded_cm2 = energy_g_cm2 + chiplet.gas_g_cm2 + chiplet.material_g_cm2
+            die_cfp = unyielded_cm2 * _TO_MM2 / chiplet.yield_value * chiplet.final_area_mm2
+            if include_waste:
+                waste_cfp = unyielded_cm2 / 100.0 * chiplet.wasted_area_mm2
+            else:
+                waste_cfp = 0.0
+            manufacturing_total += die_cfp + waste_cfp
+            # Eq. 12 per-chiplet design CFP.
+            if chiplet.reused:
+                design_parts.append((True, 0.0))
+            else:
+                total_g = chiplet.design_energy_kwh * design_intensity
+                if chiplet.explicit_volume is not None:
+                    design_parts.append((True, total_g / chiplet.explicit_volume))
+                else:
+                    design_parts.append((False, total_g))
+
+        package_cfp, comm_cfp = template.packaging.cfp(package_intensity)
+        hi_total = package_cfp + comm_cfp
+        if template.comm_design_energy_kwh is not None:
+            comm_design_total = template.comm_design_energy_kwh * design_intensity
+        else:
+            comm_design_total = 0.0
+        terms = SourceTerms(
+            fab_label=label,
+            manufacturing_total_g=manufacturing_total,
+            hi_total_g=hi_total,
+            design_parts=tuple(design_parts),
+            comm_design_total_g=comm_design_total,
+        )
+        template.source_terms_cache[fab_source] = terms
+        return terms
+
+    # -- record assembly ---------------------------------------------------------------
+    def _record(
+        self,
+        scenario: Scenario,
+        template: CompiledSystem,
+        terms: SourceTerms,
+        lifetime: float,
+        system_volume: float,
+        total: float,
+        embodied: float,
+        design_used: float,
+        lifetime_cfp: float,
+        cost_usd: Optional[float],
+    ) -> Record:
+        # Key order matches scenario.to_record() + make_record()'s update().
+        record: Record = {
+            "scenario": scenario.index,
+            "base": scenario.base_ref,
+            "nodes": list(template.node_values),
+            "packaging": template.architecture,
+            "fab_source": terms.fab_label,
+            "lifetime_years": lifetime,
+            "system_volume": system_volume,
+            "system": template.system_name,
+            "total_carbon_g": total,
+            "embodied_carbon_g": embodied,
+            "manufacturing_carbon_g": terms.manufacturing_total_g,
+            "design_carbon_g": design_used,
+            "hi_carbon_g": terms.hi_total_g,
+            "operational_carbon_g": lifetime_cfp,
+            "silicon_area_mm2": template.silicon_area_mm2,
+            "package_area_mm2": template.package_area_mm2,
+            "power_w": template.power_w,
+        }
+        if cost_usd is not None:
+            record["cost_usd"] = cost_usd
+        return record
+
+    # -- pure-Python backend -------------------------------------------------------------
+    def _evaluate_group_pure(
+        self, template: CompiledSystem, scenarios: Sequence[Scenario]
+    ) -> List[Record]:
+        include_design = self._include_design
+        annual = template.annual_cfp_g
+        base_volume = template.base_volume
+        base_lifetime = template.base_lifetime
+        cost = template.cost
+        records: List[Record] = []
+        for scenario in scenarios:
+            terms = self.source_terms(template, scenario.fab_source)
+            system_volume = (
+                scenario.system_volume
+                if scenario.system_volume is not None
+                else base_volume
+            )
+            lifetime = (
+                scenario.lifetime_years
+                if scenario.lifetime_years is not None
+                else base_lifetime
+            )
+            # Eq. 12 amortisation: sum(per-chiplet amortised) + comm / NS.
+            amortised = 0.0
+            for is_fixed, value in terms.design_parts:
+                amortised = amortised + (value if is_fixed else value / system_volume)
+            design_total = amortised + terms.comm_design_total_g / system_volume
+            design_used = design_total if include_design else 0.0
+            # Eqs. 1–2 totals, in the estimator's operation order.
+            lifetime_cfp = annual * lifetime
+            embodied = terms.manufacturing_total_g + design_used + terms.hi_total_g
+            total = embodied + lifetime_cfp
+            cost_usd = cost.total_usd(system_volume) if cost is not None else None
+            records.append(
+                self._record(
+                    scenario, template, terms, lifetime, system_volume,
+                    total, embodied, design_used, lifetime_cfp, cost_usd,
+                )
+            )
+        return records
+
+    # -- NumPy backend -----------------------------------------------------------------
+    def _evaluate_group_numpy(
+        self, template: CompiledSystem, scenarios: Sequence[Scenario]
+    ) -> List[Record]:
+        assert _np is not None, "numpy backend requested without numpy installed"
+        count = len(scenarios)
+        terms_list = [
+            self.source_terms(template, scenario.fab_source) for scenario in scenarios
+        ]
+        base_volume = template.base_volume
+        base_lifetime = template.base_lifetime
+        system_volume = _np.array(
+            [
+                s.system_volume if s.system_volume is not None else base_volume
+                for s in scenarios
+            ],
+            dtype=_np.float64,
+        )
+        lifetime = _np.array(
+            [
+                s.lifetime_years if s.lifetime_years is not None else base_lifetime
+                for s in scenarios
+            ],
+            dtype=_np.float64,
+        )
+        manufacturing = _np.array(
+            [t.manufacturing_total_g for t in terms_list], dtype=_np.float64
+        )
+        hi = _np.array([t.hi_total_g for t in terms_list], dtype=_np.float64)
+        comm_design = _np.array(
+            [t.comm_design_total_g for t in terms_list], dtype=_np.float64
+        )
+
+        # Element-wise accumulation in chiplet order — identical to the
+        # scalar fold (IEEE binary64 operations in the same sequence).
+        amortised = _np.zeros(count, dtype=_np.float64)
+        for chiplet_index in range(len(template.chiplets)):
+            values = _np.array(
+                [t.design_parts[chiplet_index][1] for t in terms_list],
+                dtype=_np.float64,
+            )
+            fixed = terms_list[0].design_parts[chiplet_index][0]
+            amortised = amortised + (values if fixed else values / system_volume)
+        design_total = amortised + comm_design / system_volume
+        if self._include_design:
+            design_used = design_total
+        else:
+            design_used = _np.zeros(count, dtype=_np.float64)
+        lifetime_cfp = template.annual_cfp_g * lifetime
+        embodied = (manufacturing + design_used) + hi
+        total = embodied + lifetime_cfp
+
+        cost = template.cost
+        cost_usd: Optional[Any] = None
+        if cost is not None:
+            nre_total = _np.zeros(count, dtype=_np.float64)
+            for group in cost.groups:
+                if group.reused:
+                    continue
+                volume = _np.zeros(count, dtype=_np.float64)
+                for member in group.member_volumes:
+                    volume = volume + (member if member is not None else system_volume)
+                nre_total = nre_total + group.masks_plus_design_usd / volume
+            cost_usd = cost.fixed_usd + nre_total
+
+        records: List[Record] = []
+        for index, scenario in enumerate(scenarios):
+            records.append(
+                self._record(
+                    scenario,
+                    template,
+                    terms_list[index],
+                    float(lifetime[index]),
+                    float(system_volume[index]),
+                    float(total[index]),
+                    float(embodied[index]),
+                    float(design_used[index]),
+                    float(lifetime_cfp[index]),
+                    float(cost_usd[index]) if cost_usd is not None else None,
+                )
+            )
+        return records

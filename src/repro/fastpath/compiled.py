@@ -1,0 +1,911 @@
+"""Template compilation for the batch fast path.
+
+A *template* is everything about a scenario that survives changes of fab
+carbon source, lifetime and manufacturing volume: the base system, its node
+assignment and its packaging architecture.  :class:`TemplateCompiler`
+resolves a template once — area scaling, per-chiplet packaging overheads,
+floorplan geometry, yields, wafer utilisation, EDA compute time, packaging
+substrate terms and the dollar-cost structure — into flat closed-form
+coefficients, so that evaluating a scenario against a compiled template is
+plain arithmetic (see :mod:`repro.fastpath.batch`).
+
+Bit-exactness contract
+----------------------
+
+Every closed-form expression below replicates the *exact* floating-point
+operation order of the scalar pipeline (:meth:`repro.core.estimator.EcoChip.
+estimate`, the packaging models' ``evaluate`` and
+:meth:`repro.cost.model.ChipletCostModel.estimate`), so batch results equal
+scalar results bit for bit.  When touching any of the mirrored formulas,
+update both sides and rely on the parity tests in
+``tests/integration/test_batch_parity.py`` to catch divergence.
+
+The compiler shares work across templates through layered caches: base
+systems, per-(chiplet, node) areas, floorplans keyed by their area signature
+(different node assignments that produce the same chiplet areas share one
+floorplan — adjacency extraction runs lazily, only for architectures that
+consume it), packaging models and per-node PHY/router figures per spec, and
+per-die yield/wafer terms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.system import ChipletSystem
+from repro.cost.model import (
+    DESIGN_COST_USD_PER_GATE,
+    MASK_SET_COST_USD,
+    ChipletCostModel,
+    _lookup_by_node,
+)
+from repro.design.design_cfp import DEFAULT_COMM_DESIGN_GATES
+from repro.design.eda import gates_from_transistors
+from repro.floorplan.slicing import FloorplanResult, SlicingFloorplanner
+from repro.manufacturing.yield_model import bonding_yield
+from repro.packaging.base import PackagedChiplet, PackagingModel
+from repro.packaging.bridge import (
+    _BRIDGE_DEFECT_SCALE,
+    _EMBEDDING_KWH_PER_BRIDGE,
+    _ORGANIC_DEFECT_SCALE,
+    _ORGANIC_ENERGY_SCALE,
+    _ORGANIC_LAYERS,
+    SiliconBridgeModel,
+)
+from repro.packaging.interposer import (
+    ActiveInterposerModel,
+    PassiveInterposerModel,
+    _InterposerBase,
+)
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
+from repro.packaging.rdl import _RDL_DEFECT_SCALE, RDLFanoutModel
+from repro.packaging.registry import build_packaging_model, spec_from_dict
+from repro.packaging.threed import (
+    _CONNECTION_YIELD,
+    _ENERGY_KWH_PER_CONNECTION,
+    _SUBSTRATE_DEFECT_SCALE,
+    _SUBSTRATE_ENERGY_SCALE,
+    _SUBSTRATE_LAYERS,
+    _SUBSTRATE_NODE_NM,
+    BondType,
+    ThreeDStackModel,
+)
+from repro.sweep.spec import resolve_base
+from repro.technology.nodes import TechnologyTable, _normalise_node_key
+
+#: Same constant the CFPA breakdown uses for the per-cm² -> per-mm² step.
+_TO_MM2 = 1.0 / 100.0
+
+
+# ---------------------------------------------------------------------------
+# Closed-form packaging terms (one flavour per architecture)
+# ---------------------------------------------------------------------------
+class PackagingTerms:
+    """Scenario-independent packaging terms of one compiled template.
+
+    ``cfp(intensity)`` returns ``(package_cfp_g, comm_cfp_g)`` exactly as the
+    architecture's ``evaluate`` would for that packaging carbon intensity.
+    """
+
+    __slots__ = ("architecture", "package_area_mm2", "comm_power_w")
+
+    def __init__(self, architecture: str, package_area_mm2: float, comm_power_w: float):
+        self.architecture = architecture
+        self.package_area_mm2 = package_area_mm2
+        self.comm_power_w = comm_power_w
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        raise NotImplementedError
+
+
+class _ZeroTerms(PackagingTerms):
+    """Monolithic baseline: no packaging carbon at any intensity."""
+
+    __slots__ = ()
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        return 0.0, 0.0
+
+
+class _RdlTerms(PackagingTerms):
+    __slots__ = ("energy_kwh", "package_yield")
+
+    def __init__(self, architecture, package_area_mm2, comm_power_w, energy_kwh, package_yield):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.energy_kwh = energy_kwh
+        self.package_yield = package_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        return self.energy_kwh * intensity / self.package_yield, 0.0
+
+
+class _InterposerTerms(PackagingTerms):
+    __slots__ = ("patterning_kwh", "materials_g", "interposer_yield")
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        patterning_kwh, materials_g, interposer_yield,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.patterning_kwh = patterning_kwh
+        self.materials_g = materials_g
+        self.interposer_yield = interposer_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        patterning_g = self.patterning_kwh * intensity
+        return (patterning_g + self.materials_g) / self.interposer_yield, 0.0
+
+
+class _ActiveInterposerTerms(_InterposerTerms):
+    __slots__ = (
+        "router_count", "router_area_mm2",
+        "router_eff", "router_epa", "router_gas_g_cm2", "router_material_g_cm2",
+        "router_yield",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        patterning_kwh, materials_g, interposer_yield,
+        router_count, router_area_mm2,
+        router_eff, router_epa, router_gas_g_cm2, router_material_g_cm2, router_yield,
+    ):
+        super().__init__(
+            architecture, package_area_mm2, comm_power_w,
+            patterning_kwh, materials_g, interposer_yield,
+        )
+        self.router_count = router_count
+        self.router_area_mm2 = router_area_mm2
+        self.router_eff = router_eff
+        self.router_epa = router_epa
+        self.router_gas_g_cm2 = router_gas_g_cm2
+        self.router_material_g_cm2 = router_material_g_cm2
+        self.router_yield = router_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        package_cfp, _ = super().cfp(intensity)
+        if not self.router_count:
+            return package_cfp, 0.0
+        energy_g_cm2 = self.router_eff * intensity * self.router_epa
+        unyielded_cm2 = energy_g_cm2 + self.router_gas_g_cm2 + self.router_material_g_cm2
+        cfpa = unyielded_cm2 * _TO_MM2 / self.router_yield
+        return package_cfp, self.router_count * cfpa * self.router_area_mm2
+
+
+class _BridgeTerms(PackagingTerms):
+    __slots__ = (
+        "kwh_per_bridge", "bridge_yield", "bridge_count",
+        "substrate_kwh", "substrate_yield",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        kwh_per_bridge, bridge_yield, bridge_count, substrate_kwh, substrate_yield,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.kwh_per_bridge = kwh_per_bridge
+        self.bridge_yield = bridge_yield
+        self.bridge_count = bridge_count
+        self.substrate_kwh = substrate_kwh
+        self.substrate_yield = substrate_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        per_bridge_g = self.kwh_per_bridge * intensity / self.bridge_yield
+        bridges_cfp = self.bridge_count * per_bridge_g
+        substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
+        return bridges_cfp + substrate_cfp, 0.0
+
+
+class _ThreeDTerms(PackagingTerms):
+    __slots__ = (
+        "connection_kwh", "assembly_yield", "has_bonds",
+        "substrate_kwh", "substrate_yield", "has_substrate",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        connection_kwh, assembly_yield, has_bonds,
+        substrate_kwh, substrate_yield, has_substrate,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.connection_kwh = connection_kwh
+        self.assembly_yield = assembly_yield
+        self.has_bonds = has_bonds
+        self.substrate_kwh = substrate_kwh
+        self.substrate_yield = substrate_yield
+        self.has_substrate = has_substrate
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        bonds_cfp = 0.0
+        if self.has_bonds:
+            bonds_cfp = self.connection_kwh * intensity / self.assembly_yield
+        substrate_cfp = 0.0
+        if self.has_substrate:
+            substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
+        return bonds_cfp + substrate_cfp, 0.0
+
+
+def _rdl_energy_kwh(
+    table: TechnologyTable, area_mm2: float, node: Any, layers: float, energy_scale: float
+) -> float:
+    """The intensity-free factor of ``PackagingModel.rdl_layer_cfp_g``."""
+    record = table.get(node)
+    return layers * record.epla_rdl_kwh_per_cm2 * energy_scale * (area_mm2 / 100.0)
+
+
+def _compile_packaging_terms(
+    model: PackagingModel,
+    node_keys: Tuple[Any, ...],
+    area_values: Tuple[float, ...],
+    floorplan: FloorplanResult,
+    phy_power: Callable[[Any], float],
+    router_power: Callable[[Any], float],
+) -> PackagingTerms:
+    """Flatten ``model.evaluate`` into closed form over compiled geometry.
+
+    ``phy_power``/``router_power`` supply the per-chiplet communication
+    power figures (cached by the compiler; the module-level
+    :func:`compile_packaging` passes direct model calls).
+    """
+    table = model.table
+    area = floorplan.package_area_mm2
+    chiplet_count = len(node_keys)
+
+    if isinstance(model, MonolithicModel):
+        return _ZeroTerms(model.architecture, area, 0.0)
+
+    if isinstance(model, RDLFanoutModel):
+        spec = model.spec
+        package_yield = model.substrate_yield(
+            area, spec.technology_nm, defect_scale=_RDL_DEFECT_SCALE
+        )
+        energy_kwh = _rdl_energy_kwh(table, area, spec.technology_nm, spec.layers, 1.0)
+        comm_power = 0.0
+        if chiplet_count > 1:
+            for node in node_keys:
+                comm_power += phy_power(node)
+        return _RdlTerms(model.architecture, area, comm_power, energy_kwh, package_yield)
+
+    if isinstance(model, _InterposerBase):
+        spec = model.spec  # type: ignore[attr-defined]
+        record = table.get(spec.technology_nm)
+        interposer_yield = model.substrate_yield(area, spec.technology_nm, defect_scale=1.0)
+        patterning_kwh = _rdl_energy_kwh(table, area, spec.technology_nm, spec.beol_layers, 1.0)
+        materials_g = (
+            (record.material_kg_per_cm2 + record.gas_kg_per_cm2)
+            * 1000.0
+            * (area / 100.0)
+        )
+        if isinstance(model, PassiveInterposerModel):
+            comm_power = 0.0
+            if chiplet_count > 1:
+                for node in node_keys:
+                    comm_power += router_power(node)
+            return _InterposerTerms(
+                model.architecture, area, comm_power,
+                patterning_kwh, materials_g, interposer_yield,
+            )
+        assert isinstance(model, ActiveInterposerModel)
+        router_count = chiplet_count if chiplet_count > 1 else 0
+        router_area = model.router_area_mm2(spec.technology_nm)
+        comm_power = 0.0
+        router_eff = router_epa = router_gas = router_material = 0.0
+        router_yield = 1.0
+        if router_count:
+            router_record = table.get(spec.technology_nm)
+            router_eff = router_record.equipment_efficiency
+            router_epa = router_record.epa_kwh_per_cm2
+            router_gas = router_record.gas_kg_per_cm2 * 1000.0
+            router_material = router_record.material_kg_per_cm2 * 1000.0
+            router_yield = model.yield_model.die_yield(router_area, spec.technology_nm)
+            comm_power = router_count * router_power(spec.technology_nm)
+        return _ActiveInterposerTerms(
+            model.architecture, area, comm_power,
+            patterning_kwh, materials_g, interposer_yield,
+            router_count, router_area,
+            router_eff, router_epa, router_gas, router_material, router_yield,
+        )
+
+    if isinstance(model, SiliconBridgeModel):
+        spec = model.spec
+        record = table.get(spec.bridge_technology_nm)
+        bridge_yield = model.substrate_yield(
+            spec.bridge_area_mm2, spec.bridge_technology_nm, defect_scale=_BRIDGE_DEFECT_SCALE
+        )
+        patterning_kwh = (
+            spec.bridge_layers
+            * record.epla_bridge_kwh_per_cm2
+            * (spec.bridge_area_mm2 / 100.0)
+        )
+        kwh_per_bridge = patterning_kwh + _EMBEDDING_KWH_PER_BRIDGE
+        n_bridges = model.bridge_count(floorplan)
+        substrate_yield = model.substrate_yield(area, 65, defect_scale=_ORGANIC_DEFECT_SCALE)
+        substrate_kwh = _rdl_energy_kwh(table, area, 65, _ORGANIC_LAYERS, _ORGANIC_ENERGY_SCALE)
+        comm_power = 0.0
+        if chiplet_count > 1:
+            for node in node_keys:
+                comm_power += phy_power(node)
+        return _BridgeTerms(
+            model.architecture, area, comm_power,
+            kwh_per_bridge, bridge_yield, n_bridges, substrate_kwh, substrate_yield,
+        )
+
+    if isinstance(model, ThreeDStackModel):
+        spec = model.spec
+        bond = BondType.parse(spec.bond_type)
+        # interface_connections, replicated over the bare area values: tiers
+        # stack in decreasing-area order, each interface spans the smaller
+        # facing footprint at the spec's connection density.
+        ordered = sorted(area_values, key=lambda value: -value)
+        density = model.connections_per_mm2()
+        counts = [
+            min(lower, upper) * density for lower, upper in zip(ordered, ordered[1:])
+        ]
+        total_connections = sum(counts)
+        assembly_yield = 1.0
+        for count in counts:
+            assembly_yield *= bonding_yield(count, _CONNECTION_YIELD[bond])
+        connection_kwh = total_connections * _ENERGY_KWH_PER_CONNECTION[bond]
+        has_bonds = total_connections > 0 and assembly_yield > 0
+        footprint = max(area_values, default=0.0)
+        has_substrate = footprint > 0
+        substrate_yield = (
+            model.substrate_yield(
+                footprint, _SUBSTRATE_NODE_NM, defect_scale=_SUBSTRATE_DEFECT_SCALE
+            )
+            if has_substrate
+            else 1.0
+        )
+        substrate_kwh = (
+            _rdl_energy_kwh(
+                table, footprint, _SUBSTRATE_NODE_NM, _SUBSTRATE_LAYERS,
+                _SUBSTRATE_ENERGY_SCALE,
+            )
+            if has_substrate
+            else 0.0
+        )
+        return _ThreeDTerms(
+            model.architecture, area, 0.0,
+            connection_kwh, assembly_yield, has_bonds,
+            substrate_kwh, substrate_yield, has_substrate,
+        )
+
+    raise TypeError(
+        f"no closed-form packaging terms for {type(model).__name__}; "
+        "use the scalar backend for custom packaging models"
+    )
+
+
+def compile_packaging(
+    model: PackagingModel,
+    packaged_chiplets: Tuple[PackagedChiplet, ...],
+    floorplan: FloorplanResult,
+) -> PackagingTerms:
+    """Flatten ``model.evaluate(packaged_chiplets, floorplan)`` into closed form."""
+    spec = getattr(model, "spec", None)
+
+    def phy_power(node: Any) -> float:
+        return model.phy_model.average_power_w(node, lanes=spec.phy_lanes)
+
+    def router_power(node: Any) -> float:
+        return model.router_power_w(node, injection_rate=spec.router_injection_rate)
+
+    return _compile_packaging_terms(
+        model,
+        tuple(chiplet.node for chiplet in packaged_chiplets),
+        tuple(chiplet.area_mm2 for chiplet in packaged_chiplets),
+        floorplan,
+        phy_power,
+        router_power,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-chiplet and cost terms
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ChipletTerms:
+    """Scenario-independent coefficients of one chiplet in a template.
+
+    ``eff``/``epa``/``gas_g_cm2``/``material_g_cm2`` feed the Eq. 6 CFPA
+    closed form, ``yield_value``/``wasted_area_mm2`` the Eq. 5 terms, and
+    ``design_energy_kwh`` is the intensity-free factor of the chiplet's
+    un-amortised design CFP (zero for reused IP).
+    """
+
+    name: str
+    final_area_mm2: float
+    eff: float
+    epa: float
+    gas_g_cm2: float
+    material_g_cm2: float
+    yield_value: float
+    wasted_area_mm2: float
+    design_energy_kwh: float
+    reused: bool
+    explicit_volume: Optional[float]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostGroupTerms:
+    """One NRE-sharing design group of the dollar-cost model."""
+
+    masks_plus_design_usd: float
+    reused: bool
+    member_volumes: Tuple[Optional[float], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTerms:
+    """Closed-form dollar cost: fixed part plus volume-amortised NRE."""
+
+    fixed_usd: float
+    groups: Tuple[CostGroupTerms, ...]
+
+    def total_usd(self, system_volume: float) -> float:
+        """``ChipletCostModel.estimate(...).total_cost_usd`` for ``NS``."""
+        nre_total = 0.0
+        for group in self.groups:
+            if group.reused:
+                continue  # nre_cost_usd returns 0.0 for reused groups
+            volume = 0.0
+            for member in group.member_volumes:
+                volume += member if member is not None else system_volume
+            nre_total += group.masks_plus_design_usd / volume
+        return self.fixed_usd + nre_total
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceTerms:
+    """Per-(template, fab source) terms: everything but lifetime and volume.
+
+    ``design_parts`` holds one ``(is_fixed, value)`` pair per chiplet: fixed
+    parts are already-amortised grams (reused IP or explicit ``NM``), scaled
+    parts are un-amortised grams still to be divided by ``NS``.
+    """
+
+    fab_label: str
+    manufacturing_total_g: float
+    hi_total_g: float
+    design_parts: Tuple[Tuple[bool, float], ...]
+    comm_design_total_g: float
+
+
+class CompiledSystem:
+    """One fully-compiled scenario template plus its per-source term cache."""
+
+    __slots__ = (
+        "system_name", "node_values", "architecture",
+        "chiplets", "packaging", "comm_design_energy_kwh",
+        "base_volume", "base_lifetime",
+        "annual_cfp_g", "power_w", "silicon_area_mm2", "package_area_mm2",
+        "cost", "source_terms_cache",
+    )
+
+    def __init__(
+        self,
+        system_name: str,
+        node_values: Tuple[float, ...],
+        base_volume: float,
+        base_lifetime: float,
+        chiplets: Tuple[ChipletTerms, ...],
+        packaging: PackagingTerms,
+        comm_design_energy_kwh: Optional[float],
+        annual_cfp_g: float,
+        power_w: float,
+        silicon_area_mm2: float,
+        cost: Optional[CostTerms],
+    ):
+        self.system_name = system_name
+        self.node_values = node_values
+        self.architecture = packaging.architecture
+        self.chiplets = chiplets
+        self.packaging = packaging
+        self.comm_design_energy_kwh = comm_design_energy_kwh
+        self.base_volume = base_volume
+        self.base_lifetime = base_lifetime
+        self.annual_cfp_g = annual_cfp_g
+        self.power_w = power_w
+        self.silicon_area_mm2 = silicon_area_mm2
+        self.package_area_mm2 = packaging.package_area_mm2
+        self.cost = cost
+        self.source_terms_cache: Dict[Optional[str], SourceTerms] = {}
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+def packaging_signature(packaging: Optional[Mapping[str, Any]]) -> Optional[Tuple]:
+    """Hashable canonical form of a scenario packaging-override dict."""
+    if packaging is None:
+        return None
+    return tuple(sorted((str(key), repr(value)) for key, value in packaging.items()))
+
+
+TemplateKey = Tuple[str, str, Optional[Tuple[float, ...]], Optional[Tuple]]
+
+
+class TemplateCompiler:
+    """Compiles and caches :class:`CompiledSystem` templates.
+
+    Args:
+        config: Estimator configuration (same meaning as for
+            :class:`repro.core.estimator.EcoChip`).
+        table: Technology table override.
+        include_cost: Also compile the dollar-cost terms for ``cost_usd``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig] = None,
+        table: Optional[TechnologyTable] = None,
+        include_cost: bool = True,
+    ):
+        self.config = config if config is not None else EstimatorConfig()
+        self.estimator = EcoChip(config=self.config, table=table)
+        self.cost_model = (
+            ChipletCostModel(table=self.estimator.table) if include_cost else None
+        )
+        self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
+        self._templates: Dict[TemplateKey, CompiledSystem] = {}
+        # packaging signature -> packaging spec
+        self._specs: Dict[Tuple, Any] = {}
+        # (base key, chiplet name, node) -> (base area, transistor count)
+        self._areas: Dict[Tuple[Tuple[str, str], str, float], Tuple[float, float]] = {}
+        # packaging spec -> model (compile-time only: yields / areas / powers)
+        self._packaging_models: Dict[Any, PackagingModel] = {}
+        # (packaging spec, node, chiplet count) -> per-chiplet area overhead
+        self._overheads: Dict[Tuple[Any, float, int], float] = {}
+        # (packaging spec, node) -> PHY / router communication power figures
+        self._phy_powers: Dict[Tuple[Any, float], float] = {}
+        self._router_powers: Dict[Tuple[Any, float], float] = {}
+        # (spacing, area items) -> (floorplan, has adjacencies), shared
+        # across templates: equal area signatures floorplan identically.
+        self._floorplans: Dict[
+            Tuple[float, Tuple[Tuple[str, float], ...]], Tuple[FloorplanResult, bool]
+        ] = {}
+        # (final area, node) -> (die yield, wasted wafer area per die)
+        self._die_terms: Dict[Tuple[float, float], Tuple[float, float]] = {}
+        # (transistors, node, iterations) -> design energy in kWh
+        self._design_kwh: Dict[Tuple[float, float, int], float] = {}
+        # iterations -> inter-die communication design energy in kWh
+        self._comm_kwh: Dict[int, float] = {}
+        # (base area, node) -> die cost in USD
+        self._die_costs: Dict[Tuple[float, float], float] = {}
+
+    # -- shared-cache helpers -------------------------------------------------------
+    def base_system(self, base_kind: str, base_ref: str) -> ChipletSystem:
+        """The (cached) base system a template builds on."""
+        key = (base_kind, base_ref)
+        system = self._bases.get(key)
+        if system is None:
+            system = resolve_base(base_kind, base_ref)
+            self._bases[key] = system
+        return system
+
+    def _floorplan(
+        self,
+        planner: SlicingFloorplanner,
+        areas: Dict[str, float],
+        need_adjacencies: bool,
+    ) -> FloorplanResult:
+        key = (planner.spacing_mm, tuple(areas.items()))
+        entry = self._floorplans.get(key)
+        if entry is None:
+            floorplan = planner.floorplan(areas, adjacencies=need_adjacencies)
+            self._floorplans[key] = (floorplan, need_adjacencies)
+            return floorplan
+        floorplan, has_adjacencies = entry
+        if need_adjacencies and not has_adjacencies:
+            floorplan = planner.adjacencies_of(floorplan)
+            self._floorplans[key] = (floorplan, True)
+        return floorplan
+
+    def _packaging_model(self, spec: Any) -> PackagingModel:
+        model = self._packaging_models.get(spec)
+        if model is None:
+            # The intensity of this model instance is never used: the
+            # compiler only reads its geometry, yield and power helpers.
+            model = build_packaging_model(
+                spec,
+                table=self.estimator.table,
+                package_carbon_source=self.config.package_carbon_source,
+                router_spec=self.config.router_spec,
+            )
+            self._packaging_models[spec] = model
+        return model
+
+    def _packaging_spec(self, packaging: Optional[Mapping[str, Any]], base: ChipletSystem):
+        if packaging is None:
+            return base.packaging
+        signature = packaging_signature(packaging)
+        spec = self._specs.get(signature)
+        if spec is None:
+            spec = spec_from_dict(dict(packaging))
+            self._specs[signature] = spec
+        return spec
+
+    # -- template compilation ---------------------------------------------------------
+    def compile(
+        self,
+        base_kind: str,
+        base_ref: str,
+        nodes: Optional[Tuple[float, ...]],
+        packaging: Optional[Mapping[str, Any]],
+    ) -> CompiledSystem:
+        """Compile (or fetch) the template for one scenario family."""
+        key: TemplateKey = (base_kind, base_ref, nodes, packaging_signature(packaging))
+        template = self._templates.get(key)
+        if template is None:
+            template = self._compile(base_kind, base_ref, nodes, packaging)
+            self._templates[key] = template
+        return template
+
+    def _compile(
+        self,
+        base_kind: str,
+        base_ref: str,
+        nodes: Optional[Tuple[float, ...]],
+        packaging: Optional[Mapping[str, Any]],
+    ) -> CompiledSystem:
+        base_key = (base_kind, base_ref)
+        base = self.base_system(base_kind, base_ref)
+        estimator = self.estimator
+        spec = self._packaging_spec(packaging, base)
+        model = self._packaging_model(spec)
+        chiplet_count = base.chiplet_count
+        is_monolithic = chiplet_count == 1 or isinstance(spec, MonolithicSpec)
+
+        if nodes is not None:
+            if len(nodes) != chiplet_count:
+                raise ValueError(
+                    f"expected {chiplet_count} nodes, got {len(nodes)}"
+                )
+            node_keys = tuple(_normalise_node_key(node) for node in nodes)
+        else:
+            node_keys = tuple(chiplet.node for chiplet in base.chiplets)
+        node_values = tuple(float(node) for node in node_keys)
+
+        # Geometry (estimator steps 1–3) with cross-template caches; this is
+        # compute_geometry without materialising a retargeted ChipletSystem.
+        final_areas: Dict[str, float] = {}
+        final_area_values: List[float] = []
+        transistor_counts: List[float] = []
+        for chiplet, node_key, node_value in zip(base.chiplets, node_keys, node_values):
+            area_key = (base_key, chiplet.name, node_value)
+            cached = self._areas.get(area_key)
+            if cached is None:
+                cached = (
+                    chiplet.area_at_node(estimator.scaling, node_key),
+                    chiplet.transistor_count(estimator.scaling),
+                )
+                self._areas[area_key] = cached
+            base_area, transistors = cached
+            transistor_counts.append(transistors)
+            overhead_key = (spec, node_value, chiplet_count)
+            overhead = self._overheads.get(overhead_key)
+            if overhead is None:
+                probe = PackagedChiplet(
+                    name=chiplet.name,
+                    area_mm2=base_area,
+                    node=node_value,
+                    design_type=chiplet.design_type,  # type: ignore[arg-type]
+                )
+                overhead = model.chiplet_area_overhead_mm2(probe, chiplet_count)
+                self._overheads[overhead_key] = overhead
+            final_area = base_area + overhead
+            final_areas[chiplet.name] = final_area
+            final_area_values.append(final_area)
+        needs_adjacencies = isinstance(model, SiliconBridgeModel)
+        floorplan = self._floorplan(estimator.floorplanner, final_areas, needs_adjacencies)
+        packaging_terms = self._compile_packaging(
+            model, spec, node_keys, node_values, tuple(final_area_values), floorplan
+        )
+
+        # Per-chiplet manufacturing and design coefficients.
+        design_model = estimator.design_model
+        table = estimator.table
+        chiplet_terms: List[ChipletTerms] = []
+        for chiplet, node_key, node_value, transistors, final_area in zip(
+            base.chiplets, node_keys, node_values, transistor_counts, final_area_values
+        ):
+            die_key = (final_area, node_value)
+            die_terms = self._die_terms.get(die_key)
+            if die_terms is None:
+                die_terms = (
+                    estimator.manufacturing.yield_model.die_yield(final_area, node_key),
+                    estimator.manufacturing.wafer.utilisation(
+                        final_area
+                    ).wasted_area_per_die_mm2,
+                )
+                self._die_terms[die_key] = die_terms
+            yield_value, wasted_area = die_terms
+            record = table.get(node_key)
+            if chiplet.reused:
+                design_kwh = 0.0
+            else:
+                kwh_key = (transistors, node_value, base.design_iterations)
+                design_kwh = self._design_kwh.get(kwh_key)
+                if design_kwh is None:
+                    gates = gates_from_transistors(
+                        transistors, design_model.transistors_per_gate
+                    )
+                    hours = design_model.spr_model.design_hours(
+                        gates, node_key, base.design_iterations
+                    )
+                    design_kwh = hours * design_model.design_power_w / 1000.0
+                    self._design_kwh[kwh_key] = design_kwh
+            chiplet_terms.append(
+                ChipletTerms(
+                    name=chiplet.name,
+                    final_area_mm2=final_area,
+                    eff=record.equipment_efficiency,
+                    epa=record.epa_kwh_per_cm2,
+                    gas_g_cm2=record.gas_kg_per_cm2 * 1000.0,
+                    material_g_cm2=record.material_kg_per_cm2 * 1000.0,
+                    yield_value=yield_value,
+                    wasted_area_mm2=wasted_area,
+                    design_energy_kwh=design_kwh,
+                    reused=chiplet.reused,
+                    explicit_volume=chiplet.manufactured_volume,
+                )
+            )
+
+        # Inter-die communication design effort (None for monolithic systems).
+        comm_design_kwh: Optional[float] = None
+        if not is_monolithic and DEFAULT_COMM_DESIGN_GATES > 0:
+            comm_design_kwh = self._comm_kwh.get(base.design_iterations)
+            if comm_design_kwh is None:
+                comm_hours = design_model.spr_model.design_hours(
+                    DEFAULT_COMM_DESIGN_GATES, 7, base.design_iterations
+                )
+                comm_design_kwh = comm_hours * design_model.design_power_w / 1000.0
+                self._comm_kwh[base.design_iterations] = comm_design_kwh
+
+        # Operational terms (estimator step 7): _effective_operating_spec
+        # replicated over the compiled geometry — the annual footprint and
+        # the power figure are lifetime- and fab-source-independent.
+        operating = base.operating.with_comm_power(packaging_terms.comm_power_w)
+        if operating.annual_energy_kwh is None and operating.average_power_w is None:
+            total_area = sum(final_areas.values())
+            updates: Dict[str, object] = {}
+            energy_model = estimator.energy_model
+            if operating.leakage_current_a is None:
+                updates["leakage_current_a"] = sum(
+                    energy_model.leakage_current_a(final_areas[c.name], node)
+                    for c, node in zip(base.chiplets, node_keys)
+                )
+            if operating.load_capacitance_f is None:
+                updates["load_capacitance_f"] = sum(
+                    energy_model.load_capacitance_f(final_areas[c.name], node)
+                    for c, node in zip(base.chiplets, node_keys)
+                )
+            if operating.vdd_v is None and total_area > 0:
+                updates["vdd_v"] = sum(
+                    table.get(node).vdd_v * final_areas[c.name]
+                    for c, node in zip(base.chiplets, node_keys)
+                ) / total_area
+            if updates:
+                operating = dataclasses.replace(operating, **updates)
+        operational = estimator.operational_model.evaluate(operating)
+
+        silicon_area = sum(final_area_values)
+
+        cost_terms = (
+            self._compile_cost(base_key, base, node_values) if self.cost_model else None
+        )
+
+        return CompiledSystem(
+            system_name=base.name,
+            node_values=node_values,
+            base_volume=base.system_volume,
+            base_lifetime=base.operating.lifetime_years,
+            chiplets=tuple(chiplet_terms),
+            packaging=packaging_terms,
+            comm_design_energy_kwh=comm_design_kwh,
+            annual_cfp_g=operational.annual_cfp_g,
+            power_w=operational.energy.total_power_w,
+            silicon_area_mm2=silicon_area,
+            cost=cost_terms,
+        )
+
+    def _compile_packaging(
+        self,
+        model: PackagingModel,
+        spec: Any,
+        node_keys: Tuple[Any, ...],
+        node_values: Tuple[float, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+    ) -> PackagingTerms:
+        phy_powers = self._phy_powers
+        router_powers = self._router_powers
+
+        def phy_power(node: Any) -> float:
+            key = (spec, float(node))
+            value = phy_powers.get(key)
+            if value is None:
+                value = model.phy_model.average_power_w(node, lanes=spec.phy_lanes)
+                phy_powers[key] = value
+            return value
+
+        def router_power(node: Any) -> float:
+            key = (spec, float(node))
+            value = router_powers.get(key)
+            if value is None:
+                value = model.router_power_w(
+                    node, injection_rate=spec.router_injection_rate
+                )
+                router_powers[key] = value
+            return value
+
+        return _compile_packaging_terms(
+            model, node_keys, area_values, floorplan, phy_power, router_power
+        )
+
+    def _compile_cost(
+        self,
+        base_key: Tuple[str, str],
+        base: ChipletSystem,
+        node_values: Tuple[float, ...],
+    ) -> CostTerms:
+        """Flatten :meth:`ChipletCostModel.estimate` for this template.
+
+        Mirrors the scalar model exactly: per-chiplet die costs and the
+        assembly cost are volume-independent, NRE-sharing design groups keep
+        their insertion order and fold member volumes left to right.
+        """
+        cost_model = self.cost_model
+        assert cost_model is not None
+        areas: Dict[str, float] = {}
+        die_cost_sum = 0.0
+        group_order: List[Tuple[str, float, float]] = []
+        group_members: Dict[Tuple[str, float, float], List[Optional[float]]] = {}
+        group_meta: Dict[Tuple[str, float, float], Tuple[float, bool]] = {}
+        for chiplet, node_value in zip(base.chiplets, node_values):
+            # Base areas (no packaging overhead), identical to the cached
+            # estimator values: both scaling models share the table.
+            base_area, transistors = self._areas[(base_key, chiplet.name, node_value)]
+            areas[chiplet.name] = base_area
+            die_key = (base_area, node_value)
+            die_cost = self._die_costs.get(die_key)
+            if die_cost is None:
+                die_cost = cost_model.die_cost_usd(base_area, node_value)
+                self._die_costs[die_key] = die_cost
+            die_cost_sum += die_cost
+            signature = (
+                chiplet.design_type.value,  # type: ignore[union-attr]
+                node_value,
+                round(transistors, 3),
+            )
+            if signature not in group_members:
+                group_order.append(signature)
+                group_members[signature] = []
+                group_meta[signature] = (transistors, True)
+            group_members[signature].append(chiplet.manufactured_volume)
+            transistors_first, all_reused = group_meta[signature]
+            group_meta[signature] = (transistors_first, all_reused and chiplet.reused)
+
+        package_area = self._floorplan(
+            cost_model.floorplanner, areas, need_adjacencies=False
+        ).package_area_mm2
+        assembly = cost_model.assembly_cost_usd(package_area, len(base.chiplets))
+        fixed = die_cost_sum + assembly
+
+        groups: List[CostGroupTerms] = []
+        for signature in group_order:
+            transistors_first, all_reused = group_meta[signature]
+            # nre_cost_usd: (mask set + design) / volume; the numerator is
+            # volume-independent, so precompute the sum with the same ops.
+            masks = _lookup_by_node(MASK_SET_COST_USD, signature[1])
+            gates = transistors_first / 6.25
+            design = gates * DESIGN_COST_USD_PER_GATE
+            groups.append(
+                CostGroupTerms(
+                    masks_plus_design_usd=masks + design,
+                    reused=all_reused,
+                    member_volumes=tuple(group_members[signature]),
+                )
+            )
+        return CostTerms(fixed_usd=fixed, groups=tuple(groups))

@@ -113,15 +113,24 @@ class SlicingFloorplanner:
         self.aspect_ratio = float(aspect_ratio)
 
     # -- public API --------------------------------------------------------------
-    def floorplan(self, chiplet_areas: Dict[str, float]) -> FloorplanResult:
-        """Floorplan the chiplets and report package area and whitespace."""
+    def floorplan(
+        self, chiplet_areas: Dict[str, float], adjacencies: bool = True
+    ) -> FloorplanResult:
+        """Floorplan the chiplets and report package area and whitespace.
+
+        ``adjacencies=False`` skips the pairwise adjacency extraction (an
+        O(n²) pass only the silicon-bridge packaging model consumes) and
+        leaves the ``adjacencies`` field empty; use
+        :meth:`adjacencies_of` to fill it in later.  Geometry is identical
+        either way.
+        """
         tree = build_partition_tree(chiplet_areas)
         block = self._process(tree)
         outline = Rect(0.0, 0.0, block.width, block.height)
         chiplet_area = sum(chiplet_areas.values())
         package_area = outline.area
         whitespace = max(0.0, package_area - chiplet_area)
-        adjacencies = self._adjacencies(block.placements)
+        adjacency_pairs = self._adjacencies(block.placements) if adjacencies else ()
         return FloorplanResult(
             placements=block.placements,
             outline=outline,
@@ -129,12 +138,24 @@ class SlicingFloorplanner:
             package_area_mm2=package_area,
             whitespace_area_mm2=whitespace,
             whitespace_fraction=whitespace / package_area if package_area > 0 else 0.0,
-            adjacencies=adjacencies,
+            adjacencies=adjacency_pairs,
+        )
+
+    def adjacencies_of(self, floorplan: FloorplanResult) -> FloorplanResult:
+        """A copy of ``floorplan`` with the adjacency pairs filled in.
+
+        Computes the same pairs :meth:`floorplan` would have produced with
+        ``adjacencies=True``; already-filled results are returned unchanged.
+        """
+        if floorplan.adjacencies:
+            return floorplan
+        return dataclasses.replace(
+            floorplan, adjacencies=self._adjacencies(floorplan.placements)
         )
 
     def package_area_mm2(self, chiplet_areas: Dict[str, float]) -> float:
         """Convenience wrapper returning only the package/interposer area."""
-        return self.floorplan(chiplet_areas).package_area_mm2
+        return self.floorplan(chiplet_areas, adjacencies=False).package_area_mm2
 
     # -- tree processing -----------------------------------------------------------
     def _process(self, node: PartitionNode) -> _Block:
@@ -143,9 +164,14 @@ class SlicingFloorplanner:
         assert node.left is not None and node.right is not None
         left = self._process(node.left)
         right = self._process(node.right)
-        horizontal = self._combine(left, right, vertical_cut=True)
-        vertical = self._combine(left, right, vertical_cut=False)
-        return horizontal if horizontal.area <= vertical.area else vertical
+        # Decide the cut orientation from the candidate bounding boxes alone
+        # (the same width/height/area arithmetic _combine and _Block.area
+        # perform), then build the placements only for the winner — the
+        # loser's translated placement tuples were pure allocation waste.
+        gap = self.spacing_mm
+        horizontal_area = (left.width + gap + right.width) * max(left.height, right.height)
+        vertical_area = max(left.width, right.width) * (left.height + gap + right.height)
+        return self._combine(left, right, vertical_cut=horizontal_area <= vertical_area)
 
     def _leaf_block(self, node: PartitionNode) -> _Block:
         area = node.total_area
@@ -185,30 +211,45 @@ class SlicingFloorplanner:
         and the overlap of their projections on the facing axis is positive.
         """
         inflate = self.spacing_mm / 2.0 + 1e-9
+        tolerance = 1e-6
+        # Inflate every placement once, as bare floats; the arithmetic per
+        # coordinate (x - inflate, width + 2*inflate, x2 = x + width) is
+        # exactly what the former per-pair Rect construction computed.
+        inflated = []
+        for placement in placements:
+            rect = placement.rect
+            x = rect.x - inflate
+            y = rect.y - inflate
+            x2 = x + (rect.width + 2 * inflate)
+            y2 = y + (rect.height + 2 * inflate)
+            inflated.append((placement.name, x, y, x2, y2))
         pairs: List[Tuple[str, str, float]] = []
-        for a, b in itertools.combinations(placements, 2):
-            ra = Rect(
-                a.rect.x - inflate,
-                a.rect.y - inflate,
-                a.rect.width + 2 * inflate,
-                a.rect.height + 2 * inflate,
-            )
-            rb = Rect(
-                b.rect.x - inflate,
-                b.rect.y - inflate,
-                b.rect.width + 2 * inflate,
-                b.rect.height + 2 * inflate,
-            )
-            if ra.overlaps(rb):
+        for (a_name, ax, ay, ax2, ay2), (b_name, bx, by, bx2, by2) in (
+            itertools.combinations(inflated, 2)
+        ):
+            if ax < bx2 and bx < ax2 and ay < by2 and by < ay2:
                 # Overlap after inflation: the interface length is the extent
                 # of the overlap along the facing (longer) direction.
-                dx = min(ra.x2, rb.x2) - max(ra.x, rb.x)
-                dy = min(ra.y2, rb.y2) - max(ra.y, rb.y)
+                dx = min(ax2, bx2) - max(ax, bx)
+                dy = min(ay2, by2) - max(ay, by)
                 shared = max(dx, dy) if min(dx, dy) > 0 else 0.0
             else:
-                shared = ra.shared_edge_length(rb)
+                # Rect.shared_edge_length over the inflated outlines.
+                shared = 0.0
+                if abs(ax2 - bx) <= tolerance or abs(bx2 - ax) <= tolerance:
+                    low = max(ay, by)
+                    high = min(ay2, by2)
+                    if high > low:
+                        shared = high - low
+                if not shared and (
+                    abs(ay2 - by) <= tolerance or abs(by2 - ay) <= tolerance
+                ):
+                    low = max(ax, bx)
+                    high = min(ax2, bx2)
+                    if high > low:
+                        shared = high - low
             if shared > 0:
-                names = sorted((a.name, b.name))
+                names = sorted((a_name, b_name))
                 pairs.append((names[0], names[1], shared))
         return tuple(sorted(pairs))
 

@@ -11,27 +11,42 @@ provides the scale-out machinery for that:
     cartesian-product expansion and named presets.
 :mod:`repro.sweep.engine`
     :class:`~repro.sweep.engine.SweepEngine` — sharded, process-parallel
-    scenario evaluation with memoised manufacturing/design kernels and a
-    deterministic serial fallback.
+    scenario evaluation with memoised manufacturing/design kernels, a
+    deterministic serial fallback, resume-from-store, and a compiled batch
+    backend (``backend="batch"``, see :mod:`repro.fastpath`) whose records
+    are bit-identical to the scalar path.
 :mod:`repro.sweep.store`
     Streaming JSONL/CSV result stores (crash-safe, constant memory) and
     row adapters feeding :func:`repro.core.explorer.pareto_front`.
 """
 
-from repro.sweep.engine import KernelCacheStats, SweepEngine, SweepSummary, install_kernel_cache
+from repro.sweep.engine import (
+    BACKENDS,
+    KernelCacheStats,
+    SweepEngine,
+    SweepSummary,
+    install_kernel_cache,
+    prepare_resume,
+)
 from repro.sweep.spec import PRESETS, Scenario, SweepSpec, load_spec
 from repro.sweep.store import (
     CsvResultStore,
     JsonlResultStore,
     SweepRow,
+    completed_scenario_ids,
     iter_records,
     load_records,
     load_rows,
     open_store,
+    repair_torn_tail,
     rows_from_records,
 )
 
 __all__ = [
+    "BACKENDS",
+    "completed_scenario_ids",
+    "prepare_resume",
+    "repair_torn_tail",
     "SweepSpec",
     "Scenario",
     "PRESETS",

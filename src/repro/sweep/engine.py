@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.estimator import EcoChip, EstimatorConfig
@@ -30,7 +31,11 @@ from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
 from repro.design.eda import DEFAULT_DESIGN_ITERATIONS
 from repro.sweep.spec import Scenario, SweepSpec, resolve_base
-from repro.sweep.store import ResultStore
+from repro.sweep.store import (
+    ResultStore,
+    iter_records as _iter_store_records,
+    repair_torn_tail,
+)
 from repro.technology.nodes import TechnologyTable
 from repro.technology.scaling import DesignType
 
@@ -144,12 +149,18 @@ def _source_name(source: Any) -> str:
 
 
 def make_record(
-    scenario: Scenario, system: ChipletSystem, report: SystemCarbonReport, fab_source: str
+    scenario: Scenario,
+    system: ChipletSystem,
+    report: SystemCarbonReport,
+    fab_source: str,
+    cost_usd: Optional[float] = None,
 ) -> Record:
     """Flatten one evaluated scenario into a JSON/CSV-friendly record.
 
     Metric keys deliberately match :data:`repro.core.explorer.OBJECTIVES`
-    so reloaded records plug into the Pareto tooling unchanged.
+    so reloaded records plug into the Pareto tooling unchanged.  The batch
+    backend (:meth:`repro.fastpath.batch.BatchEstimator._record`) emits the
+    same keys in the same order — keep the two in sync.
     """
     record = scenario.to_record()
     record.update(
@@ -171,18 +182,32 @@ def make_record(
             "power_w": report.operational.energy.total_power_w,
         }
     )
+    if cost_usd is not None:
+        record["cost_usd"] = cost_usd
     return record
 
 
 class _ScenarioEvaluator:
     """Per-process evaluation context: base-system, estimator and kernel caches."""
 
-    def __init__(self, default_config: Optional[EstimatorConfig], memoize: bool):
+    def __init__(
+        self,
+        default_config: Optional[EstimatorConfig],
+        memoize: bool,
+        include_cost: bool = False,
+    ):
         self.default_config = default_config if default_config is not None else EstimatorConfig()
         self.memoize = memoize
+        self.include_cost = include_cost
         self.stats = KernelCacheStats()
         self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
         self._estimators: Dict[Optional[str], EcoChip] = {}
+        self._cost_model: Optional[Any] = None
+        # Cost depends only on (base, nodes, NS) — not packaging, fab source
+        # or lifetime — so one evaluation serves every scenario sharing them.
+        self._cost_cache: Dict[
+            Tuple[str, str, Optional[Tuple[float, ...]], float], float
+        ] = {}
 
     def _base(self, scenario: Scenario) -> ChipletSystem:
         key = (scenario.base_kind, scenario.base_ref)
@@ -210,6 +235,26 @@ class _ScenarioEvaluator:
             self._estimators[fab_source] = estimator
         return estimator
 
+    def _cost_usd(self, scenario: Scenario, system: ChipletSystem) -> float:
+        """Dollar cost of the scenario's system (memoised when enabled)."""
+        if self._cost_model is None:
+            from repro.cost.model import ChipletCostModel
+
+            self._cost_model = ChipletCostModel()
+        if not self.memoize:
+            return self._cost_model.estimate(system).total_cost_usd
+        key = (
+            scenario.base_kind,
+            scenario.base_ref,
+            scenario.nodes,
+            system.system_volume,
+        )
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = self._cost_model.estimate(system).total_cost_usd
+            self._cost_cache[key] = cost
+        return cost
+
     def evaluate(self, scenario: Scenario) -> Record:
         """Evaluate one scenario into a flattened record."""
         system = scenario.build_system(base=self._base(scenario))
@@ -220,16 +265,19 @@ class _ScenarioEvaluator:
             if scenario.fab_source is not None
             else _source_name(self.default_config.fab_carbon_source)
         )
-        return make_record(scenario, system, report, fab_source)
+        cost_usd = self._cost_usd(scenario, system) if self.include_cost else None
+        return make_record(scenario, system, report, fab_source, cost_usd=cost_usd)
 
 
 #: Worker-process evaluator, created once per worker by the pool initializer.
 _EVALUATOR: Optional[_ScenarioEvaluator] = None
 
 
-def _init_worker(default_config: Optional[EstimatorConfig], memoize: bool) -> None:
+def _init_worker(
+    default_config: Optional[EstimatorConfig], memoize: bool, include_cost: bool = False
+) -> None:
     global _EVALUATOR
-    _EVALUATOR = _ScenarioEvaluator(default_config, memoize)
+    _EVALUATOR = _ScenarioEvaluator(default_config, memoize, include_cost)
 
 
 def _evaluate_chunk(scenarios: Sequence[Scenario]) -> List[Record]:
@@ -237,11 +285,74 @@ def _evaluate_chunk(scenarios: Sequence[Scenario]) -> List[Record]:
     return [_EVALUATOR.evaluate(scenario) for scenario in scenarios]
 
 
+#: Worker-process batch estimator (backend="batch"), one per worker.
+_BATCH_EVALUATOR: Optional[Any] = None
+
+
+def _init_batch_worker(
+    default_config: Optional[EstimatorConfig], include_cost: bool
+) -> None:
+    global _BATCH_EVALUATOR
+    from repro.fastpath import BatchEstimator
+
+    _BATCH_EVALUATOR = BatchEstimator(config=default_config, include_cost=include_cost)
+
+
+def _evaluate_batch_chunk(
+    groups: Sequence[Tuple[Sequence[int], Sequence[Scenario]]],
+) -> List[Tuple[int, Record]]:
+    """Evaluate template groups, returning (position, record) pairs.
+
+    Each worker keeps its :class:`repro.fastpath.BatchEstimator` (and its
+    compiled-template caches) alive across chunks, so templates shared by
+    chunks mapped to the same worker compile once.
+    """
+    assert _BATCH_EVALUATOR is not None, "worker initializer did not run"
+    results: List[Tuple[int, Record]] = []
+    for positions, scenarios in groups:
+        template = _BATCH_EVALUATOR.compile_for(scenarios[0])
+        records = _BATCH_EVALUATOR.evaluate_group(template, scenarios)
+        results.extend(zip(positions, records))
+    return results
+
+
 def shard(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
     """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
     if chunk_size < 1:
         raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
     return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+def prepare_resume(
+    scenarios: Sequence[Scenario],
+    resume: Union[ResultStore, str, "Path"],
+) -> Tuple[List[Scenario], int, List[Record], bool]:
+    """Shared resume preparation for :meth:`SweepEngine.run` and the CLI.
+
+    Repairs a torn store tail left by a crash, loads the records already on
+    disk, and filters out the scenarios whose ids they cover.
+
+    Returns:
+        ``(remaining_scenarios, skipped_count, existing_records, repaired)``
+        — ``existing_records`` lets callers fold already-computed results
+        into best/top/Pareto summaries so a resumed run reports on the whole
+        sweep, not just the newly evaluated tail.
+    """
+    repaired = repair_torn_tail(resume)
+    path = resume.path if isinstance(resume, ResultStore) else Path(resume)
+    existing: List[Record] = []
+    if path.is_file() and path.stat().st_size > 0:
+        existing = list(_iter_store_records(path))
+    done_ids = {
+        int(record["scenario"])
+        for record in existing
+        if record.get("scenario") is not None
+    }
+    scenarios = list(scenarios)
+    if not done_ids:
+        return scenarios, 0, existing, repaired
+    remaining = [s for s in scenarios if s.index not in done_ids]
+    return remaining, len(scenarios) - len(remaining), existing, repaired
 
 
 # ---------------------------------------------------------------------------
@@ -258,8 +369,11 @@ class SweepSummary:
         best: Record with the lowest ``total_carbon_g`` (``None`` when the
             spec was empty).
         store_path: Where records were streamed (``None`` without a store).
-        cache_stats: Kernel-cache counters (serial runs only; workers keep
-            their own counters).
+        cache_stats: Kernel-cache counters (serial scalar runs only; workers
+            keep their own counters and the batch backend has no kernels).
+        skipped_count: Scenarios skipped because a resume store already
+            contained their ids.
+        backend: Evaluation backend the run used.
     """
 
     scenario_count: int
@@ -268,6 +382,8 @@ class SweepSummary:
     best: Optional[Record]
     store_path: Optional[str] = None
     cache_stats: Optional[KernelCacheStats] = None
+    skipped_count: int = 0
+    backend: str = "scalar"
 
     @property
     def scenarios_per_second(self) -> float:
@@ -277,17 +393,30 @@ class SweepSummary:
         return self.scenario_count / self.elapsed_s
 
 
+#: Evaluation backends of :class:`SweepEngine`.
+BACKENDS = ("scalar", "batch")
+
+
 class SweepEngine:
     """Evaluates sweep scenarios, serially or across worker processes.
 
     Args:
         jobs: Worker processes; ``1`` runs serially in-process.
-        chunk_size: Scenarios per shard; defaults to an even split across
-            ``8 x jobs`` chunks (capped at 256) so workers stay busy
-            without excessive pickling round-trips.
-        memoize: Memoise the manufacturing/design kernels in each process.
+        chunk_size: Scenarios per shard (scalar backend); defaults to an
+            even split across ``8 x jobs`` chunks (capped at 256) so workers
+            stay busy without excessive pickling round-trips.
+        memoize: Memoise the manufacturing/design kernels (and the dollar
+            cost) in each process.  Scalar backend only; the batch backend
+            always reuses its compiled templates.
         config: Estimator configuration shared by all scenarios (scenario
             ``fab_source`` overrides the energy sources per scenario).
+        backend: ``"scalar"`` (default) evaluates every scenario through the
+            full :class:`EcoChip` pipeline; ``"batch"`` groups scenarios by
+            compiled template (:mod:`repro.fastpath`) and evaluates each
+            group as flat arithmetic — bit-identical records, an order of
+            magnitude faster on repetitive grids.
+        include_cost: Add ``cost_usd`` (the Chiplet-Actuary-style dollar
+            cost) to every record.
     """
 
     def __init__(
@@ -296,15 +425,23 @@ class SweepEngine:
         chunk_size: Optional[int] = None,
         memoize: bool = True,
         config: Optional[EstimatorConfig] = None,
+        backend: str = "scalar",
+        include_cost: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known backends: {list(BACKENDS)}"
+            )
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.memoize = memoize
         self.config = config
+        self.backend = backend
+        self.include_cost = include_cost
         #: Kernel-cache stats of the last serial run (None after parallel runs).
         self.last_cache_stats: Optional[KernelCacheStats] = None
 
@@ -325,16 +462,19 @@ class SweepEngine:
     def iter_records(self, sweep: Union[SweepSpec, Iterable[Scenario]]) -> Iterator[Record]:
         """Yield one flattened record per scenario, in scenario order.
 
-        The serial and parallel paths run the same per-scenario code, so
-        the records (and any totals derived from them) are bit-identical
-        for any ``jobs`` value.
+        Every combination of backend and ``jobs`` runs the same per-scenario
+        arithmetic, so the records (and any totals derived from them) are
+        bit-identical across all of them.
         """
         self.last_cache_stats = None
         scenarios = self._resolve_scenarios(sweep)
         if not scenarios:
             return
+        if self.backend == "batch":
+            yield from self._iter_records_batch(scenarios)
+            return
         if self.jobs == 1:
-            evaluator = _ScenarioEvaluator(self.config, self.memoize)
+            evaluator = _ScenarioEvaluator(self.config, self.memoize, self.include_cost)
             self.last_cache_stats = evaluator.stats
             for scenario in scenarios:
                 yield evaluator.evaluate(scenario)
@@ -343,11 +483,60 @@ class SweepEngine:
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_worker,
-            initargs=(self.config, self.memoize),
+            initargs=(self.config, self.memoize, self.include_cost),
         ) as pool:
             for chunk_records in pool.map(_evaluate_chunk, chunks):
                 for record in chunk_records:
                     yield record
+
+    def _iter_records_batch(self, scenarios: List[Scenario]) -> Iterator[Record]:
+        """Batch backend: group by template, evaluate groups, emit in order.
+
+        Records are buffered only while a group completes out of input
+        order; for spec-expanded grids (template axes outermost) groups are
+        contiguous, so memory stays bounded by the largest group.
+        """
+        from repro.fastpath import group_scenarios
+
+        groups = group_scenarios(scenarios)
+        pending: Dict[int, Record] = {}
+        next_position = 0
+        if self.jobs == 1:
+            from repro.fastpath import BatchEstimator
+
+            estimator = BatchEstimator(config=self.config, include_cost=self.include_cost)
+            for _, members in groups:
+                template = estimator.compile_for(members[0][1])
+                records = estimator.evaluate_group(
+                    template, [scenario for _, scenario in members]
+                )
+                for (position, _), record in zip(members, records):
+                    pending[position] = record
+                while next_position in pending:
+                    yield pending.pop(next_position)
+                    next_position += 1
+            return
+        payload = [
+            (
+                [position for position, _ in members],
+                [scenario for _, scenario in members],
+            )
+            for _, members in groups
+        ]
+        # Shard whole groups (not scenarios) so each template compiles in
+        # exactly one worker; chunks keep the first-occurrence group order.
+        chunks = shard(payload, max(1, -(-len(payload) // (self.jobs * 4))))
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            initializer=_init_batch_worker,
+            initargs=(self.config, self.include_cost),
+        ) as pool:
+            for chunk_results in pool.map(_evaluate_batch_chunk, chunks):
+                for position, record in chunk_results:
+                    pending[position] = record
+                while next_position in pending:
+                    yield pending.pop(next_position)
+                    next_position += 1
 
     # -- one-shot -------------------------------------------------------------------
     def run(
@@ -355,6 +544,7 @@ class SweepEngine:
         sweep: Union[SweepSpec, Iterable[Scenario]],
         store: Optional[ResultStore] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        resume: Optional[Union[ResultStore, str, "Path"]] = None,
     ) -> SweepSummary:
         """Evaluate every scenario, streaming records into ``store``.
 
@@ -363,13 +553,29 @@ class SweepEngine:
             store: Streaming result store; each record is appended (and
                 flushed) as soon as it is computed.
             progress: Optional ``(done, total)`` callback per record.
+            resume: A store (or store path) from a previous run of the same
+                spec: scenarios whose ids already appear in it are skipped
+                (a torn final line from a crash is repaired first), and the
+                stored records compete for :attr:`SweepSummary.best` so the
+                summary covers the whole sweep.  Usually the same file as
+                ``store``, opened with ``append=True`` so old and new
+                records accumulate together.
 
         Returns:
             A :class:`SweepSummary` with counts, timing and the best record.
         """
         scenarios = self._resolve_scenarios(sweep)
-        total = len(scenarios)
+        skipped = 0
         best: Optional[Record] = None
+        if resume is not None:
+            scenarios, skipped, existing, _ = prepare_resume(scenarios, resume)
+            for record in existing:
+                total_g = record.get("total_carbon_g")
+                if total_g is not None and (
+                    best is None or total_g < best["total_carbon_g"]
+                ):
+                    best = record
+        total = len(scenarios)
         done = 0
         start = time.perf_counter()
         for record in self.iter_records(scenarios):
@@ -388,6 +594,8 @@ class SweepEngine:
             best=best,
             store_path=str(store.path) if store is not None else None,
             cache_stats=self.last_cache_stats,
+            skipped_count=skipped,
+            backend=self.backend,
         )
 
 

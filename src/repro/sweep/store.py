@@ -19,7 +19,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
 PathLike = Union[str, Path]
 
@@ -185,6 +185,109 @@ def iter_records(path: PathLike) -> Iterator[Dict[str, Any]]:
 def load_records(path: PathLike) -> List[Dict[str, Any]]:
     """All records of a store file as a list of dicts."""
     return list(iter_records(path))
+
+
+def completed_scenario_ids(source: Union["ResultStore", PathLike]) -> Set[int]:
+    """Scenario ids already present in a store file (resume support).
+
+    Accepts a :class:`ResultStore` or a path; a missing or empty file means
+    nothing has been evaluated yet.  Records without a ``scenario`` field
+    (foreign files) are ignored.
+
+    A crash can tear the *last* JSONL line mid-write (disk full, SIGKILL);
+    since resume exists to rescue exactly such runs, an undecodable final
+    line is treated as not-yet-evaluated rather than an error.  A torn line
+    anywhere else still raises — that is real corruption, not a crash tail.
+    """
+    path = source.path if isinstance(source, ResultStore) else Path(source)
+    ids: Set[int] = set()
+    if not path.is_file() or path.stat().st_size == 0:
+        return ids
+    if path.suffix.lower() == ".csv":
+        records: Iterator[Dict[str, Any]] = iter_records(path)
+    else:
+        records = _iter_jsonl_tolerating_torn_tail(path)
+    for record in records:
+        scenario_id = record.get("scenario")
+        if scenario_id is not None:
+            ids.add(int(scenario_id))
+    return ids
+
+
+def _iter_jsonl_tolerating_torn_tail(path: Path) -> Iterator[Dict[str, Any]]:
+    """Like :func:`iter_records` for JSONL, but drop an undecodable last line.
+
+    Streams with one line of lookahead (constant memory): a line is only
+    parsed strictly once a later non-empty line proves it is not the tail.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        previous: Optional[str] = None
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if previous is not None:
+                yield json.loads(previous)  # strict: not the last line
+            previous = line
+        if previous is not None:
+            try:
+                yield json.loads(previous)
+            except json.JSONDecodeError:
+                return  # torn tail of a crashed run: treat as unwritten
+
+
+#: How far back repair_torn_tail looks for the final line boundary.
+_TAIL_CHUNK_BYTES = 1 << 20
+
+
+def repair_torn_tail(source: Union["ResultStore", PathLike]) -> bool:
+    """Repair the tail of a JSONL store left behind by a crash.
+
+    Appending to a file whose last write was torn would weld the next
+    record onto the torn fragment and corrupt the stream, so resume paths
+    call this before reopening a store for append.  Two crash artifacts are
+    handled, both touching only the final line:
+
+    * an undecodable final line (torn mid-record) is truncated away;
+    * a decodable final line missing its terminating newline (torn between
+      the record and the ``\\n``) gets the newline appended.
+
+    CSV files and intact files are left untouched.
+
+    Returns:
+        True when the tail was repaired.
+    """
+    path = source.path if isinstance(source, ResultStore) else Path(source)
+    if path.suffix.lower() == ".csv" or not path.is_file():
+        return False
+    size = path.stat().st_size
+    if size == 0:
+        return False
+    with open(path, "rb") as handle:
+        if size > _TAIL_CHUNK_BYTES:
+            handle.seek(size - _TAIL_CHUNK_BYTES)
+        data = handle.read()
+    offset = size - len(data)
+    stripped = data.rstrip(b"\r\n\t ")
+    if not stripped:
+        return False
+    newline_index = stripped.rfind(b"\n")
+    if newline_index < 0 and offset > 0:
+        return False  # last line longer than the tail window: don't guess
+    last_line = stripped[newline_index + 1 :]
+    try:
+        json.loads(last_line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        keep = offset + (0 if newline_index < 0 else newline_index + 1)
+        with open(path, "rb+") as handle:
+            handle.truncate(keep)
+        return True
+    if data.endswith(b"\n"):
+        return False
+    # Complete record, torn newline: terminate it so appends start fresh.
+    with open(path, "ab") as handle:
+        handle.write(b"\n")
+    return True
 
 
 # ---------------------------------------------------------------------------

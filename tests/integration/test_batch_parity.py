@@ -1,0 +1,397 @@
+"""Bit-level parity of the batch backend against the scalar pipeline.
+
+The acceptance bar of the fast path: for every shipped preset grid (and the
+awkward corners — monolithic bases, disabled wafer waste, packaging
+parameter overrides, explicit NumPy / pure-Python backends, process
+parallelism, resume), ``SweepEngine(backend="batch")`` must produce records
+that equal the scalar backend's records under ``==`` — which for floats
+means exact bit-for-bit equality, not tolerance-based closeness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.estimator import EstimatorConfig
+from repro.fastpath import BatchEstimator
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import PRESETS, Scenario, SweepSpec
+from repro.sweep.store import (
+    CsvResultStore,
+    JsonlResultStore,
+    completed_scenario_ids,
+    load_records,
+)
+
+
+def _scalar_records(scenarios, **engine_kwargs):
+    return list(SweepEngine(jobs=1, **engine_kwargs).iter_records(scenarios))
+
+
+def _batch_records(scenarios, **engine_kwargs):
+    return list(
+        SweepEngine(jobs=1, backend="batch", **engine_kwargs).iter_records(scenarios)
+    )
+
+
+class TestPresetParity:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_all_presets_bit_identical(self, preset):
+        scenarios = SweepSpec.preset(preset).expand()
+        assert _scalar_records(scenarios) == _batch_records(scenarios)
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_all_presets_bit_identical_without_numpy(self, preset):
+        scenarios = SweepSpec.preset(preset).expand()
+        scalar = _scalar_records(scenarios)
+        pure = BatchEstimator(use_numpy=False).evaluate(scenarios)
+        assert scalar == pure
+
+    def test_numpy_backend_bit_identical_on_big_grid(self):
+        scenarios = SweepSpec.preset("ga102-grid").expand()
+        scalar = _scalar_records(scenarios)
+        forced = BatchEstimator(use_numpy=True).evaluate(scenarios)
+        assert scalar == forced
+
+
+class TestConfigurationParity:
+    def test_without_wafer_waste(self):
+        config = EstimatorConfig(include_wafer_waste=False)
+        scenarios = SweepSpec.preset("ga102-grid").expand()
+        assert _scalar_records(scenarios, config=config) == _batch_records(
+            scenarios, config=config
+        )
+
+    def test_without_design_cfp(self):
+        config = EstimatorConfig(include_design=False)
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        assert _scalar_records(scenarios, config=config) == _batch_records(
+            scenarios, config=config
+        )
+
+    def test_monolithic_systems(self):
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-monolithic", "a15-monolithic", "emr-monolithic"],
+                "carbon_sources": ["coal", "gas", "wind"],
+                "lifetimes": [2, 6, 10],
+                "system_volumes": [1e3, 1e6],
+            }
+        )
+        scenarios = spec.expand()
+        assert _scalar_records(scenarios) == _batch_records(scenarios)
+
+    def test_all_architectures_with_parameter_overrides(self):
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-3chiplet", "emr-2chiplet", "arvr-3d-1k-2mb"],
+                "packaging": [
+                    "monolithic",
+                    "rdl_fanout",
+                    {"type": "rdl", "layers": 4, "technology_nm": 22},
+                    "silicon_bridge",
+                    "passive_interposer",
+                    "active_interposer",
+                    "3d",
+                    {"type": "3d", "bond_type": "hybrid_bond"},
+                ],
+                "carbon_sources": ["coal", "solar"],
+            }
+        )
+        scenarios = spec.expand()
+        assert _scalar_records(scenarios) == _batch_records(scenarios)
+
+    def test_custom_default_sources(self):
+        config = EstimatorConfig(
+            fab_carbon_source="grid_taiwan",
+            package_carbon_source="grid_eu",
+            design_carbon_source="hydro",
+        )
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        assert _scalar_records(scenarios, config=config) == _batch_records(
+            scenarios, config=config
+        )
+
+
+class TestScenarioOrdering:
+    def test_interleaved_groups_emit_in_input_order(self):
+        # Scenarios deliberately ordered so template groups are
+        # non-contiguous: the engine must still stream records in input
+        # order (buffering only the out-of-order tail of each group).
+        quick = SweepSpec.preset("ga102-quick").expand()
+        interleaved = quick[::2] + quick[1::2]
+        scalar = _scalar_records(interleaved)
+        batch = _batch_records(interleaved)
+        assert scalar == batch
+        assert [r["scenario"] for r in batch] == [s.index for s in interleaved]
+
+    def test_duplicate_scenarios_each_get_a_record(self):
+        scenario = Scenario(index=3, base_kind="testcase", base_ref="ga102-3chiplet")
+        records = _batch_records([scenario, scenario, scenario])
+        assert len(records) == 3
+        assert records[0] == records[1] == records[2]
+
+
+class TestParallelBatch:
+    def test_parallel_batch_matches_serial(self):
+        scenarios = SweepSpec.preset("ga102-grid").expand()
+        serial = _batch_records(scenarios)
+        parallel = list(
+            SweepEngine(jobs=2, backend="batch").iter_records(scenarios)
+        )
+        assert serial == parallel
+
+    def test_parallel_batch_matches_scalar(self):
+        scenarios = SweepSpec.preset("green-fab").expand()
+        assert _scalar_records(scenarios) == list(
+            SweepEngine(jobs=3, backend="batch").iter_records(scenarios)
+        )
+
+
+class TestResume:
+    def test_engine_resume_skips_done_scenarios(self, tmp_path):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "out.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(path) as store:
+            engine.run(scenarios[:5], store=store)
+        with JsonlResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=store)
+        assert summary.skipped_count == 5
+        assert summary.scenario_count == len(scenarios) - 5
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_resumed_store_equals_uninterrupted_run(self, tmp_path):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        full = tmp_path / "full.jsonl"
+        with JsonlResultStore(full) as store:
+            SweepEngine(jobs=1).run(scenarios, store=store)
+        part = tmp_path / "part.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(part) as store:
+            engine.run(scenarios[:7], store=store)
+        with JsonlResultStore(part, append=True) as store:
+            engine.run(scenarios, store=store, resume=part)
+        by_id = {r["scenario"]: r for r in load_records(part)}
+        for record in load_records(full):
+            assert by_id[record["scenario"]] == record
+
+    def test_resume_against_missing_file_is_noop(self, tmp_path):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        summary = SweepEngine(jobs=1, backend="batch").run(
+            scenarios, resume=tmp_path / "absent.jsonl"
+        )
+        assert summary.skipped_count == 0
+        assert summary.scenario_count == len(scenarios)
+
+    def test_cli_resume_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "resume.jsonl"
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        with JsonlResultStore(path) as store:
+            SweepEngine(jobs=1).run(scenarios[:6], store=store)
+        code = main(
+            ["sweep", "--preset", "ga102-quick", "--backend", "batch",
+             "--resume", str(path), "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 scenarios already evaluated" in out
+        assert len(completed_scenario_ids(path)) == len(scenarios)
+        # a second resume finds nothing left to do
+        assert main(["sweep", "--preset", "ga102-quick", "--resume", str(path)]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_cli_resume_conflicting_out_fails(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--preset", "ga102-quick",
+             "--resume", str(tmp_path / "a.jsonl"), "--out", str(tmp_path / "b.jsonl")]
+        )
+        assert code == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_cli_resume_accepts_equivalent_out_spelling(self, tmp_path, capsys):
+        # --out and --resume naming the same file through different
+        # spellings (here: a redundant ./ and .. hop) must not be rejected.
+        path = tmp_path / "same.jsonl"
+        alias = tmp_path / "sub" / ".." / "same.jsonl"
+        (tmp_path / "sub").mkdir()
+        code = main(
+            ["sweep", "--preset", "ga102-quick", "--backend", "batch",
+             "--resume", str(path), "--out", str(alias), "--quiet"]
+        )
+        assert code == 0
+        assert len(load_records(path)) == SweepSpec.preset("ga102-quick").count()
+
+    def test_resume_tolerates_torn_final_jsonl_line(self, tmp_path):
+        # A crash mid-append leaves a truncated last line; resume must treat
+        # it as not-yet-evaluated instead of refusing the whole file.
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "crashed.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(path) as store:
+            engine.run(scenarios[:4], store=store)
+        full_line = path.read_text(encoding="utf-8")
+        torn = full_line + '{"scenario": 4, "total_car'
+        path.write_text(torn, encoding="utf-8")
+        assert completed_scenario_ids(path) == {0, 1, 2, 3}
+
+    def test_resume_repairs_torn_tail_before_appending(self, tmp_path):
+        # Appending after a torn line (which has no newline) would weld the
+        # next record onto the fragment; run(resume=...) must truncate the
+        # fragment first so the resumed file is fully valid JSONL.
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "crashed.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(path) as store:
+            engine.run(scenarios[:4], store=store)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario": 4, "total_car')  # torn: no newline
+        with JsonlResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.skipped_count == 4
+        records = load_records(path)  # strict reader: file must be intact
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+        # and a re-resume finds everything done
+        assert completed_scenario_ids(path) == {s.index for s in scenarios}
+
+    def test_cli_resume_repairs_torn_tail(self, tmp_path, capsys):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "crashed.jsonl"
+        with JsonlResultStore(path) as store:
+            SweepEngine(jobs=1).run(scenarios[:3], store=store)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario": 3, "tot')
+        code = main(
+            ["sweep", "--preset", "ga102-quick", "--backend", "batch",
+             "--resume", str(path), "--quiet"]
+        )
+        assert code == 0
+        assert "repaired torn tail" in capsys.readouterr().out
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_resume_repairs_missing_final_newline(self, tmp_path):
+        # A crash can also tear *between* the record and its newline: the
+        # last line parses fine but is unterminated, and a naive append
+        # would weld the next record onto it.
+        from repro.sweep.store import repair_torn_tail
+
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "crashed.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(path) as store:
+            engine.run(scenarios[:4], store=store)
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        path.write_text(content[:-1], encoding="utf-8")  # cut only the newline
+        assert repair_torn_tail(path) is True
+        assert path.read_text(encoding="utf-8") == content
+        assert repair_torn_tail(path) is False  # idempotent
+        with JsonlResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.skipped_count == 4
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_resumed_summaries_cover_stored_records(self, tmp_path, capsys):
+        # best/top/pareto of a resumed run must fold in the records already
+        # on disk, not just the newly evaluated tail.
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        full = SweepEngine(jobs=1).run(scenarios)
+        assert full.best is not None
+        best_id = full.best["scenario"]
+        # store exactly the scenarios containing the global best
+        stored = [s for s in scenarios if s.index == best_id]
+        path = tmp_path / "partial.jsonl"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with JsonlResultStore(path) as store:
+            engine.run(stored, store=store)
+        with JsonlResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.best is not None
+        assert summary.best["scenario"] == best_id
+        assert summary.best["total_carbon_g"] == full.best["total_carbon_g"]
+        # CLI path: the printed best line names the stored best scenario
+        path_cli = tmp_path / "partial_cli.jsonl"
+        with JsonlResultStore(path_cli) as store:
+            SweepEngine(jobs=1).run(stored, store=store)
+        code = main(
+            ["sweep", "--preset", "ga102-quick", "--backend", "batch",
+             "--resume", str(path_cli)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"best Ctot = {full.best['total_carbon_g'] / 1000.0:.2f} kg" in out
+
+    def test_resume_still_rejects_mid_file_corruption(self, tmp_path):
+        import pytest as _pytest
+
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"scenario": 0, "total\n{"scenario": 1, "total_carbon_g": 1.0}\n',
+            encoding="utf-8",
+        )
+        with _pytest.raises(Exception):
+            completed_scenario_ids(path)
+
+
+class TestCostRoundTrip:
+    def test_cost_usd_round_trips_jsonl_and_csv(self, tmp_path):
+        scenarios = SweepSpec.preset("volume-amortisation").expand()
+        records = _batch_records(scenarios)
+        assert all("cost_usd" in r for r in records)
+
+        jsonl_path = tmp_path / "cost.jsonl"
+        with JsonlResultStore(jsonl_path) as store:
+            for record in records:
+                store.append(record)
+        assert load_records(jsonl_path) == [
+            json.loads(json.dumps(r)) for r in records
+        ]
+
+        csv_path = tmp_path / "cost.csv"
+        with CsvResultStore(csv_path) as store:
+            for record in records:
+                store.append(record)
+        revived = load_records(csv_path)
+        assert [r["cost_usd"] for r in revived] == [r["cost_usd"] for r in records]
+        assert [r["scenario"] for r in revived] == [r["scenario"] for r in records]
+
+    def test_cost_usd_varies_with_volume_axis(self):
+        records = _batch_records(SweepSpec.preset("volume-amortisation").expand())
+        by_base: dict = {}
+        for record in records:
+            by_base.setdefault((record["base"], record["packaging"]), set()).add(
+                record["cost_usd"]
+            )
+        # NRE amortisation: more volume -> lower cost, so each base/packaging
+        # pair sees as many distinct costs as there are volumes.
+        for costs in by_base.values():
+            assert len(costs) == 5
+
+    def test_cost_usd_feeds_pareto_objectives(self):
+        from repro.core.explorer import pareto_front
+        from repro.sweep.store import rows_from_records
+
+        records = _batch_records(SweepSpec.preset("ga102-quick").expand())
+        front = pareto_front(
+            rows_from_records(records), ["total_carbon_g", "cost_usd"]
+        )
+        assert front  # non-empty and no KeyError: cost_usd is a real objective
+
+
+class TestSummaryMetadata:
+    def test_summary_reports_backend(self):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        assert SweepEngine(jobs=1).run(scenarios).backend == "scalar"
+        assert (
+            SweepEngine(jobs=1, backend="batch").run(scenarios).backend == "batch"
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(backend="gpu")

@@ -1,0 +1,227 @@
+"""Unit tests for repro.fastpath (template compilation, batch evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.cost.model import ChipletCostModel
+from repro.fastpath import (
+    BatchEstimator,
+    TemplateCompiler,
+    compile_packaging,
+    group_scenarios,
+    packaging_signature,
+)
+from repro.sweep.spec import Scenario, SweepSpec
+from repro.testcases.registry import get_testcase
+
+QUICK = SweepSpec.preset("ga102-quick")
+
+
+def _scenario(**kwargs) -> Scenario:
+    defaults = dict(index=0, base_kind="testcase", base_ref="ga102-3chiplet")
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestGrouping:
+    def test_groups_by_template_and_keeps_positions(self):
+        scenarios = [
+            _scenario(index=0, fab_source="coal"),
+            _scenario(index=1, nodes=(7.0, 7.0, 7.0)),
+            _scenario(index=2, fab_source="wind"),
+            _scenario(index=3, nodes=(7.0, 7.0, 7.0), lifetime_years=4.0),
+        ]
+        groups = group_scenarios(scenarios)
+        assert len(groups) == 2
+        (_, first), (_, second) = groups
+        assert [position for position, _ in first] == [0, 2]
+        assert [position for position, _ in second] == [1, 3]
+
+    def test_packaging_dicts_group_by_content(self):
+        a = _scenario(index=0, packaging={"type": "rdl", "layers": 6})
+        b = _scenario(index=1, packaging={"layers": 6, "type": "rdl"})
+        c = _scenario(index=2, packaging={"type": "rdl", "layers": 4})
+        groups = group_scenarios([a, b, c])
+        assert len(groups) == 2
+
+    def test_packaging_signature(self):
+        assert packaging_signature(None) is None
+        assert packaging_signature({"b": 1, "a": "x"}) == packaging_signature(
+            {"a": "x", "b": 1}
+        )
+        assert packaging_signature({"a": 1}) != packaging_signature({"a": 2})
+
+
+class TestTemplateCompiler:
+    def test_templates_are_cached(self):
+        compiler = TemplateCompiler()
+        first = compiler.compile("testcase", "ga102-3chiplet", (7.0, 14.0, 10.0), None)
+        second = compiler.compile("testcase", "ga102-3chiplet", (7.0, 14.0, 10.0), None)
+        assert first is second
+
+    def test_floorplans_shared_across_packaging_templates(self):
+        # rdl_fanout and silicon_bridge add the same PHY overhead, so their
+        # templates share one floorplan signature (and one cache entry).
+        compiler = TemplateCompiler()
+        compiler.compile("testcase", "ga102-3chiplet", None, {"type": "rdl_fanout"})
+        count_after_rdl = len(compiler._floorplans)
+        compiler.compile("testcase", "ga102-3chiplet", None, {"type": "silicon_bridge"})
+        assert len(compiler._floorplans) == count_after_rdl
+
+    def test_node_count_mismatch_raises(self):
+        compiler = TemplateCompiler()
+        with pytest.raises(ValueError):
+            compiler.compile("testcase", "ga102-3chiplet", (7.0, 14.0), None)
+
+    def test_template_exposes_resolved_metadata(self):
+        compiler = TemplateCompiler()
+        template = compiler.compile(
+            "testcase", "ga102-3chiplet", (7.0, 14.0, 10.0), {"type": "3d"}
+        )
+        assert template.node_values == (7.0, 14.0, 10.0)
+        assert template.architecture == "3d_stack"
+        assert template.system_name == get_testcase("ga102-3chiplet").name
+
+
+class TestPackagingClosedForm:
+    """compile_packaging(model, ...).cfp(I) equals model.evaluate for any I."""
+
+    @pytest.mark.parametrize(
+        "packaging",
+        [
+            {"type": "monolithic"},
+            {"type": "rdl_fanout"},
+            {"type": "rdl_fanout", "layers": 4, "technology_nm": 22},
+            {"type": "silicon_bridge"},
+            {"type": "passive_interposer"},
+            {"type": "active_interposer"},
+            {"type": "3d"},
+            {"type": "3d", "bond_type": "hybrid_bond"},
+        ],
+    )
+    @pytest.mark.parametrize("intensity", [30.0, 475.0, 700.0])
+    def test_terms_match_evaluate(self, packaging, intensity):
+        from repro.packaging.registry import build_packaging_model, spec_from_dict
+
+        estimator = EcoChip()
+        system = get_testcase("ga102-3chiplet").with_packaging(
+            spec_from_dict(dict(packaging))
+        )
+        reference_model = build_packaging_model(
+            system.packaging, table=estimator.table, package_carbon_source=intensity
+        )
+        geometry = estimator.compute_geometry(system, reference_model)
+        expected = reference_model.evaluate(geometry.packaged_chiplets, geometry.floorplan)
+
+        terms = compile_packaging(
+            reference_model, geometry.packaged_chiplets, geometry.floorplan
+        )
+        package_cfp, comm_cfp = terms.cfp(intensity)
+        assert package_cfp == expected.package_cfp_g
+        assert comm_cfp == expected.comm_cfp_g
+        assert terms.comm_power_w == expected.comm_power_w
+        assert terms.package_area_mm2 == expected.package_area_mm2
+        assert terms.architecture == expected.architecture
+
+
+class TestBatchEstimator:
+    def test_records_in_input_order(self):
+        scenarios = QUICK.expand()
+        shuffled = list(reversed(scenarios))
+        records = BatchEstimator().evaluate(shuffled)
+        assert [r["scenario"] for r in records] == [s.index for s in shuffled]
+
+    def test_numpy_and_pure_backends_bit_identical(self):
+        scenarios = QUICK.expand()
+        pure = BatchEstimator(use_numpy=False).evaluate(scenarios)
+        forced = BatchEstimator(use_numpy=True).evaluate(scenarios)
+        assert pure == forced
+
+    def test_numpy_flag_requires_numpy(self, monkeypatch):
+        import repro.fastpath.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        with pytest.raises(ImportError):
+            batch_module.BatchEstimator(use_numpy=True)
+        # auto mode silently falls back to the pure-Python loop
+        estimator = batch_module.BatchEstimator()
+        assert not estimator.numpy_available
+        records = estimator.evaluate(QUICK.expand())
+        assert len(records) == QUICK.count()
+
+    def test_cost_terms_match_direct_cost_model(self):
+        estimator = BatchEstimator(include_cost=True)
+        for volume in (1.0, 1e3, 123456.0):
+            scenario = _scenario(nodes=(7.0, 14.0, 10.0), system_volume=volume)
+            [record] = estimator.evaluate([scenario])
+            direct = ChipletCostModel().estimate(scenario.build_system())
+            assert record["cost_usd"] == direct.total_cost_usd
+
+    def test_include_cost_false_omits_key(self):
+        [record] = BatchEstimator(include_cost=False).evaluate([_scenario()])
+        assert "cost_usd" not in record
+
+    def test_source_terms_cached_per_template(self):
+        estimator = BatchEstimator()
+        scenario = _scenario(fab_source="coal")
+        template = estimator.compile_for(scenario)
+        first = estimator.source_terms(template, "coal")
+        second = estimator.source_terms(template, "coal")
+        assert first is second
+        assert estimator.source_terms(template, "wind") is not first
+
+    def test_explicit_chiplet_volume_is_respected(self):
+        # a15 chiplets carry explicit manufactured volumes in some testcases;
+        # build one directly: reuse ga102 with a manufactured_volume override.
+        import dataclasses
+
+        base = get_testcase("ga102-3chiplet")
+        chiplets = tuple(
+            dataclasses.replace(c, manufactured_volume=5e5 if i == 0 else None)
+            for i, c in enumerate(base.chiplets)
+        )
+        system = base.with_chiplets(chiplets)
+        report = EcoChip().estimate(system)
+
+        # No testcase registry entry: compare through the compiler primitives
+        # by registering a temporary testcase.
+        from repro.testcases import registry
+
+        registry.TESTCASES["_fastpath_tmp"] = lambda: system
+        try:
+            [record] = BatchEstimator(include_cost=False).evaluate(
+                [_scenario(base_ref="_fastpath_tmp")]
+            )
+        finally:
+            del registry.TESTCASES["_fastpath_tmp"]
+        assert record["total_carbon_g"] == report.total_cfp_g
+        assert record["design_carbon_g"] == report.design_cfp_g
+
+
+class TestEstimatorConfigHandling:
+    def test_config_sources_used_when_scenario_has_none(self):
+        config = EstimatorConfig(
+            fab_carbon_source="gas",
+            package_carbon_source="wind",
+            design_carbon_source="solar",
+        )
+        [record] = BatchEstimator(config=config, include_cost=False).evaluate(
+            [_scenario()]
+        )
+        report = EcoChip(config=config).estimate(get_testcase("ga102-3chiplet"))
+        assert record["total_carbon_g"] == report.total_cfp_g
+        assert record["fab_source"] == "gas"
+
+    def test_scenario_fab_source_overrides_all_three(self):
+        [record] = BatchEstimator(include_cost=False).evaluate(
+            [_scenario(fab_source="wind")]
+        )
+        config = EstimatorConfig(
+            fab_carbon_source="wind",
+            package_carbon_source="wind",
+            design_carbon_source="wind",
+        )
+        report = EcoChip(config=config).estimate(get_testcase("ga102-3chiplet"))
+        assert record["total_carbon_g"] == report.total_cfp_g

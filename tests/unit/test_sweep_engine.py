@@ -62,6 +62,69 @@ class TestKernelCache:
         assert a.total_g == b.total_g
 
 
+class TestKernelCacheStatsAccounting:
+    """Exact hit/miss bookkeeping of the memoised kernels."""
+
+    def test_first_estimate_counts_one_miss_per_distinct_kernel_input(self, ga102_3chiplet):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.estimate(ga102_3chiplet)
+        # Three chiplets with distinct (area, node, type) and distinct
+        # (transistors, node) keys: one manufacturing and one design miss
+        # each, and no hits yet.
+        assert stats.manufacturing_misses == 3
+        assert stats.design_misses == 3
+        assert stats.manufacturing_hits == 0
+        assert stats.design_hits == 0
+
+    def test_repeat_estimate_counts_one_hit_per_kernel_call(self, ga102_3chiplet):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.estimate(ga102_3chiplet)
+        estimator.estimate(ga102_3chiplet)
+        assert stats.manufacturing_hits == 3
+        assert stats.design_hits == 3
+        assert stats.manufacturing_misses == 3
+        assert stats.design_misses == 3
+
+    def test_totals_sum_both_kernels(self):
+        stats = KernelCacheStats(
+            manufacturing_hits=2,
+            manufacturing_misses=3,
+            design_hits=5,
+            design_misses=7,
+        )
+        assert stats.hits == 7
+        assert stats.misses == 10
+
+    def test_manufacturing_cache_keyed_on_value_inputs_only(self):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.manufacturing.cfp_for_area(100.0, 7, "logic", name="a")
+        estimator.manufacturing.cfp_for_area(100.0, 7, "logic", name="b")
+        assert (stats.manufacturing_misses, stats.manufacturing_hits) == (1, 1)
+        # a different area is a genuinely new kernel input
+        estimator.manufacturing.cfp_for_area(101.0, 7, "logic")
+        assert (stats.manufacturing_misses, stats.manufacturing_hits) == (2, 1)
+
+    def test_design_cache_distinguishes_volume_and_reuse(self):
+        estimator = EcoChip()
+        stats = install_kernel_cache(estimator)
+        estimator.design_model.chiplet_design_cfp(1e9, 7, manufactured_volume=10.0)
+        estimator.design_model.chiplet_design_cfp(1e9, 7, manufactured_volume=10.0)
+        assert (stats.design_misses, stats.design_hits) == (1, 1)
+        estimator.design_model.chiplet_design_cfp(1e9, 7, manufactured_volume=20.0)
+        estimator.design_model.chiplet_design_cfp(1e9, 7, manufactured_volume=10.0, reused=True)
+        assert (stats.design_misses, stats.design_hits) == (3, 1)
+
+    def test_engine_without_memoize_reports_zero_counters(self):
+        engine = SweepEngine(jobs=1, memoize=False)
+        summary = engine.run(QUICK)
+        assert summary.cache_stats is not None
+        assert summary.cache_stats.hits == 0
+        assert summary.cache_stats.misses == 0
+
+
 class TestSerialEngine:
     def test_run_counts_and_best(self, tmp_path):
         engine = SweepEngine(jobs=1)
@@ -135,8 +198,6 @@ class TestSerialEngine:
             )
         )
         for name in OBJECTIVES:
-            if name == "cost_usd":  # sweeps do not run the dollar-cost model
-                continue
             assert name in record, f"record is missing objective field {name}"
 
 
