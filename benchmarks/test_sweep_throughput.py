@@ -95,6 +95,24 @@ def test_batch_cold_start_still_beats_scalar():
     assert speedup >= COLD_START_SPEEDUP_FLOOR
 
 
+def test_batch_cold_start_compile(benchmark):
+    """Cold-start cost of the batch backend (template compilation included).
+
+    Every round builds a fresh :class:`BatchEstimator`, so the measurement
+    is dominated by template compilation — floorplanning, per-architecture
+    ``compile_terms`` and the cost terms.  This pins the compile path in the
+    benchmark gate: moving the closed-form packaging terms onto the model
+    hooks (or future compiler work) must not regress cold-start latency.
+    """
+    scenarios = SweepSpec.preset("ga102-quick").expand()
+
+    def cold():
+        return BatchEstimator().evaluate(scenarios)
+
+    records = benchmark(cold)
+    assert len(records) == len(scenarios)
+
+
 def test_scalar_estimator_microbenchmark(benchmark):
     """Scalar EcoChip.estimate latency (tracks the estimator refactor).
 

@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="List the built-in testcases and exit",
     )
     parser.add_argument(
+        "--list-packaging",
+        action="store_true",
+        help=(
+            "List the registered packaging architectures (with aliases and "
+            "spec classes) and exit"
+        ),
+    )
+    parser.add_argument(
         "--sweep-nodes",
         action="store_true",
         help=(
@@ -387,6 +395,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_testcases:
         for name in list_testcases():
             print(name)
+        return 0
+
+    if args.list_packaging:
+        from repro.packaging.registry import describe_packaging
+
+        for line in describe_packaging():
+            print(line)
         return 0
 
     estimator = _estimator_from_args(args)

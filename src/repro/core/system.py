@@ -8,7 +8,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.chiplet import Chiplet
 from repro.operational.energy import OperatingSpec
 from repro.packaging.monolithic import MonolithicSpec
-from repro.packaging.registry import PackagingSpec
+from repro.packaging.registry import PackagingSpec, is_monolithic_spec
 
 #: Default number of systems manufactured (``NS`` in the paper's experiments).
 DEFAULT_SYSTEM_VOLUME = 100_000
@@ -61,8 +61,12 @@ class ChipletSystem:
     # -- introspection ---------------------------------------------------------------
     @property
     def is_monolithic(self) -> bool:
-        """True when the system is a single die with no advanced packaging."""
-        return len(self.chiplets) == 1 or isinstance(self.packaging, MonolithicSpec)
+        """True when the system is a single die with no advanced packaging.
+
+        Delegates to the packaging registry, so any architecture whose model
+        declares ``is_monolithic = True`` — built-in or plugin — counts.
+        """
+        return len(self.chiplets) == 1 or is_monolithic_spec(self.packaging)
 
     @property
     def chiplet_count(self) -> int:

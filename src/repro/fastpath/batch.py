@@ -25,12 +25,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.estimator import EstimatorConfig
 from repro.fastpath.compiled import (
-    _TO_MM2,
     CompiledSystem,
     SourceTerms,
     TemplateCompiler,
     packaging_signature,
 )
+from repro.packaging.base import _TO_MM2
 from repro.sweep.engine import _source_name
 from repro.sweep.spec import Scenario
 from repro.technology.carbon_sources import carbon_intensity

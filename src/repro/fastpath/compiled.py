@@ -23,15 +23,24 @@ update both sides and rely on the parity tests in
 The compiler shares work across templates through layered caches: base
 systems, per-(chiplet, node) areas, floorplans keyed by their area signature
 (different node assignments that produce the same chiplet areas share one
-floorplan — adjacency extraction runs lazily, only for architectures that
-consume it), packaging models and per-node PHY/router figures per spec, and
+floorplan — adjacency extraction runs lazily, only for architectures whose
+:attr:`~repro.packaging.base.PackagingModel.needs_adjacencies` flag is
+set), packaging models and per-node PHY/router figures per spec, and
 per-die yield/wafer terms.
+
+Per-architecture closed forms live with their models: every
+:class:`~repro.packaging.base.PackagingModel` implements
+:meth:`~repro.packaging.base.PackagingModel.compile_terms` next to the
+``evaluate`` formula it mirrors, so the compiler needs no per-architecture
+dispatch and out-of-tree architectures registered through
+:func:`repro.packaging.registry.register_packaging` compile like built-in
+ones.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.system import ChipletSystem
@@ -44,337 +53,23 @@ from repro.cost.model import (
 from repro.design.design_cfp import DEFAULT_COMM_DESIGN_GATES
 from repro.design.eda import gates_from_transistors
 from repro.floorplan.slicing import FloorplanResult, SlicingFloorplanner
-from repro.manufacturing.yield_model import bonding_yield
-from repro.packaging.base import PackagedChiplet, PackagingModel
-from repro.packaging.bridge import (
-    _BRIDGE_DEFECT_SCALE,
-    _EMBEDDING_KWH_PER_BRIDGE,
-    _ORGANIC_DEFECT_SCALE,
-    _ORGANIC_ENERGY_SCALE,
-    _ORGANIC_LAYERS,
-    SiliconBridgeModel,
-)
-from repro.packaging.interposer import (
-    ActiveInterposerModel,
-    PassiveInterposerModel,
-    _InterposerBase,
-)
-from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
-from repro.packaging.rdl import _RDL_DEFECT_SCALE, RDLFanoutModel
+from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingTerms
 from repro.packaging.registry import build_packaging_model, spec_from_dict
-from repro.packaging.threed import (
-    _CONNECTION_YIELD,
-    _ENERGY_KWH_PER_CONNECTION,
-    _SUBSTRATE_DEFECT_SCALE,
-    _SUBSTRATE_ENERGY_SCALE,
-    _SUBSTRATE_LAYERS,
-    _SUBSTRATE_NODE_NM,
-    BondType,
-    ThreeDStackModel,
-)
 from repro.sweep.spec import resolve_base
 from repro.technology.nodes import TechnologyTable, _normalise_node_key
 
-#: Same constant the CFPA breakdown uses for the per-cm² -> per-mm² step.
-_TO_MM2 = 1.0 / 100.0
-
-
-# ---------------------------------------------------------------------------
-# Closed-form packaging terms (one flavour per architecture)
-# ---------------------------------------------------------------------------
-class PackagingTerms:
-    """Scenario-independent packaging terms of one compiled template.
-
-    ``cfp(intensity)`` returns ``(package_cfp_g, comm_cfp_g)`` exactly as the
-    architecture's ``evaluate`` would for that packaging carbon intensity.
-    """
-
-    __slots__ = ("architecture", "package_area_mm2", "comm_power_w")
-
-    def __init__(self, architecture: str, package_area_mm2: float, comm_power_w: float):
-        self.architecture = architecture
-        self.package_area_mm2 = package_area_mm2
-        self.comm_power_w = comm_power_w
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        raise NotImplementedError
-
-
-class _ZeroTerms(PackagingTerms):
-    """Monolithic baseline: no packaging carbon at any intensity."""
-
-    __slots__ = ()
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        return 0.0, 0.0
-
-
-class _RdlTerms(PackagingTerms):
-    __slots__ = ("energy_kwh", "package_yield")
-
-    def __init__(self, architecture, package_area_mm2, comm_power_w, energy_kwh, package_yield):
-        super().__init__(architecture, package_area_mm2, comm_power_w)
-        self.energy_kwh = energy_kwh
-        self.package_yield = package_yield
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        return self.energy_kwh * intensity / self.package_yield, 0.0
-
-
-class _InterposerTerms(PackagingTerms):
-    __slots__ = ("patterning_kwh", "materials_g", "interposer_yield")
-
-    def __init__(
-        self, architecture, package_area_mm2, comm_power_w,
-        patterning_kwh, materials_g, interposer_yield,
-    ):
-        super().__init__(architecture, package_area_mm2, comm_power_w)
-        self.patterning_kwh = patterning_kwh
-        self.materials_g = materials_g
-        self.interposer_yield = interposer_yield
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        patterning_g = self.patterning_kwh * intensity
-        return (patterning_g + self.materials_g) / self.interposer_yield, 0.0
-
-
-class _ActiveInterposerTerms(_InterposerTerms):
-    __slots__ = (
-        "router_count", "router_area_mm2",
-        "router_eff", "router_epa", "router_gas_g_cm2", "router_material_g_cm2",
-        "router_yield",
-    )
-
-    def __init__(
-        self, architecture, package_area_mm2, comm_power_w,
-        patterning_kwh, materials_g, interposer_yield,
-        router_count, router_area_mm2,
-        router_eff, router_epa, router_gas_g_cm2, router_material_g_cm2, router_yield,
-    ):
-        super().__init__(
-            architecture, package_area_mm2, comm_power_w,
-            patterning_kwh, materials_g, interposer_yield,
-        )
-        self.router_count = router_count
-        self.router_area_mm2 = router_area_mm2
-        self.router_eff = router_eff
-        self.router_epa = router_epa
-        self.router_gas_g_cm2 = router_gas_g_cm2
-        self.router_material_g_cm2 = router_material_g_cm2
-        self.router_yield = router_yield
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        package_cfp, _ = super().cfp(intensity)
-        if not self.router_count:
-            return package_cfp, 0.0
-        energy_g_cm2 = self.router_eff * intensity * self.router_epa
-        unyielded_cm2 = energy_g_cm2 + self.router_gas_g_cm2 + self.router_material_g_cm2
-        cfpa = unyielded_cm2 * _TO_MM2 / self.router_yield
-        return package_cfp, self.router_count * cfpa * self.router_area_mm2
-
-
-class _BridgeTerms(PackagingTerms):
-    __slots__ = (
-        "kwh_per_bridge", "bridge_yield", "bridge_count",
-        "substrate_kwh", "substrate_yield",
-    )
-
-    def __init__(
-        self, architecture, package_area_mm2, comm_power_w,
-        kwh_per_bridge, bridge_yield, bridge_count, substrate_kwh, substrate_yield,
-    ):
-        super().__init__(architecture, package_area_mm2, comm_power_w)
-        self.kwh_per_bridge = kwh_per_bridge
-        self.bridge_yield = bridge_yield
-        self.bridge_count = bridge_count
-        self.substrate_kwh = substrate_kwh
-        self.substrate_yield = substrate_yield
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        per_bridge_g = self.kwh_per_bridge * intensity / self.bridge_yield
-        bridges_cfp = self.bridge_count * per_bridge_g
-        substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
-        return bridges_cfp + substrate_cfp, 0.0
-
-
-class _ThreeDTerms(PackagingTerms):
-    __slots__ = (
-        "connection_kwh", "assembly_yield", "has_bonds",
-        "substrate_kwh", "substrate_yield", "has_substrate",
-    )
-
-    def __init__(
-        self, architecture, package_area_mm2, comm_power_w,
-        connection_kwh, assembly_yield, has_bonds,
-        substrate_kwh, substrate_yield, has_substrate,
-    ):
-        super().__init__(architecture, package_area_mm2, comm_power_w)
-        self.connection_kwh = connection_kwh
-        self.assembly_yield = assembly_yield
-        self.has_bonds = has_bonds
-        self.substrate_kwh = substrate_kwh
-        self.substrate_yield = substrate_yield
-        self.has_substrate = has_substrate
-
-    def cfp(self, intensity: float) -> Tuple[float, float]:
-        bonds_cfp = 0.0
-        if self.has_bonds:
-            bonds_cfp = self.connection_kwh * intensity / self.assembly_yield
-        substrate_cfp = 0.0
-        if self.has_substrate:
-            substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
-        return bonds_cfp + substrate_cfp, 0.0
-
-
-def _rdl_energy_kwh(
-    table: TechnologyTable, area_mm2: float, node: Any, layers: float, energy_scale: float
-) -> float:
-    """The intensity-free factor of ``PackagingModel.rdl_layer_cfp_g``."""
-    record = table.get(node)
-    return layers * record.epla_rdl_kwh_per_cm2 * energy_scale * (area_mm2 / 100.0)
-
-
-def _compile_packaging_terms(
-    model: PackagingModel,
-    node_keys: Tuple[Any, ...],
-    area_values: Tuple[float, ...],
-    floorplan: FloorplanResult,
-    phy_power: Callable[[Any], float],
-    router_power: Callable[[Any], float],
-) -> PackagingTerms:
-    """Flatten ``model.evaluate`` into closed form over compiled geometry.
-
-    ``phy_power``/``router_power`` supply the per-chiplet communication
-    power figures (cached by the compiler; the module-level
-    :func:`compile_packaging` passes direct model calls).
-    """
-    table = model.table
-    area = floorplan.package_area_mm2
-    chiplet_count = len(node_keys)
-
-    if isinstance(model, MonolithicModel):
-        return _ZeroTerms(model.architecture, area, 0.0)
-
-    if isinstance(model, RDLFanoutModel):
-        spec = model.spec
-        package_yield = model.substrate_yield(
-            area, spec.technology_nm, defect_scale=_RDL_DEFECT_SCALE
-        )
-        energy_kwh = _rdl_energy_kwh(table, area, spec.technology_nm, spec.layers, 1.0)
-        comm_power = 0.0
-        if chiplet_count > 1:
-            for node in node_keys:
-                comm_power += phy_power(node)
-        return _RdlTerms(model.architecture, area, comm_power, energy_kwh, package_yield)
-
-    if isinstance(model, _InterposerBase):
-        spec = model.spec  # type: ignore[attr-defined]
-        record = table.get(spec.technology_nm)
-        interposer_yield = model.substrate_yield(area, spec.technology_nm, defect_scale=1.0)
-        patterning_kwh = _rdl_energy_kwh(table, area, spec.technology_nm, spec.beol_layers, 1.0)
-        materials_g = (
-            (record.material_kg_per_cm2 + record.gas_kg_per_cm2)
-            * 1000.0
-            * (area / 100.0)
-        )
-        if isinstance(model, PassiveInterposerModel):
-            comm_power = 0.0
-            if chiplet_count > 1:
-                for node in node_keys:
-                    comm_power += router_power(node)
-            return _InterposerTerms(
-                model.architecture, area, comm_power,
-                patterning_kwh, materials_g, interposer_yield,
-            )
-        assert isinstance(model, ActiveInterposerModel)
-        router_count = chiplet_count if chiplet_count > 1 else 0
-        router_area = model.router_area_mm2(spec.technology_nm)
-        comm_power = 0.0
-        router_eff = router_epa = router_gas = router_material = 0.0
-        router_yield = 1.0
-        if router_count:
-            router_record = table.get(spec.technology_nm)
-            router_eff = router_record.equipment_efficiency
-            router_epa = router_record.epa_kwh_per_cm2
-            router_gas = router_record.gas_kg_per_cm2 * 1000.0
-            router_material = router_record.material_kg_per_cm2 * 1000.0
-            router_yield = model.yield_model.die_yield(router_area, spec.technology_nm)
-            comm_power = router_count * router_power(spec.technology_nm)
-        return _ActiveInterposerTerms(
-            model.architecture, area, comm_power,
-            patterning_kwh, materials_g, interposer_yield,
-            router_count, router_area,
-            router_eff, router_epa, router_gas, router_material, router_yield,
-        )
-
-    if isinstance(model, SiliconBridgeModel):
-        spec = model.spec
-        record = table.get(spec.bridge_technology_nm)
-        bridge_yield = model.substrate_yield(
-            spec.bridge_area_mm2, spec.bridge_technology_nm, defect_scale=_BRIDGE_DEFECT_SCALE
-        )
-        patterning_kwh = (
-            spec.bridge_layers
-            * record.epla_bridge_kwh_per_cm2
-            * (spec.bridge_area_mm2 / 100.0)
-        )
-        kwh_per_bridge = patterning_kwh + _EMBEDDING_KWH_PER_BRIDGE
-        n_bridges = model.bridge_count(floorplan)
-        substrate_yield = model.substrate_yield(area, 65, defect_scale=_ORGANIC_DEFECT_SCALE)
-        substrate_kwh = _rdl_energy_kwh(table, area, 65, _ORGANIC_LAYERS, _ORGANIC_ENERGY_SCALE)
-        comm_power = 0.0
-        if chiplet_count > 1:
-            for node in node_keys:
-                comm_power += phy_power(node)
-        return _BridgeTerms(
-            model.architecture, area, comm_power,
-            kwh_per_bridge, bridge_yield, n_bridges, substrate_kwh, substrate_yield,
-        )
-
-    if isinstance(model, ThreeDStackModel):
-        spec = model.spec
-        bond = BondType.parse(spec.bond_type)
-        # interface_connections, replicated over the bare area values: tiers
-        # stack in decreasing-area order, each interface spans the smaller
-        # facing footprint at the spec's connection density.
-        ordered = sorted(area_values, key=lambda value: -value)
-        density = model.connections_per_mm2()
-        counts = [
-            min(lower, upper) * density for lower, upper in zip(ordered, ordered[1:])
-        ]
-        total_connections = sum(counts)
-        assembly_yield = 1.0
-        for count in counts:
-            assembly_yield *= bonding_yield(count, _CONNECTION_YIELD[bond])
-        connection_kwh = total_connections * _ENERGY_KWH_PER_CONNECTION[bond]
-        has_bonds = total_connections > 0 and assembly_yield > 0
-        footprint = max(area_values, default=0.0)
-        has_substrate = footprint > 0
-        substrate_yield = (
-            model.substrate_yield(
-                footprint, _SUBSTRATE_NODE_NM, defect_scale=_SUBSTRATE_DEFECT_SCALE
-            )
-            if has_substrate
-            else 1.0
-        )
-        substrate_kwh = (
-            _rdl_energy_kwh(
-                table, footprint, _SUBSTRATE_NODE_NM, _SUBSTRATE_LAYERS,
-                _SUBSTRATE_ENERGY_SCALE,
-            )
-            if has_substrate
-            else 0.0
-        )
-        return _ThreeDTerms(
-            model.architecture, area, 0.0,
-            connection_kwh, assembly_yield, has_bonds,
-            substrate_kwh, substrate_yield, has_substrate,
-        )
-
-    raise TypeError(
-        f"no closed-form packaging terms for {type(model).__name__}; "
-        "use the scalar backend for custom packaging models"
-    )
+__all__ = [
+    "ChipletTerms",
+    "CompiledSystem",
+    "CostGroupTerms",
+    "CostTerms",
+    "PackagingTerms",
+    "SourceTerms",
+    "TemplateCompiler",
+    "TemplateKey",
+    "compile_packaging",
+    "packaging_signature",
+]
 
 
 def compile_packaging(
@@ -382,7 +77,13 @@ def compile_packaging(
     packaged_chiplets: Tuple[PackagedChiplet, ...],
     floorplan: FloorplanResult,
 ) -> PackagingTerms:
-    """Flatten ``model.evaluate(packaged_chiplets, floorplan)`` into closed form."""
+    """Flatten ``model.evaluate(packaged_chiplets, floorplan)`` into closed form.
+
+    Convenience wrapper around :meth:`PackagingModel.compile_terms` with
+    uncached per-call PHY/router power figures; the compiler proper goes
+    through :meth:`TemplateCompiler._compile_packaging`, which caches them
+    per (spec, node).
+    """
     spec = getattr(model, "spec", None)
 
     def phy_power(node: Any) -> float:
@@ -391,8 +92,7 @@ def compile_packaging(
     def router_power(node: Any) -> float:
         return model.router_power_w(node, injection_rate=spec.router_injection_rate)
 
-    return _compile_packaging_terms(
-        model,
+    return model.compile_terms(
         tuple(chiplet.node for chiplet in packaged_chiplets),
         tuple(chiplet.area_mm2 for chiplet in packaged_chiplets),
         floorplan,
@@ -655,7 +355,7 @@ class TemplateCompiler:
         spec = self._packaging_spec(packaging, base)
         model = self._packaging_model(spec)
         chiplet_count = base.chiplet_count
-        is_monolithic = chiplet_count == 1 or isinstance(spec, MonolithicSpec)
+        is_monolithic = chiplet_count == 1 or model.is_monolithic
 
         if nodes is not None:
             if len(nodes) != chiplet_count:
@@ -697,10 +397,11 @@ class TemplateCompiler:
             final_area = base_area + overhead
             final_areas[chiplet.name] = final_area
             final_area_values.append(final_area)
-        needs_adjacencies = isinstance(model, SiliconBridgeModel)
-        floorplan = self._floorplan(estimator.floorplanner, final_areas, needs_adjacencies)
+        floorplan = self._floorplan(
+            estimator.floorplanner, final_areas, model.needs_adjacencies
+        )
         packaging_terms = self._compile_packaging(
-            model, spec, node_keys, node_values, tuple(final_area_values), floorplan
+            model, spec, node_keys, tuple(final_area_values), floorplan
         )
 
         # Per-chiplet manufacturing and design coefficients.
@@ -815,10 +516,10 @@ class TemplateCompiler:
         model: PackagingModel,
         spec: Any,
         node_keys: Tuple[Any, ...],
-        node_values: Tuple[float, ...],
         area_values: Tuple[float, ...],
         floorplan: FloorplanResult,
     ) -> PackagingTerms:
+        """``model.compile_terms`` with per-(spec, node) power caches."""
         phy_powers = self._phy_powers
         router_powers = self._router_powers
 
@@ -840,8 +541,8 @@ class TemplateCompiler:
                 router_powers[key] = value
             return value
 
-        return _compile_packaging_terms(
-            model, node_keys, area_values, floorplan, phy_power, router_power
+        return model.compile_terms(
+            node_keys, area_values, floorplan, phy_power, router_power
         )
 
     def _compile_cost(

@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.floorplan.partition import PartitionNode, build_partition_tree
 from repro.floorplan.rect import Rect

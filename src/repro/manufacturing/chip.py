@@ -14,7 +14,7 @@ performs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+from typing import Optional
 
 from repro.manufacturing.cfpa import CFPAModel, SourceLike
 from repro.manufacturing.wafer import DEFAULT_WAFER_DIAMETER_MM, WaferModel

@@ -17,42 +17,85 @@ packaging architectures the paper supports:
 * :class:`~repro.packaging.monolithic.MonolithicModel` — the no-packaging
   baseline used for monolithic SoCs
 
-Specs (user-facing configuration dataclasses) live next to their models; the
-:func:`~repro.packaging.registry.build_packaging_model` factory maps a spec
-to its model.
+Specs (user-facing configuration dataclasses) live next to their models,
+together with the closed-form :class:`~repro.packaging.base.PackagingTerms`
+each model compiles for the batch fast path.  Architectures self-register
+with :func:`~repro.packaging.registry.register_packaging`; the registry
+drives :func:`~repro.packaging.registry.build_packaging_model`,
+:func:`~repro.packaging.registry.spec_from_dict`, the sweep machinery and
+the CLI, so new architectures — including ones registered from outside this
+package — plug into every layer at once (see the README section "Adding a
+packaging architecture").
 """
 
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult
-from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
+from repro.packaging.base import (
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+)
+from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec, SiliconBridgeTerms
 from repro.packaging.interposer import (
     ActiveInterposerModel,
     ActiveInterposerSpec,
+    ActiveInterposerTerms,
+    InterposerTerms,
     PassiveInterposerModel,
     PassiveInterposerSpec,
 )
-from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
-from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
-from repro.packaging.registry import PACKAGING_SPECS, build_packaging_model, spec_from_dict
-from repro.packaging.threed import BondType, ThreeDStackModel, ThreeDStackSpec
+from repro.packaging.monolithic import MonolithicModel, MonolithicSpec, MonolithicTerms
+from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec, RDLFanoutTerms
+from repro.packaging.registry import (
+    PACKAGING_SPECS,
+    RegisteredPackaging,
+    build_packaging_model,
+    describe_packaging,
+    is_monolithic_spec,
+    model_class_for_spec,
+    packaging_names,
+    register_packaging,
+    registered_packaging,
+    spec_from_dict,
+)
+from repro.packaging.threed import (
+    BondType,
+    ThreeDStackModel,
+    ThreeDStackSpec,
+    ThreeDStackTerms,
+)
 
 __all__ = [
     "PackagedChiplet",
     "PackagingModel",
     "PackagingResult",
+    "PackagingTerms",
     "SiliconBridgeModel",
     "SiliconBridgeSpec",
+    "SiliconBridgeTerms",
     "ActiveInterposerModel",
     "ActiveInterposerSpec",
+    "ActiveInterposerTerms",
+    "InterposerTerms",
     "PassiveInterposerModel",
     "PassiveInterposerSpec",
     "MonolithicModel",
     "MonolithicSpec",
+    "MonolithicTerms",
     "RDLFanoutModel",
     "RDLFanoutSpec",
+    "RDLFanoutTerms",
     "PACKAGING_SPECS",
+    "RegisteredPackaging",
     "build_packaging_model",
+    "describe_packaging",
+    "is_monolithic_spec",
+    "model_class_for_spec",
+    "packaging_names",
+    "register_packaging",
+    "registered_packaging",
     "spec_from_dict",
     "BondType",
     "ThreeDStackModel",
     "ThreeDStackSpec",
+    "ThreeDStackTerms",
 ]

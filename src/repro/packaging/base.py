@@ -1,7 +1,8 @@
 """Shared interfaces of the packaging models.
 
-Every packaging architecture implements the same two-phase protocol used by
-:class:`repro.core.estimator.EcoChip`:
+Every packaging architecture implements the same protocol used by
+:class:`repro.core.estimator.EcoChip` and the compiled batch fast path
+(:mod:`repro.fastpath`):
 
 1. :meth:`PackagingModel.chiplet_area_overhead_mm2` — extra silicon that the
    architecture adds *inside* each chiplet (NoC routers for passive
@@ -13,13 +14,28 @@ Every packaging architecture implements the same two-phase protocol used by
    interposer / bonding plus any communication circuitry charged to the
    package (routers on an active interposer), given the final chiplet areas
    and the floorplan.
+3. :meth:`PackagingModel.compile_terms` — the same CFP flattened into
+   scenario-independent closed-form :class:`PackagingTerms`, so the batch
+   backend can re-evaluate the architecture at any packaging carbon
+   intensity as plain arithmetic.  ``compile_terms`` lives next to the
+   ``evaluate`` formula it mirrors, and the two must stay bit-identical
+   (exact float equality) — the parity tests in
+   ``tests/integration/test_batch_parity.py`` enforce the contract.
+
+Architectures additionally describe themselves through declarative class
+attributes (:attr:`PackagingModel.needs_adjacencies`,
+:attr:`PackagingModel.is_monolithic`, :attr:`PackagingModel.uses_noc`) so
+the compiler and the estimator never special-case concrete classes: a new
+architecture registered through
+:func:`repro.packaging.registry.register_packaging` — even from outside
+this package — is picked up by every layer the moment it registers.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.manufacturing.cfpa import CFPAModel
@@ -31,6 +47,9 @@ from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, NodeKey, Technology
 from repro.technology.scaling import DesignType
 
 SourceLike = Union[CarbonSource, str, float, int]
+
+#: Same constant the CFPA breakdown uses for the per-cm² -> per-mm² step.
+_TO_MM2 = 1.0 / 100.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +107,29 @@ class PackagingResult:
     detail: Dict[str, float]
 
 
+class PackagingTerms:
+    """Scenario-independent closed-form packaging terms of one template.
+
+    Produced by :meth:`PackagingModel.compile_terms`; consumed by the batch
+    fast path (:mod:`repro.fastpath`).  ``cfp(intensity)`` returns
+    ``(package_cfp_g, comm_cfp_g)`` exactly as the architecture's
+    ``evaluate`` would for that packaging carbon intensity — architectures
+    subclass this with whatever intensity-free coefficients their formula
+    needs.
+    """
+
+    __slots__ = ("architecture", "package_area_mm2", "comm_power_w")
+
+    def __init__(self, architecture: str, package_area_mm2: float, comm_power_w: float):
+        self.architecture = architecture
+        self.package_area_mm2 = package_area_mm2
+        self.comm_power_w = comm_power_w
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        """``(package_cfp_g, comm_cfp_g)`` at the given carbon intensity."""
+        raise NotImplementedError
+
+
 class PackagingModel(abc.ABC):
     """Abstract base class of all packaging-architecture models.
 
@@ -105,6 +147,16 @@ class PackagingModel(abc.ABC):
     #: True when the architecture uses a NoC (interposers) rather than
     #: point-to-point PHY links (RDL fanout, EMIB).
     uses_noc: bool = False
+
+    #: True when ``evaluate``/``compile_terms`` consume the floorplan's
+    #: chiplet adjacencies (silicon bridges count bridges per shared edge).
+    #: The compiler skips the adjacency extraction pass otherwise.
+    needs_adjacencies: bool = False
+
+    #: True for the zero-overhead monolithic baseline: systems packaged with
+    #: such an architecture are treated as monolithic (no inter-die
+    #: communication design effort) regardless of their chiplet count.
+    is_monolithic: bool = False
 
     def __init__(
         self,
@@ -144,6 +196,42 @@ class PackagingModel(abc.ABC):
     ) -> PackagingResult:
         """CFP of the package for the given chiplets and floorplan."""
 
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> PackagingTerms:
+        """Flatten :meth:`evaluate` into closed-form :class:`PackagingTerms`.
+
+        The terms must replicate ``evaluate``'s exact floating-point
+        operation order over the same inputs so batch results stay
+        bit-identical to the scalar pipeline; keep this method next to the
+        ``evaluate`` formula it mirrors and update both together.
+
+        Args:
+            node_keys: Per-chiplet technology nodes, in system order.
+            area_values: Final per-chiplet areas (overheads folded in).
+            floorplan: Slicing floorplan of those areas (adjacencies are
+                populated only when :attr:`needs_adjacencies` is true).
+            phy_power: ``node -> W`` of one die-to-die PHY at the spec's
+                lane count (cached by the compiler; only call it when the
+                spec has ``phy_lanes``).
+            router_power: ``node -> W`` of one NoC router at the spec's
+                injection rate (cached by the compiler; only call it when
+                the spec has ``router_injection_rate``).
+
+        Architectures that cannot be expressed in closed form may raise
+        :class:`NotImplementedError`; such models only work on the scalar
+        backend.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement compile_terms(); "
+            "use the scalar backend for this packaging model"
+        )
+
     # -- shared helpers -------------------------------------------------------------
     def substrate_yield(self, area_mm2: float, node: NodeKey, defect_scale: float = 1.0) -> float:
         """Yield of patterning a substrate/interposer of ``area_mm2`` at ``node``.
@@ -159,6 +247,22 @@ class PackagingModel(abc.ABC):
             record.clustering_alpha,
         )
 
+    def rdl_layer_energy_kwh(
+        self,
+        area_mm2: float,
+        node: NodeKey,
+        layers: float,
+        energy_scale: float = 1.0,
+    ) -> float:
+        """Energy of patterning ``layers`` RDL metal layers over ``area_mm2``.
+
+        The intensity-free factor of :meth:`rdl_layer_cfp_g`, used by
+        ``compile_terms`` implementations to keep substrate terms in closed
+        form over the packaging carbon intensity.
+        """
+        record = self.table.get(node)
+        return layers * record.epla_rdl_kwh_per_cm2 * energy_scale * (area_mm2 / 100.0)
+
     def rdl_layer_cfp_g(
         self,
         area_mm2: float,
@@ -173,10 +277,7 @@ class PackagingModel(abc.ABC):
         """
         if layers < 0:
             raise ValueError(f"layer count must be non-negative, got {layers}")
-        record = self.table.get(node)
-        energy_kwh = (
-            layers * record.epla_rdl_kwh_per_cm2 * energy_scale * (area_mm2 / 100.0)
-        )
+        energy_kwh = self.rdl_layer_energy_kwh(area_mm2, node, layers, energy_scale)
         return energy_kwh * self.package_carbon_intensity_g_per_kwh
 
     def router_area_mm2(self, node: NodeKey, ports: Optional[int] = None) -> float:

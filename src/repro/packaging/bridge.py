@@ -18,12 +18,19 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
-from repro.technology.nodes import TechnologyTable
+from repro.packaging.base import (
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+    SourceLike,
+)
+from repro.packaging.registry import register_packaging
+from repro.technology.nodes import NodeKey, TechnologyTable
 
 #: Defect-density scale for the ultra-fine L/S bridge layers (harder to
 #: pattern than regular RDL, hence lower yield).
@@ -78,11 +85,38 @@ class SiliconBridgeSpec:
             raise ValueError(f"PHY lane count must be >= 1, got {self.phy_lanes}")
 
 
+class SiliconBridgeTerms(PackagingTerms):
+    """Closed form of Eq. 10: per-bridge and organic-substrate terms."""
+
+    __slots__ = (
+        "kwh_per_bridge", "bridge_yield", "bridge_count",
+        "substrate_kwh", "substrate_yield",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        kwh_per_bridge, bridge_yield, bridge_count, substrate_kwh, substrate_yield,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.kwh_per_bridge = kwh_per_bridge
+        self.bridge_yield = bridge_yield
+        self.bridge_count = bridge_count
+        self.substrate_kwh = substrate_kwh
+        self.substrate_yield = substrate_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        per_bridge_g = self.kwh_per_bridge * intensity / self.bridge_yield
+        bridges_cfp = self.bridge_count * per_bridge_g
+        substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
+        return bridges_cfp + substrate_cfp, 0.0
+
+
 class SiliconBridgeModel(PackagingModel):
     """Evaluates Eq. 10 for a :class:`SiliconBridgeSpec`."""
 
     architecture = "silicon_bridge"
     uses_noc = False
+    needs_adjacencies = True
 
     def __init__(
         self,
@@ -197,3 +231,50 @@ class SiliconBridgeModel(PackagingModel):
             chiplet_overhead_mm2=overheads,
             detail=detail,
         )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> SiliconBridgeTerms:
+        """Closed form of :meth:`evaluate` (same operation order, Eq. 10)."""
+        del area_values, router_power
+        spec = self.spec
+        record = self.table.get(spec.bridge_technology_nm)
+        bridge_yield = self.substrate_yield(
+            spec.bridge_area_mm2, spec.bridge_technology_nm,
+            defect_scale=_BRIDGE_DEFECT_SCALE,
+        )
+        patterning_kwh = (
+            spec.bridge_layers
+            * record.epla_bridge_kwh_per_cm2
+            * (spec.bridge_area_mm2 / 100.0)
+        )
+        kwh_per_bridge = patterning_kwh + _EMBEDDING_KWH_PER_BRIDGE
+        n_bridges = self.bridge_count(floorplan)
+        area = floorplan.package_area_mm2
+        substrate_yield = self.substrate_yield(
+            area, 65, defect_scale=_ORGANIC_DEFECT_SCALE
+        )
+        substrate_kwh = self.rdl_layer_energy_kwh(
+            area, 65, _ORGANIC_LAYERS, _ORGANIC_ENERGY_SCALE
+        )
+        comm_power = 0.0
+        if len(node_keys) > 1:
+            for node in node_keys:
+                comm_power += phy_power(node)
+        return SiliconBridgeTerms(
+            self.architecture, area, comm_power,
+            kwh_per_bridge, bridge_yield, n_bridges, substrate_kwh, substrate_yield,
+        )
+
+
+register_packaging(
+    "silicon_bridge",
+    SiliconBridgeSpec,
+    SiliconBridgeModel,
+    aliases=("emib", "bridge", "lsi"),
+)

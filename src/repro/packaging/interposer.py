@@ -22,12 +22,20 @@ Carbon accounting, following Section III-D(1c, 1d) and III-D(2):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
-from repro.technology.nodes import TechnologyTable
+from repro.packaging.base import (
+    _TO_MM2,
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+    SourceLike,
+)
+from repro.packaging.registry import register_packaging
+from repro.technology.nodes import NodeKey, TechnologyTable
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,6 +83,62 @@ class ActiveInterposerSpec:
             )
 
 
+class InterposerTerms(PackagingTerms):
+    """Closed form of the BEOL-only interposer substrate (passive 2.5D)."""
+
+    __slots__ = ("patterning_kwh", "materials_g", "interposer_yield")
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        patterning_kwh, materials_g, interposer_yield,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.patterning_kwh = patterning_kwh
+        self.materials_g = materials_g
+        self.interposer_yield = interposer_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        patterning_g = self.patterning_kwh * intensity
+        return (patterning_g + self.materials_g) / self.interposer_yield, 0.0
+
+
+class ActiveInterposerTerms(InterposerTerms):
+    """Adds the FEOL router regions (``Cmfg,comm``) to the substrate terms."""
+
+    __slots__ = (
+        "router_count", "router_area_mm2",
+        "router_eff", "router_epa", "router_gas_g_cm2", "router_material_g_cm2",
+        "router_yield",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        patterning_kwh, materials_g, interposer_yield,
+        router_count, router_area_mm2,
+        router_eff, router_epa, router_gas_g_cm2, router_material_g_cm2, router_yield,
+    ):
+        super().__init__(
+            architecture, package_area_mm2, comm_power_w,
+            patterning_kwh, materials_g, interposer_yield,
+        )
+        self.router_count = router_count
+        self.router_area_mm2 = router_area_mm2
+        self.router_eff = router_eff
+        self.router_epa = router_epa
+        self.router_gas_g_cm2 = router_gas_g_cm2
+        self.router_material_g_cm2 = router_material_g_cm2
+        self.router_yield = router_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        package_cfp, _ = super().cfp(intensity)
+        if not self.router_count:
+            return package_cfp, 0.0
+        energy_g_cm2 = self.router_eff * intensity * self.router_epa
+        unyielded_cm2 = energy_g_cm2 + self.router_gas_g_cm2 + self.router_material_g_cm2
+        cfpa = unyielded_cm2 * _TO_MM2 / self.router_yield
+        return package_cfp, self.router_count * cfpa * self.router_area_mm2
+
+
 class _InterposerBase(PackagingModel):
     """Shared silicon-interposer substrate accounting."""
 
@@ -96,6 +160,28 @@ class _InterposerBase(PackagingModel):
         )
         total = (patterning_g + materials_g) / interposer_yield
         return total, interposer_yield
+
+    def _substrate_terms(
+        self, floorplan: FloorplanResult
+    ) -> "tuple[float, float, float, float]":
+        """``(area, patterning_kwh, materials_g, yield)`` of the substrate.
+
+        The intensity-free factors of :meth:`_substrate_cfp_g`, computed in
+        the same operation order so the compiled terms stay bit-identical.
+        """
+        spec = self.spec  # type: ignore[attr-defined]
+        record = self.table.get(spec.technology_nm)
+        area = floorplan.package_area_mm2
+        interposer_yield = self.substrate_yield(area, spec.technology_nm, defect_scale=1.0)
+        patterning_kwh = self.rdl_layer_energy_kwh(
+            area, spec.technology_nm, spec.beol_layers
+        )
+        materials_g = (
+            (record.material_kg_per_cm2 + record.gas_kg_per_cm2)
+            * 1000.0
+            * (area / 100.0)
+        )
+        return area, patterning_kwh, materials_g, interposer_yield
 
 
 class PassiveInterposerModel(_InterposerBase):
@@ -155,6 +241,28 @@ class PassiveInterposerModel(_InterposerBase):
             comm_power_w=comm_power,
             chiplet_overhead_mm2=overheads,
             detail=detail,
+        )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> InterposerTerms:
+        """Closed form of :meth:`evaluate` (same operation order)."""
+        del area_values, phy_power
+        area, patterning_kwh, materials_g, interposer_yield = self._substrate_terms(
+            floorplan
+        )
+        comm_power = 0.0
+        if len(node_keys) > 1:
+            for node in node_keys:
+                comm_power += router_power(node)
+        return InterposerTerms(
+            self.architecture, area, comm_power,
+            patterning_kwh, materials_g, interposer_yield,
         )
 
 
@@ -217,3 +325,52 @@ class ActiveInterposerModel(_InterposerBase):
             chiplet_overhead_mm2={},
             detail=detail,
         )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> ActiveInterposerTerms:
+        """Closed form of :meth:`evaluate` (same operation order)."""
+        del area_values, phy_power
+        spec = self.spec
+        area, patterning_kwh, materials_g, interposer_yield = self._substrate_terms(
+            floorplan
+        )
+        chiplet_count = len(node_keys)
+        router_count = chiplet_count if chiplet_count > 1 else 0
+        router_area = self.router_area_mm2(spec.technology_nm)
+        comm_power = 0.0
+        router_eff = router_epa = router_gas = router_material = 0.0
+        router_yield = 1.0
+        if router_count:
+            router_record = self.table.get(spec.technology_nm)
+            router_eff = router_record.equipment_efficiency
+            router_epa = router_record.epa_kwh_per_cm2
+            router_gas = router_record.gas_kg_per_cm2 * 1000.0
+            router_material = router_record.material_kg_per_cm2 * 1000.0
+            router_yield = self.yield_model.die_yield(router_area, spec.technology_nm)
+            comm_power = router_count * router_power(spec.technology_nm)
+        return ActiveInterposerTerms(
+            self.architecture, area, comm_power,
+            patterning_kwh, materials_g, interposer_yield,
+            router_count, router_area,
+            router_eff, router_epa, router_gas, router_material, router_yield,
+        )
+
+
+register_packaging(
+    "passive_interposer",
+    PassiveInterposerSpec,
+    PassiveInterposerModel,
+    aliases=("passive",),
+)
+register_packaging(
+    "active_interposer",
+    ActiveInterposerSpec,
+    ActiveInterposerModel,
+    aliases=("active",),
+)

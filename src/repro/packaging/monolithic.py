@@ -10,12 +10,19 @@ systems run through exactly the same estimator pipeline.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
-from repro.technology.nodes import TechnologyTable
+from repro.packaging.base import (
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+    SourceLike,
+)
+from repro.packaging.registry import register_packaging
+from repro.technology.nodes import NodeKey, TechnologyTable
 
 
 @dataclasses.dataclass(frozen=True)
@@ -23,11 +30,21 @@ class MonolithicSpec:
     """Configuration of the monolithic baseline (no parameters)."""
 
 
+class MonolithicTerms(PackagingTerms):
+    """Monolithic baseline: no packaging carbon at any intensity."""
+
+    __slots__ = ()
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        return 0.0, 0.0
+
+
 class MonolithicModel(PackagingModel):
     """Zero-overhead packaging model for monolithic SoCs."""
 
     architecture = "monolithic"
     uses_noc = False
+    is_monolithic = True
 
     def __init__(
         self,
@@ -59,3 +76,20 @@ class MonolithicModel(PackagingModel):
             chiplet_overhead_mm2={},
             detail={},
         )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> MonolithicTerms:
+        """Closed form of :meth:`evaluate`: identically zero."""
+        del node_keys, area_values, phy_power, router_power
+        return MonolithicTerms(self.architecture, floorplan.package_area_mm2, 0.0)
+
+
+register_packaging(
+    "monolithic", MonolithicSpec, MonolithicModel, aliases=("mono",)
+)

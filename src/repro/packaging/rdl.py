@@ -17,16 +17,37 @@ reports so the estimator can fold it into the chiplet silicon.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
-from repro.technology.nodes import TechnologyTable
+from repro.packaging.base import (
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+    SourceLike,
+)
+from repro.packaging.registry import register_packaging
+from repro.technology.nodes import NodeKey, TechnologyTable
 
 #: Defect-density scale applied to coarse RDL layers (they are far less
 #: defect-prone than front-end device layers at the same node).
 _RDL_DEFECT_SCALE = 0.5
+
+
+class RDLFanoutTerms(PackagingTerms):
+    """Closed form of Eq. 9: patterning energy over the package yield."""
+
+    __slots__ = ("energy_kwh", "package_yield")
+
+    def __init__(self, architecture, package_area_mm2, comm_power_w, energy_kwh, package_yield):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.energy_kwh = energy_kwh
+        self.package_yield = package_yield
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        return self.energy_kwh * intensity / self.package_yield, 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,3 +145,30 @@ class RDLFanoutModel(PackagingModel):
             chiplet_overhead_mm2=overheads,
             detail=detail,
         )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> RDLFanoutTerms:
+        """Closed form of :meth:`evaluate` (same operation order, Eq. 9)."""
+        del area_values, router_power
+        spec = self.spec
+        area = floorplan.package_area_mm2
+        package_yield = self.substrate_yield(
+            area, spec.technology_nm, defect_scale=_RDL_DEFECT_SCALE
+        )
+        energy_kwh = self.rdl_layer_energy_kwh(area, spec.technology_nm, spec.layers)
+        comm_power = 0.0
+        if len(node_keys) > 1:
+            for node in node_keys:
+                comm_power += phy_power(node)
+        return RDLFanoutTerms(self.architecture, area, comm_power, energy_kwh, package_yield)
+
+
+register_packaging(
+    "rdl_fanout", RDLFanoutSpec, RDLFanoutModel, aliases=("rdl", "fanout")
+)

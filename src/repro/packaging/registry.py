@@ -1,62 +1,192 @@
-"""Factory mapping packaging specs (and JSON names) to packaging models."""
+"""Self-registering catalogue of packaging architectures.
+
+Every packaging architecture is a (spec dataclass, model class) pair
+registered under a canonical name plus optional aliases via
+:func:`register_packaging`.  The built-in architectures register themselves
+when their module is imported (this module imports them at the bottom, so
+importing the registry is enough); out-of-tree architectures call the same
+API — see ``examples/custom_packaging.py`` — and are immediately visible to
+every layer driven by the registry: :func:`build_packaging_model` (scalar
+estimator), :func:`spec_from_dict` (JSON configs, sweep specs and the CLI),
+the batch compiler's template machinery and ``eco-chip --list-packaging``.
+
+Spec lookup is MRO-aware: a subclass of a registered spec resolves to its
+parent's model unless the subclass registered its own.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Type, Union
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.noc.orion import RouterSpec
 from repro.packaging.base import PackagingModel, SourceLike
-from repro.packaging.bridge import SiliconBridgeModel, SiliconBridgeSpec
-from repro.packaging.interposer import (
-    ActiveInterposerModel,
-    ActiveInterposerSpec,
-    PassiveInterposerModel,
-    PassiveInterposerSpec,
-)
-from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
-from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
-from repro.packaging.threed import ThreeDStackModel, ThreeDStackSpec
 from repro.technology.nodes import TechnologyTable
 
-PackagingSpec = Union[
-    MonolithicSpec,
-    RDLFanoutSpec,
-    SiliconBridgeSpec,
-    PassiveInterposerSpec,
-    ActiveInterposerSpec,
-    ThreeDStackSpec,
-]
+#: Type alias for packaging-spec dataclasses.  The set is open — plugins
+#: register new spec classes at runtime — so this is ``Any`` rather than a
+#: closed Union; :func:`build_packaging_model` validates at call time.
+PackagingSpec = Any
 
-#: Spec class -> model class.
-_MODEL_FOR_SPEC: Dict[type, Type[PackagingModel]] = {
-    MonolithicSpec: MonolithicModel,
-    RDLFanoutSpec: RDLFanoutModel,
-    SiliconBridgeSpec: SiliconBridgeModel,
-    PassiveInterposerSpec: PassiveInterposerModel,
-    ActiveInterposerSpec: ActiveInterposerModel,
-    ThreeDStackSpec: ThreeDStackModel,
-}
 
-#: JSON / CLI name -> spec class.  The aliases match the names used in the
-#: released ECO-CHIP configuration files and common shorthand.
-PACKAGING_SPECS: Dict[str, type] = {
-    "monolithic": MonolithicSpec,
-    "mono": MonolithicSpec,
-    "rdl_fanout": RDLFanoutSpec,
-    "rdl": RDLFanoutSpec,
-    "fanout": RDLFanoutSpec,
-    "silicon_bridge": SiliconBridgeSpec,
-    "emib": SiliconBridgeSpec,
-    "bridge": SiliconBridgeSpec,
-    "lsi": SiliconBridgeSpec,
-    "passive_interposer": PassiveInterposerSpec,
-    "passive": PassiveInterposerSpec,
-    "active_interposer": ActiveInterposerSpec,
-    "active": ActiveInterposerSpec,
-    "3d": ThreeDStackSpec,
-    "3d_stack": ThreeDStackSpec,
-    "threed": ThreeDStackSpec,
-}
+@dataclasses.dataclass(frozen=True)
+class RegisteredPackaging:
+    """One registered packaging architecture.
+
+    Attributes:
+        name: Canonical architecture name (``"rdl_fanout"``, ...).
+        spec_cls: User-facing configuration dataclass.
+        model_cls: :class:`PackagingModel` subclass evaluating the spec.
+        aliases: Alternative names accepted by :func:`spec_from_dict`.
+    """
+
+    name: str
+    spec_cls: type
+    model_cls: Type[PackagingModel]
+    aliases: Tuple[str, ...] = ()
+
+
+#: Canonical name -> registration entry.
+_ENTRIES: Dict[str, RegisteredPackaging] = {}
+
+#: Spec class -> model class (exact classes; lookups walk the spec's MRO).
+_MODEL_FOR_SPEC: Dict[type, Type[PackagingModel]] = {}
+
+#: JSON / CLI name or alias -> spec class.  Maintained by
+#: :func:`register_packaging`; kept as a plain dict for backwards
+#: compatibility with callers that iterate the known names.
+PACKAGING_SPECS: Dict[str, type] = {}
+
+
+def _normalise_name(name: str) -> str:
+    return str(name).strip().lower()
+
+
+def register_packaging(
+    name: str,
+    spec_cls: type,
+    model_cls: Type[PackagingModel],
+    aliases: Sequence[str] = (),
+) -> RegisteredPackaging:
+    """Register a packaging architecture with the global catalogue.
+
+    Architectures may register from anywhere (including outside
+    ``repro.packaging``); once registered they work with the scalar
+    estimator, the batch fast path, sweep specs and the CLI alike.
+    Re-registering the identical (name, spec, model, aliases) entry is a
+    no-op, so plugin modules can be imported repeatedly; conflicting
+    registrations raise.
+
+    Args:
+        name: Canonical architecture name (used in configs and listings).
+        spec_cls: Configuration dataclass; ``spec_from_dict`` passes the
+            remaining config keys to its constructor.
+        model_cls: :class:`PackagingModel` subclass; must implement
+            ``evaluate`` and (for batch-backend support) ``compile_terms``.
+        aliases: Additional accepted spelling(s) of the name.
+
+    Returns:
+        The stored :class:`RegisteredPackaging` entry.
+
+    Raises:
+        TypeError: when ``model_cls`` is not a :class:`PackagingModel`
+            subclass or ``spec_cls`` is not a class.
+        ValueError: when the name, an alias or the spec class is already
+            registered to a different architecture.
+    """
+    if not isinstance(spec_cls, type):
+        raise TypeError(f"spec_cls must be a class, got {spec_cls!r}")
+    if not (isinstance(model_cls, type) and issubclass(model_cls, PackagingModel)):
+        raise TypeError(
+            f"model_cls must be a PackagingModel subclass, got {model_cls!r}"
+        )
+    canonical = _normalise_name(name)
+    if not canonical:
+        raise ValueError("packaging name must be non-empty")
+    entry = RegisteredPackaging(
+        name=canonical,
+        spec_cls=spec_cls,
+        model_cls=model_cls,
+        aliases=tuple(dict.fromkeys(_normalise_name(alias) for alias in aliases)),
+    )
+    existing = _ENTRIES.get(canonical)
+    if existing == entry:
+        return existing  # idempotent re-registration (repeated plugin import)
+    if existing is not None:
+        raise ValueError(
+            f"packaging architecture {canonical!r} is already registered "
+            f"(spec {existing.spec_cls.__name__}, model {existing.model_cls.__name__})"
+        )
+    registered_model = _MODEL_FOR_SPEC.get(spec_cls)
+    if registered_model is not None and registered_model is not model_cls:
+        raise ValueError(
+            f"spec class {spec_cls.__name__} is already registered to "
+            f"{registered_model.__name__}"
+        )
+    for label in (canonical,) + entry.aliases:
+        bound = PACKAGING_SPECS.get(label)
+        if bound is not None and bound is not spec_cls:
+            raise ValueError(
+                f"packaging name {label!r} is already registered to "
+                f"{bound.__name__}"
+            )
+    _ENTRIES[canonical] = entry
+    _MODEL_FOR_SPEC[spec_cls] = model_cls
+    for label in (canonical,) + entry.aliases:
+        PACKAGING_SPECS[label] = spec_cls
+    return entry
+
+
+def registered_packaging() -> List[RegisteredPackaging]:
+    """All registered architectures, sorted by canonical name."""
+    return [entry for _, entry in sorted(_ENTRIES.items())]
+
+
+def packaging_names(include_aliases: bool = False) -> List[str]:
+    """Registered architecture names (optionally with aliases), sorted."""
+    if include_aliases:
+        return sorted(PACKAGING_SPECS)
+    return sorted(_ENTRIES)
+
+
+def describe_packaging() -> List[str]:
+    """One human-readable line per architecture (name, aliases, spec)."""
+    lines = []
+    for entry in registered_packaging():
+        alias_text = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        lines.append(f"{entry.name}{alias_text} — {entry.spec_cls.__name__}")
+    return lines
+
+
+def _known_architectures() -> str:
+    """Registry-derived summary used in lookup-error messages."""
+    parts = []
+    for entry in registered_packaging():
+        if entry.aliases:
+            parts.append(f"{entry.name} (aliases: {', '.join(entry.aliases)})")
+        else:
+            parts.append(entry.name)
+    return "; ".join(parts)
+
+
+def model_class_for_spec(spec_type: type) -> Optional[Type[PackagingModel]]:
+    """Model class registered for ``spec_type``, walking its MRO.
+
+    Subclassed specs resolve to the nearest registered ancestor, so users
+    can specialise a spec dataclass (extra fields, different defaults)
+    without re-registering; returns ``None`` for unregistered types.
+    """
+    for klass in spec_type.__mro__:
+        model_cls = _MODEL_FOR_SPEC.get(klass)
+        if model_cls is not None:
+            return model_cls
+    return None
+
+
+def is_monolithic_spec(spec: PackagingSpec) -> bool:
+    """True when ``spec`` resolves to a monolithic-baseline architecture."""
+    model_cls = model_class_for_spec(type(spec))
+    return bool(model_cls is not None and model_cls.is_monolithic)
 
 
 def build_packaging_model(
@@ -68,11 +198,15 @@ def build_packaging_model(
     """Construct the packaging model matching ``spec``.
 
     Raises:
-        TypeError: if ``spec`` is not one of the supported spec dataclasses.
+        TypeError: if ``spec``'s type (or any of its base classes) is not a
+            registered spec dataclass.
     """
-    model_cls = _MODEL_FOR_SPEC.get(type(spec))
+    model_cls = model_class_for_spec(type(spec))
     if model_cls is None:
-        raise TypeError(f"unsupported packaging spec type: {type(spec).__name__}")
+        raise TypeError(
+            f"unsupported packaging spec type: {type(spec).__name__}; "
+            f"registered architectures: {_known_architectures()}"
+        )
     return model_cls(
         spec=spec,
         table=table,
@@ -85,8 +219,8 @@ def spec_from_dict(config: Dict[str, Any]) -> PackagingSpec:
     """Build a packaging spec from a JSON-style dictionary.
 
     The dictionary must contain a ``"type"`` key naming the architecture
-    (any alias in :data:`PACKAGING_SPECS`); the remaining keys are passed to
-    the spec constructor.
+    (any registered name or alias); the remaining keys are passed to the
+    spec constructor.
 
     Example::
 
@@ -95,11 +229,24 @@ def spec_from_dict(config: Dict[str, Any]) -> PackagingSpec:
     if "type" not in config:
         raise KeyError("packaging configuration needs a 'type' key")
     params = dict(config)
-    name = str(params.pop("type")).strip().lower()
+    name = _normalise_name(params.pop("type"))
     spec_cls = PACKAGING_SPECS.get(name)
     if spec_cls is None:
         raise KeyError(
-            f"unknown packaging type {name!r}; known types: "
-            f"{sorted(set(PACKAGING_SPECS))}"
+            f"unknown packaging type {name!r}; registered architectures: "
+            f"{_known_architectures()}"
         )
     return spec_cls(**params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in architectures self-register when their module is imported; the
+# imports below guarantee the catalogue is populated as soon as anyone
+# imports the registry.  (Import order is circular-import safe: the model
+# modules only need register_packaging, which is defined above.)
+# ---------------------------------------------------------------------------
+from repro.packaging import bridge as _bridge  # noqa: E402,F401
+from repro.packaging import interposer as _interposer  # noqa: E402,F401
+from repro.packaging import monolithic as _monolithic  # noqa: E402,F401
+from repro.packaging import rdl as _rdl  # noqa: E402,F401
+from repro.packaging import threed as _threed  # noqa: E402,F401

@@ -18,13 +18,20 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.manufacturing.yield_model import bonding_yield
 from repro.noc.orion import RouterSpec
-from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingResult, SourceLike
-from repro.technology.nodes import TechnologyTable
+from repro.packaging.base import (
+    PackagedChiplet,
+    PackagingModel,
+    PackagingResult,
+    PackagingTerms,
+    SourceLike,
+)
+from repro.packaging.registry import register_packaging
+from repro.technology.nodes import NodeKey, TechnologyTable
 
 
 class BondType(enum.Enum):
@@ -114,6 +121,37 @@ class ThreeDStackSpec:
             raise ValueError(
                 f"connection fill factor must be in (0, 1], got {self.connection_fill_factor}"
             )
+
+
+class ThreeDStackTerms(PackagingTerms):
+    """Closed form of Eq. 11: bond-formation and substrate terms."""
+
+    __slots__ = (
+        "connection_kwh", "assembly_yield", "has_bonds",
+        "substrate_kwh", "substrate_yield", "has_substrate",
+    )
+
+    def __init__(
+        self, architecture, package_area_mm2, comm_power_w,
+        connection_kwh, assembly_yield, has_bonds,
+        substrate_kwh, substrate_yield, has_substrate,
+    ):
+        super().__init__(architecture, package_area_mm2, comm_power_w)
+        self.connection_kwh = connection_kwh
+        self.assembly_yield = assembly_yield
+        self.has_bonds = has_bonds
+        self.substrate_kwh = substrate_kwh
+        self.substrate_yield = substrate_yield
+        self.has_substrate = has_substrate
+
+    def cfp(self, intensity: float) -> Tuple[float, float]:
+        bonds_cfp = 0.0
+        if self.has_bonds:
+            bonds_cfp = self.connection_kwh * intensity / self.assembly_yield
+        substrate_cfp = 0.0
+        if self.has_substrate:
+            substrate_cfp = self.substrate_kwh * intensity / self.substrate_yield
+        return bonds_cfp + substrate_cfp, 0.0
 
 
 class ThreeDStackModel(PackagingModel):
@@ -226,3 +264,56 @@ class ThreeDStackModel(PackagingModel):
             chiplet_overhead_mm2={},
             detail=detail,
         )
+
+    def compile_terms(
+        self,
+        node_keys: Tuple[NodeKey, ...],
+        area_values: Tuple[float, ...],
+        floorplan: FloorplanResult,
+        phy_power: Callable[[NodeKey], float],
+        router_power: Callable[[NodeKey], float],
+    ) -> ThreeDStackTerms:
+        """Closed form of :meth:`evaluate` (same operation order, Eq. 11)."""
+        del node_keys, phy_power, router_power
+        bond = BondType.parse(self.spec.bond_type)
+        # interface_connections, replicated over the bare area values: tiers
+        # stack in decreasing-area order, each interface spans the smaller
+        # facing footprint at the spec's connection density.
+        ordered = sorted(area_values, key=lambda value: -value)
+        density = self.connections_per_mm2()
+        counts = [
+            min(lower, upper) * density for lower, upper in zip(ordered, ordered[1:])
+        ]
+        total_connections = sum(counts)
+        assembly_yield = 1.0
+        for count in counts:
+            assembly_yield *= bonding_yield(count, _CONNECTION_YIELD[bond])
+        connection_kwh = total_connections * _ENERGY_KWH_PER_CONNECTION[bond]
+        has_bonds = total_connections > 0 and assembly_yield > 0
+        footprint = max(area_values, default=0.0)
+        has_substrate = footprint > 0
+        substrate_yield = (
+            self.substrate_yield(
+                footprint, _SUBSTRATE_NODE_NM, defect_scale=_SUBSTRATE_DEFECT_SCALE
+            )
+            if has_substrate
+            else 1.0
+        )
+        substrate_kwh = (
+            self.rdl_layer_energy_kwh(
+                footprint, _SUBSTRATE_NODE_NM, _SUBSTRATE_LAYERS,
+                _SUBSTRATE_ENERGY_SCALE,
+            )
+            if has_substrate
+            else 0.0
+        )
+        return ThreeDStackTerms(
+            self.architecture, floorplan.package_area_mm2, 0.0,
+            connection_kwh, assembly_yield, has_bonds,
+            substrate_kwh, substrate_yield, has_substrate,
+        )
+
+
+register_packaging(
+    "3d_stack", ThreeDStackSpec, ThreeDStackModel, aliases=("3d", "threed")
+)

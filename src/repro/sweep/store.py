@@ -204,7 +204,7 @@ def completed_scenario_ids(source: Union["ResultStore", PathLike]) -> Set[int]:
     if not path.is_file() or path.stat().st_size == 0:
         return ids
     if path.suffix.lower() == ".csv":
-        records: Iterator[Dict[str, Any]] = iter_records(path)
+        records: Iterator[Dict[str, Any]] = _iter_csv_tolerating_torn_row(path)
     else:
         records = _iter_jsonl_tolerating_torn_tail(path)
     for record in records:
@@ -236,38 +236,93 @@ def _iter_jsonl_tolerating_torn_tail(path: Path) -> Iterator[Dict[str, Any]]:
                 return  # torn tail of a crashed run: treat as unwritten
 
 
+def _iter_csv_tolerating_torn_row(path: Path) -> Iterator[Dict[str, Any]]:
+    """Like :func:`iter_records` for CSV, but drop an unparseable final row.
+
+    A crash mid-append can leave a final row with fewer fields than the
+    header — or with garbage such as NUL padding, which the csv module
+    rejects on Python <= 3.10 — torn mid-record; such a row is treated as
+    not-yet-evaluated.  A bad row anywhere else raises — that is real
+    corruption, not a crash tail.  Rows are parsed line by line (store
+    writers never emit embedded newlines), mirroring
+    :func:`_iter_jsonl_tolerating_torn_tail` with one line of lookahead
+    (constant memory).
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        lines = (line for line in handle if line.strip())
+        header_line = next(lines, None)
+        if header_line is None:
+            return
+        header = next(csv.reader([header_line]))
+
+        def parse_strict(line: str) -> Dict[str, Any]:
+            row = next(csv.reader([line]))
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}: CSV row with {len(row)} fields, "
+                    f"header has {len(header)}"
+                )
+            return {key: _revive_csv_value(value) for key, value in zip(header, row)}
+
+        previous: Optional[str] = None
+        for line in lines:
+            if previous is not None:
+                yield parse_strict(previous)  # strict: not the last line
+            previous = line
+        if previous is not None:
+            try:
+                row = next(csv.reader([previous]))
+            except csv.Error:
+                return  # torn tail (e.g. NUL bytes) of a crashed run
+            if len(row) == len(header):
+                yield {
+                    key: _revive_csv_value(value) for key, value in zip(header, row)
+                }
+            # a short final row is the torn tail of a crashed run: skip it
+
+
 #: How far back repair_torn_tail looks for the final line boundary.
 _TAIL_CHUNK_BYTES = 1 << 20
 
 
+def _read_tail(path: Path, size: int) -> "tuple[int, bytes]":
+    """``(offset, data)`` of the final chunk of ``path``."""
+    with open(path, "rb") as handle:
+        if size > _TAIL_CHUNK_BYTES:
+            handle.seek(size - _TAIL_CHUNK_BYTES)
+        data = handle.read()
+    return size - len(data), data
+
+
 def repair_torn_tail(source: Union["ResultStore", PathLike]) -> bool:
-    """Repair the tail of a JSONL store left behind by a crash.
+    """Repair the tail of a JSONL or CSV store left behind by a crash.
 
     Appending to a file whose last write was torn would weld the next
     record onto the torn fragment and corrupt the stream, so resume paths
     call this before reopening a store for append.  Two crash artifacts are
     handled, both touching only the final line:
 
-    * an undecodable final line (torn mid-record) is truncated away;
-    * a decodable final line missing its terminating newline (torn between
-      the record and the ``\\n``) gets the newline appended.
+    * an unparseable final line (torn mid-record: undecodable JSON, or a
+      CSV row with fewer fields than the header) is truncated away;
+    * a parseable final line missing its terminating newline (torn between
+      the record and the line ending) gets the terminator appended.
 
-    CSV files and intact files are left untouched.
+    Intact files are left untouched.  (Store rows never contain embedded
+    newlines — both writers flatten values to scalars — so line-based tail
+    inspection is safe for CSV too.)
 
     Returns:
         True when the tail was repaired.
     """
     path = source.path if isinstance(source, ResultStore) else Path(source)
-    if path.suffix.lower() == ".csv" or not path.is_file():
+    if not path.is_file():
         return False
     size = path.stat().st_size
     if size == 0:
         return False
-    with open(path, "rb") as handle:
-        if size > _TAIL_CHUNK_BYTES:
-            handle.seek(size - _TAIL_CHUNK_BYTES)
-        data = handle.read()
-    offset = size - len(data)
+    if path.suffix.lower() == ".csv":
+        return _repair_csv_tail(path, size)
+    offset, data = _read_tail(path, size)
     stripped = data.rstrip(b"\r\n\t ")
     if not stripped:
         return False
@@ -287,6 +342,48 @@ def repair_torn_tail(source: Union["ResultStore", PathLike]) -> bool:
     # Complete record, torn newline: terminate it so appends start fresh.
     with open(path, "ab") as handle:
         handle.write(b"\n")
+    return True
+
+
+def _repair_csv_tail(path: Path, size: int) -> bool:
+    """CSV flavour of :func:`repair_torn_tail`.
+
+    A final row with fewer fields than the header is truncated away; a
+    complete final row missing its ``\\r\\n`` terminator gets one appended
+    (normalising a dangling ``\\r`` torn between the two bytes).  A lone
+    header line is assumed complete — only its terminator is repaired.
+    """
+    with open(path, "rb") as handle:
+        header_bytes = handle.readline()
+    offset, data = _read_tail(path, size)
+    stripped = data.rstrip(b"\r\n\t ")
+    if not stripped:
+        return False
+    newline_index = stripped.rfind(b"\n")
+    if newline_index < 0 and offset > 0:
+        return False  # last line longer than the tail window: don't guess
+    last_line = stripped[newline_index + 1 :]
+    is_header_line = offset == 0 and newline_index < 0
+    if not is_header_line:
+        try:
+            header = next(csv.reader([header_bytes.decode("utf-8")]))
+            fields = next(csv.reader([last_line.decode("utf-8")]))
+        except (UnicodeDecodeError, StopIteration, csv.Error):
+            # csv.Error covers NUL bytes in the torn row (Python <= 3.10
+            # rejects them; it is not a ValueError subclass).
+            fields = header = None
+        if fields is None or len(fields) != len(header):
+            keep = offset + (0 if newline_index < 0 else newline_index + 1)
+            with open(path, "rb+") as handle:
+                handle.truncate(keep)
+            return True
+    if data.endswith(b"\n"):
+        return False
+    # Complete row, torn terminator: drop any dangling '\r' and re-terminate.
+    with open(path, "rb+") as handle:
+        handle.truncate(offset + len(stripped))
+        handle.seek(0, 2)
+        handle.write(b"\r\n")
     return True
 
 

@@ -10,7 +10,10 @@ means exact bit-for-bit equality, not tolerance-based closeness.
 
 from __future__ import annotations
 
+import importlib.util
 import json
+import pathlib
+import sys
 
 import pytest
 
@@ -114,6 +117,70 @@ class TestConfigurationParity:
         assert _scalar_records(scenarios, config=config) == _batch_records(
             scenarios, config=config
         )
+
+
+_EXAMPLE_MODULE = None
+
+
+def _custom_packaging_example():
+    """Import examples/custom_packaging.py once, registering its architecture."""
+    global _EXAMPLE_MODULE
+    if _EXAMPLE_MODULE is None:
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / "custom_packaging.py"
+        )
+        spec = importlib.util.spec_from_file_location("custom_packaging_example", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module  # dataclasses resolve cls.__module__
+        spec.loader.exec_module(module)
+        _EXAMPLE_MODULE = module
+    return _EXAMPLE_MODULE
+
+
+class TestOutOfTreeArchitecture:
+    """The example plugin architecture meets the same parity bar as built-ins."""
+
+    def test_example_registers_through_the_public_api(self):
+        _custom_packaging_example()
+        from repro.packaging.registry import packaging_names, spec_from_dict
+
+        assert "organic_bridge" in packaging_names()
+        example = _custom_packaging_example()
+        assert isinstance(spec_from_dict({"type": "ofb"}), example.OrganicBridgeSpec)
+
+    def test_plugin_architecture_bit_identical_across_backends(self):
+        example = _custom_packaging_example()
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-3chiplet", "emr-2chiplet"],
+                "packaging": [
+                    "organic_bridge",
+                    {"type": "ofb", "substrate_layers": 7, "bridge_range_mm": 2.0},
+                    "rdl_fanout",
+                ],
+                "carbon_sources": ["coal", "wind"],
+                "lifetimes": [2, 6],
+            }
+        )
+        scenarios = spec.expand()
+        scalar = _scalar_records(scenarios)
+        batch = _batch_records(scenarios)
+        assert scalar == batch
+        pure = BatchEstimator(use_numpy=False).evaluate(scenarios)
+        assert scalar == pure
+        assert any(r["packaging"] == example.OrganicBridgeModel.architecture for r in scalar)
+
+    def test_plugin_spec_subclass_still_resolves(self):
+        example = _custom_packaging_example()
+        from repro.packaging.registry import build_packaging_model
+
+        class TweakedSpec(example.OrganicBridgeSpec):
+            pass
+
+        model = build_packaging_model(TweakedSpec())
+        assert isinstance(model, example.OrganicBridgeModel)
 
 
 class TestScenarioOrdering:
@@ -337,6 +404,135 @@ class TestResume:
         )
         with _pytest.raises(Exception):
             completed_scenario_ids(path)
+
+
+class TestCsvResume:
+    """CSV stores survive the same crash artifacts as JSONL ones."""
+
+    @staticmethod
+    def _seed_store(tmp_path, count):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        path = tmp_path / "crashed.csv"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with CsvResultStore(path) as store:
+            engine.run(scenarios[:count], store=store)
+        return scenarios, path, engine
+
+    def test_resume_tolerates_torn_final_csv_row(self, tmp_path):
+        # A crash mid-append leaves a row with fewer fields than the
+        # header; resume must treat it as not-yet-evaluated instead of
+        # counting (or choking on) the fragment.
+        scenarios, path, _ = self._seed_store(tmp_path, 4)
+        with open(path, "a", encoding="utf-8", newline="") as handle:
+            handle.write("4,ga102-3chiplet,7.0;7.0")  # torn: no newline
+        assert completed_scenario_ids(path) == {0, 1, 2, 3}
+
+    def test_resume_repairs_torn_csv_tail_before_appending(self, tmp_path):
+        # Appending after a torn row (which has no newline) would weld the
+        # next record onto the fragment; run(resume=...) must truncate it.
+        scenarios, path, engine = self._seed_store(tmp_path, 4)
+        intact = path.read_bytes()
+        with open(path, "ab") as handle:
+            handle.write(b"4,ga102-3chiplet,7.0;7.0")
+        with CsvResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.skipped_count == 4
+        assert path.read_bytes().startswith(intact)  # fragment gone, rows intact
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+        assert completed_scenario_ids(path) == {s.index for s in scenarios}
+
+    def test_resume_repairs_missing_final_csv_newline(self, tmp_path):
+        # A crash can also tear *between* the record and its line ending:
+        # the last row parses fine but is unterminated, and a naive append
+        # would weld the next record onto it.
+        from repro.sweep.store import repair_torn_tail
+
+        scenarios, path, engine = self._seed_store(tmp_path, 4)
+        content = path.read_bytes()
+        assert content.endswith(b"\r\n")
+        path.write_bytes(content[:-1])  # cut only the '\n', leaving a bare '\r'
+        assert repair_torn_tail(path) is True
+        assert path.read_bytes() == content
+        assert repair_torn_tail(path) is False  # idempotent
+        with CsvResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.skipped_count == 4
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_resumed_csv_equals_uninterrupted_run(self, tmp_path):
+        scenarios = SweepSpec.preset("ga102-quick").expand()
+        full = tmp_path / "full.csv"
+        with CsvResultStore(full) as store:
+            SweepEngine(jobs=1).run(scenarios, store=store)
+        part = tmp_path / "part.csv"
+        engine = SweepEngine(jobs=1, backend="batch")
+        with CsvResultStore(part) as store:
+            engine.run(scenarios[:7], store=store)
+        with open(part, "ab") as handle:
+            handle.write(b"7,ga102-3chiplet")  # torn row from the "crash"
+        with CsvResultStore(part, append=True) as store:
+            engine.run(scenarios, store=store, resume=part)
+        by_id = {r["scenario"]: r for r in load_records(part)}
+        for record in load_records(full):
+            assert by_id[record["scenario"]] == record
+
+    def test_cli_csv_resume_repairs_torn_tail(self, tmp_path, capsys):
+        scenarios, path, _ = self._seed_store(tmp_path, 3)
+        with open(path, "ab") as handle:
+            handle.write(b"3,ga102-3chiplet,7.0")
+        code = main(
+            ["sweep", "--preset", "ga102-quick", "--backend", "batch",
+             "--resume", str(path), "--quiet"]
+        )
+        assert code == 0
+        assert "repaired torn tail" in capsys.readouterr().out
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_csv_resume_tolerates_nul_padded_torn_row(self, tmp_path):
+        # Power-loss crashes can leave NUL padding in the torn final row;
+        # Python <= 3.10's csv module raises on NULs, so both the repair
+        # path and the tolerant reader must treat the row as unwritten
+        # rather than crash on the file they exist to rescue.
+        from repro.sweep.store import repair_torn_tail
+
+        scenarios, path, engine = self._seed_store(tmp_path, 4)
+        intact = path.read_bytes()
+        with open(path, "ab") as handle:
+            handle.write(b"4,ga102-3chiplet,\x00\x00\x00\x00")
+        assert completed_scenario_ids(path) == {0, 1, 2, 3}
+        assert repair_torn_tail(path) is True
+        assert path.read_bytes() == intact
+        with CsvResultStore(path, append=True) as store:
+            summary = engine.run(scenarios, store=store, resume=path)
+        assert summary.skipped_count == 4
+        records = load_records(path)
+        assert sorted(r["scenario"] for r in records) == [s.index for s in scenarios]
+
+    def test_csv_resume_still_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text(
+            "scenario,total_carbon_g\r\n0\r\n1,2.5\r\n",  # short row mid-file
+            encoding="utf-8",
+            newline="",
+        )
+        with pytest.raises(ValueError):
+            completed_scenario_ids(path)
+
+    def test_empty_and_header_only_csv_files(self, tmp_path):
+        from repro.sweep.store import repair_torn_tail
+
+        empty = tmp_path / "empty.csv"
+        empty.write_bytes(b"")
+        assert repair_torn_tail(empty) is False
+        assert completed_scenario_ids(empty) == set()
+        header_only = tmp_path / "header.csv"
+        header_only.write_bytes(b"scenario,total_carbon_g")  # unterminated header
+        assert repair_torn_tail(header_only) is True
+        assert header_only.read_bytes() == b"scenario,total_carbon_g\r\n"
+        assert completed_scenario_ids(header_only) == set()
 
 
 class TestCostRoundTrip:

@@ -8,7 +8,6 @@ import pytest
 
 from repro.cli import main
 from repro.core.chiplet import Chiplet
-from repro.core.estimator import EcoChip
 from repro.core.system import ChipletSystem
 from repro.cost.model import ChipletCostModel
 from repro.io.writers import write_report

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.core.explorer import DesignSpaceExplorer

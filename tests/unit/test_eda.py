@@ -4,11 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.design.eda import (
-    DEFAULT_TRANSISTORS_PER_GATE,
-    SPRTimeModel,
-    gates_from_transistors,
-)
+from repro.design.eda import SPRTimeModel, gates_from_transistors
 
 
 @pytest.fixture(scope="module")

@@ -197,6 +197,73 @@ class TestSkylineCorrectness:
         assert pareto_front(points, ["a", "b"]) == points
 
 
+class TestSkylineBlockNestedLoop:
+    """The k>=3 block-nested-loop branch (_skyline_bnl) specifically."""
+
+    OBJ3 = ["a", "b", "c"]
+
+    def test_exact_duplicates_survive_together(self):
+        points = [
+            _Vector({"a": 1.0, "b": 2.0, "c": 3.0}),
+            _Vector({"a": 1.0, "b": 2.0, "c": 3.0}),
+            _Vector({"a": 2.0, "b": 3.0, "c": 4.0}),
+        ]
+        assert pareto_front(points, self.OBJ3) == points[:2]
+
+    def test_duplicated_dominated_points_all_dropped(self):
+        points = [
+            _Vector({"a": 1.0, "b": 1.0, "c": 1.0}),
+            _Vector({"a": 5.0, "b": 5.0, "c": 5.0}),
+            _Vector({"a": 5.0, "b": 5.0, "c": 5.0}),
+        ]
+        assert pareto_front(points, self.OBJ3) == points[:1]
+
+    def test_tie_on_two_objectives_third_decides(self):
+        # Equal a and b; strictly better c dominates.
+        points = [
+            _Vector({"a": 1.0, "b": 1.0, "c": 2.0}),
+            _Vector({"a": 1.0, "b": 1.0, "c": 1.0}),
+        ]
+        assert pareto_front(points, self.OBJ3) == [points[1]]
+
+    def test_tie_plane_is_an_antichain(self):
+        # All points share c; (a, b) form an anti-chain, so all survive.
+        points = [
+            _Vector({"a": float(i), "b": float(10 - i), "c": 7.0}) for i in range(10)
+        ]
+        assert pareto_front(points, self.OBJ3) == points
+
+    def test_tie_breaks_through_the_sort_order(self):
+        # Lexicographically earlier point dominating a later one that ties
+        # on the first objective — exercises the window's early-entry path.
+        points = [
+            _Vector({"a": 1.0, "b": 4.0, "c": 4.0}),
+            _Vector({"a": 1.0, "b": 2.0, "c": 2.0}),
+            _Vector({"a": 1.0, "b": 2.0, "c": 3.0}),
+        ]
+        assert pareto_front(points, self.OBJ3) == [points[1]]
+
+    @pytest.mark.parametrize("objective_count", [3, 4, 5])
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_agrees_with_brute_force_under_duplicates_and_ties(
+        self, objective_count, seed
+    ):
+        import random
+
+        rng = random.Random(seed)
+        names = [f"o{i}" for i in range(objective_count)]
+        # A coarse value grid forces many exact duplicates and axis ties;
+        # explicit copies of sampled points add duplicates split across the
+        # input order.
+        points = [
+            _Vector({name: float(rng.randint(0, 3)) for name in names})
+            for _ in range(300)
+        ]
+        points += [_Vector(dict(p.values)) for p in rng.sample(points, 30)]
+        expected = _naive_front(points, names)
+        assert pareto_front(points, names) == expected
+
+
 class TestBestConstraints:
     def test_unknown_constraint_objective_raises_key_error(self, explorer, points):
         with pytest.raises(KeyError, match="unknown objective"):

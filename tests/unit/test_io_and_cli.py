@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.core.chiplet import Chiplet
 from repro.io.loaders import load_design_directory, load_system_from_dict
 from repro.io.writers import report_to_json, write_report
 from repro.packaging.bridge import SiliconBridgeSpec
@@ -141,6 +140,15 @@ class TestCli:
         assert main(["--list-testcases"]) == 0
         out = capsys.readouterr().out
         assert "ga102-3chiplet" in out
+
+    def test_list_packaging_is_registry_driven(self, capsys):
+        assert main(["--list-packaging"]) == 0
+        out = capsys.readouterr().out
+        # one line per registered architecture, with aliases and spec class
+        for name in ("monolithic", "rdl_fanout", "silicon_bridge", "3d_stack"):
+            assert name in out
+        assert "emib" in out
+        assert "SiliconBridgeSpec" in out
 
     def test_run_builtin_testcase(self, capsys):
         assert main(["--testcase", "a15-3chiplet"]) == 0

@@ -8,7 +8,6 @@ import pytest
 
 from repro.technology.nodes import (
     DEFAULT_TECHNOLOGY_TABLE,
-    TechnologyNode,
     TechnologyTable,
     _normalise_node_key,
 )

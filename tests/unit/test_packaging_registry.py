@@ -13,7 +13,17 @@ from repro.packaging.interposer import (
 )
 from repro.packaging.monolithic import MonolithicModel, MonolithicSpec
 from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec
-from repro.packaging.registry import PACKAGING_SPECS, build_packaging_model, spec_from_dict
+from repro.packaging.registry import (
+    PACKAGING_SPECS,
+    build_packaging_model,
+    describe_packaging,
+    is_monolithic_spec,
+    model_class_for_spec,
+    packaging_names,
+    register_packaging,
+    registered_packaging,
+    spec_from_dict,
+)
 from repro.packaging.threed import ThreeDStackModel, ThreeDStackSpec
 
 
@@ -89,3 +99,123 @@ class TestSpecFromDict:
         for alias in PACKAGING_SPECS:
             spec = spec_from_dict({"type": alias})
             assert spec is not None
+
+
+class TestMROAwareLookup:
+    """Subclassed specs must resolve to their parent's registered model."""
+
+    def test_spec_subclass_builds_parent_model(self):
+        # Regression: build_packaging_model used an exact-type(spec) lookup,
+        # so subclassing a spec dataclass (extra helpers, different
+        # defaults) broke model construction.
+        class TunedRDLSpec(RDLFanoutSpec):
+            pass
+
+        spec = TunedRDLSpec(layers=4)
+        model = build_packaging_model(spec)
+        assert isinstance(model, RDLFanoutModel)
+        assert model.spec is spec
+        assert model.spec.layers == 4
+
+    def test_registered_subclass_wins_over_parent(self):
+        class NichePassiveSpec(PassiveInterposerSpec):
+            pass
+
+        class NichePassiveModel(PassiveInterposerModel):
+            architecture = "niche_passive"
+
+        register_packaging("niche_passive", NichePassiveSpec, NichePassiveModel)
+        assert isinstance(build_packaging_model(NichePassiveSpec()), NichePassiveModel)
+        # the parent spec still resolves to the parent model
+        assert type(build_packaging_model(PassiveInterposerSpec())) is PassiveInterposerModel
+
+    def test_model_class_for_spec_walks_the_mro(self):
+        class DeepSpec(SiliconBridgeSpec):
+            pass
+
+        class DeeperSpec(DeepSpec):
+            pass
+
+        assert model_class_for_spec(DeeperSpec) is SiliconBridgeModel
+        assert model_class_for_spec(object) is None
+
+    def test_is_monolithic_spec_follows_the_mro(self):
+        class MonoVariantSpec(MonolithicSpec):
+            pass
+
+        assert is_monolithic_spec(MonoVariantSpec())
+        assert not is_monolithic_spec(ThreeDStackSpec())
+        assert not is_monolithic_spec(object())
+
+
+class TestRegisterPackaging:
+    def test_registered_entries_cover_the_builtins(self):
+        names = {entry.name for entry in registered_packaging()}
+        assert {
+            "monolithic",
+            "rdl_fanout",
+            "silicon_bridge",
+            "passive_interposer",
+            "active_interposer",
+            "3d_stack",
+        } <= names
+
+    def test_packaging_names_with_and_without_aliases(self):
+        canonical = packaging_names()
+        with_aliases = packaging_names(include_aliases=True)
+        assert set(canonical) <= set(with_aliases)
+        assert "emib" in with_aliases and "emib" not in canonical
+
+    def test_describe_packaging_lists_aliases_and_spec(self):
+        lines = "\n".join(describe_packaging())
+        assert "silicon_bridge" in lines
+        assert "emib" in lines
+        assert "SiliconBridgeSpec" in lines
+
+    def test_reregistering_the_same_entry_is_idempotent(self):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class IdemSpec:
+            layers: int = 1
+
+        class IdemModel(RDLFanoutModel):
+            architecture = "idem_arch"
+
+        first = register_packaging("idem_arch", IdemSpec, IdemModel, aliases=("idem",))
+        second = register_packaging("idem_arch", IdemSpec, IdemModel, aliases=("idem",))
+        assert first == second
+
+    def test_conflicting_name_rejected(self):
+        class ImpostorSpec:
+            pass
+
+        class ImpostorModel(RDLFanoutModel):
+            pass
+
+        with pytest.raises(ValueError):
+            register_packaging("rdl_fanout", ImpostorSpec, ImpostorModel)
+
+    def test_conflicting_alias_rejected(self):
+        class OtherSpec:
+            pass
+
+        class OtherModel(RDLFanoutModel):
+            pass
+
+        with pytest.raises(ValueError):
+            register_packaging("brand_new_arch", OtherSpec, OtherModel, aliases=("emib",))
+
+    def test_non_model_class_rejected(self):
+        with pytest.raises(TypeError):
+            register_packaging("bogus_arch", RDLFanoutSpec, object)
+        with pytest.raises(TypeError):
+            register_packaging("bogus_arch", RDLFanoutSpec(), RDLFanoutModel)
+
+    def test_unknown_spec_error_names_registered_architectures(self):
+        with pytest.raises(TypeError, match="rdl_fanout"):
+            build_packaging_model(object())
+
+    def test_spec_from_dict_error_names_registered_architectures(self):
+        with pytest.raises(KeyError, match="silicon_bridge"):
+            spec_from_dict({"type": "wire-bond"})

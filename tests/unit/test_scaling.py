@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.technology.scaling import AreaScalingModel, DesignType
+from repro.technology.scaling import DesignType
 
 
 class TestDesignTypeParsing:
