@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
@@ -68,6 +68,16 @@ class OrganicBridgeSpec:
         bridge_range_mm: Die-edge length one strip can serve.
         phy_lanes: Die-to-die PHY lanes per chiplet interface.
     """
+
+    #: Sweepable parameter axes: sweep specs may expand any of these via a
+    #: packaging entry's ``params`` key (the registry validates names).
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = (
+        "substrate_layers",
+        "substrate_technology_nm",
+        "bridge_layers",
+        "bridge_range_mm",
+        "phy_lanes",
+    )
 
     substrate_layers: int = 5
     substrate_technology_nm: float = 65.0
@@ -274,7 +284,15 @@ def main() -> None:
             "nodes": [7, 14],
             "packaging": [
                 "organic_bridge",
-                {"type": "ofb", "substrate_layers": 7, "bridge_range_mm": 2.0},
+                # Per-architecture parameter axes: the registry expands this
+                # entry into one concrete config per (layers, range) pair.
+                {
+                    "type": "ofb",
+                    "params": {
+                        "substrate_layers": [5, 7],
+                        "bridge_range_mm": [2.0, 3.0],
+                    },
+                },
                 "rdl_fanout",
                 "silicon_bridge",
             ],
@@ -286,8 +304,13 @@ def main() -> None:
     scalar = list(SweepEngine(jobs=1).iter_records(scenarios))
     batch = list(SweepEngine(jobs=1, backend="batch").iter_records(scenarios))
     assert scalar == batch, "batch backend diverged from the scalar pipeline"
+    # Worker processes auto-import this plugin module (the engine ships the
+    # registry's plugin-module snapshot through the pool initializer), so
+    # parallel sweeps see the out-of-tree architecture too.
+    parallel = list(SweepEngine(jobs=2, backend="batch").iter_records(scenarios))
+    assert parallel == scalar, "parallel workers diverged from the serial pipeline"
     print(
-        f"{len(scenarios)} scenarios: scalar and batch records are "
+        f"{len(scenarios)} scenarios: scalar, batch and jobs=2 records are "
         "bit-identical for the plugged-in architecture"
     )
 

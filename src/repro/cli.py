@@ -68,8 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-packaging",
         action="store_true",
         help=(
-            "List the registered packaging architectures (with aliases and "
-            "spec classes) and exit"
+            "List the registered packaging architectures (with aliases, spec "
+            "classes and sweepable param axes, including entry-point plugins) "
+            "and exit"
         ),
     )
     parser.add_argument(
@@ -153,7 +154,10 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         description=(
             "Evaluate a declarative scenario grid (nodes x packaging x fab "
             "sources x lifetimes x volumes) in parallel, streaming results "
-            "to a JSONL/CSV file."
+            "to a JSONL/CSV file.  Packaging entries may sweep "
+            "per-architecture parameter axes: "
+            "{\"type\": \"bridge\", \"params\": {\"bridge_range_mm\": [2, 4]}} "
+            "(see 'eco-chip --list-packaging' for each architecture's axes)."
         ),
     )
     source = parser.add_mutually_exclusive_group()

@@ -32,7 +32,7 @@ from repro.fastpath.compiled import (
 )
 from repro.packaging.base import _TO_MM2
 from repro.sweep.engine import _source_name
-from repro.sweep.spec import Scenario
+from repro.sweep.spec import Scenario, packaging_params_json
 from repro.technology.carbon_sources import carbon_intensity
 from repro.technology.nodes import TechnologyTable
 
@@ -235,6 +235,7 @@ class BatchEstimator:
             "base": scenario.base_ref,
             "nodes": list(template.node_values),
             "packaging": template.architecture,
+            "packaging_params": packaging_params_json(scenario.packaging),
             "fab_source": terms.fab_label,
             "lifetime_years": lifetime,
             "system_volume": system_volume,

@@ -55,7 +55,7 @@ from repro.design.eda import gates_from_transistors
 from repro.floorplan.slicing import FloorplanResult, SlicingFloorplanner
 from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingTerms
 from repro.packaging.registry import build_packaging_model, spec_from_dict
-from repro.sweep.spec import resolve_base
+from repro.sweep.spec import packaging_signature, resolve_base
 from repro.technology.nodes import TechnologyTable, _normalise_node_key
 
 __all__ = [
@@ -216,13 +216,11 @@ class CompiledSystem:
 # ---------------------------------------------------------------------------
 # The compiler
 # ---------------------------------------------------------------------------
-def packaging_signature(packaging: Optional[Mapping[str, Any]]) -> Optional[Tuple]:
-    """Hashable canonical form of a scenario packaging-override dict."""
-    if packaging is None:
-        return None
-    return tuple(sorted((str(key), repr(value)) for key, value in packaging.items()))
-
-
+#: Template keys carry the *full* parameterised packaging spec: the
+#: packaging component is :func:`repro.sweep.spec.packaging_signature` of
+#: the concrete override dict, so two scenarios that differ in any
+#: param-axis value (``bridge_range_mm``, ``layers``, ...) compile to
+#: distinct templates while scenarios sharing every value share one.
 TemplateKey = Tuple[str, str, Optional[Tuple[float, ...]], Optional[Tuple]]
 
 

@@ -46,16 +46,24 @@ from repro.packaging.interposer import (
 from repro.packaging.monolithic import MonolithicModel, MonolithicSpec, MonolithicTerms
 from repro.packaging.rdl import RDLFanoutModel, RDLFanoutSpec, RDLFanoutTerms
 from repro.packaging.registry import (
+    CORE_SWEEP_AXES,
+    ENTRY_POINT_GROUP,
     PACKAGING_SPECS,
+    PackagingPluginError,
     RegisteredPackaging,
     build_packaging_model,
     describe_packaging,
+    expand_packaging_params,
+    import_plugin_modules,
     is_monolithic_spec,
+    load_entry_point_plugins,
     model_class_for_spec,
     packaging_names,
+    plugin_modules,
     register_packaging,
     registered_packaging,
     spec_from_dict,
+    sweepable_params,
 )
 from repro.packaging.threed import (
     BondType,
@@ -84,16 +92,24 @@ __all__ = [
     "RDLFanoutModel",
     "RDLFanoutSpec",
     "RDLFanoutTerms",
+    "CORE_SWEEP_AXES",
+    "ENTRY_POINT_GROUP",
     "PACKAGING_SPECS",
+    "PackagingPluginError",
     "RegisteredPackaging",
     "build_packaging_model",
     "describe_packaging",
+    "expand_packaging_params",
+    "import_plugin_modules",
     "is_monolithic_spec",
+    "load_entry_point_plugins",
     "model_class_for_spec",
     "packaging_names",
+    "plugin_modules",
     "register_packaging",
     "registered_packaging",
     "spec_from_dict",
+    "sweepable_params",
     "BondType",
     "ThreeDStackModel",
     "ThreeDStackSpec",

@@ -29,6 +29,14 @@ the compiler and the estimator never special-case concrete classes: a new
 architecture registered through
 :func:`repro.packaging.registry.register_packaging` — even from outside
 this package — is picked up by every layer the moment it registers.
+
+The *spec dataclass* side of the contract is declarative too: every
+``init`` field of a registered spec is a sweepable parameter axis that
+sweep specs may expand over (``packaging: {type: ..., params: {field:
+[v1, v2]}}``); a spec narrows the sweepable set with a ``SWEEP_PARAMS``
+class attribute (a tuple of field names, validated at registration).  See
+:func:`repro.packaging.registry.sweepable_params` and
+:func:`repro.packaging.registry.expand_packaging_params`.
 """
 
 from __future__ import annotations

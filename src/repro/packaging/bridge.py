@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
@@ -61,6 +61,16 @@ class SiliconBridgeSpec:
             edges need additional bridges.
         phy_lanes: Die-to-die PHY lanes per chiplet interface.
     """
+
+    #: Sweepable parameter axes (see ``repro.packaging.registry``): a sweep
+    #: spec may put any of these under a packaging entry's ``params`` key.
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = (
+        "bridge_layers",
+        "bridge_technology_nm",
+        "bridge_area_mm2",
+        "bridge_range_mm",
+        "phy_lanes",
+    )
 
     bridge_layers: int = 4
     bridge_technology_nm: float = 22.0

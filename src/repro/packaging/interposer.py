@@ -22,7 +22,7 @@ Carbon accounting, following Section III-D(1c, 1d) and III-D(2):
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
@@ -49,6 +49,14 @@ class PassiveInterposerSpec:
             operational communication power.
     """
 
+    #: Sweepable parameter axes (see ``repro.packaging.registry``): a sweep
+    #: spec may put any of these under a packaging entry's ``params`` key.
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = (
+        "technology_nm",
+        "beol_layers",
+        "router_injection_rate",
+    )
+
     technology_nm: float = 65.0
     beol_layers: int = 4
     router_injection_rate: float = 0.3
@@ -67,6 +75,13 @@ class PassiveInterposerSpec:
 @dataclasses.dataclass(frozen=True)
 class ActiveInterposerSpec:
     """Configuration of an active interposer (adds local FEOL router regions)."""
+
+    #: Sweepable parameter axes (see ``repro.packaging.registry``).
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = (
+        "technology_nm",
+        "beol_layers",
+        "router_injection_rate",
+    )
 
     technology_nm: float = 65.0
     beol_layers: int = 4

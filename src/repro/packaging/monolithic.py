@@ -10,7 +10,7 @@ systems run through exactly the same estimator pipeline.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
@@ -28,6 +28,9 @@ from repro.technology.nodes import NodeKey, TechnologyTable
 @dataclasses.dataclass(frozen=True)
 class MonolithicSpec:
     """Configuration of the monolithic baseline (no parameters)."""
+
+    #: The baseline has no knobs, hence no sweepable parameter axes.
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = ()
 
 
 class MonolithicTerms(PackagingTerms):

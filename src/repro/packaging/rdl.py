@@ -17,7 +17,7 @@ reports so the estimator can fold it into the chiplet silicon.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.noc.orion import RouterSpec
@@ -59,6 +59,10 @@ class RDLFanoutSpec:
         technology_nm: Node the RDL is patterned in (Table I: 22–65 nm).
         phy_lanes: Die-to-die PHY lanes per chiplet interface.
     """
+
+    #: Sweepable parameter axes (see ``repro.packaging.registry``): a sweep
+    #: spec may put any of these under a packaging entry's ``params`` key.
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = ("layers", "technology_nm", "phy_lanes")
 
     layers: int = 6
     technology_nm: float = 65.0

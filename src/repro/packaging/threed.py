@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Optional, Sequence, Tuple
 
 from repro.floorplan.slicing import FloorplanResult
 from repro.manufacturing.yield_model import bonding_yield
@@ -105,6 +105,15 @@ class ThreeDStackSpec:
             by the dense connection array (1.0 = full-area array at minimum
             pitch, the paper's assumption).
     """
+
+    #: Sweepable parameter axes (see ``repro.packaging.registry``): a sweep
+    #: spec may put any of these under a packaging entry's ``params`` key
+    #: (``bond_type`` values may be names, e.g. ``["microbump", "hybrid"]``).
+    SWEEP_PARAMS: ClassVar[Tuple[str, ...]] = (
+        "bond_type",
+        "pitch_um",
+        "connection_fill_factor",
+    )
 
     bond_type: "BondType | str" = BondType.MICROBUMP
     pitch_um: Optional[float] = None

@@ -16,11 +16,20 @@ repeat — e.g. the analog chiplet's manufacturing CFP is identical in every
 scenario that keeps it at 14 nm — so the cache collapses the grid's cost
 from ``scenarios x chiplets`` kernel runs to the number of *distinct*
 kernel inputs.
+
+Out-of-tree packaging architectures work at any ``jobs`` value: every pool
+initializer receives the registry's plugin-module snapshot
+(:func:`repro.packaging.registry.plugin_modules`) and re-imports it in the
+worker (:func:`repro.packaging.registry.import_plugin_modules`), so
+scenario packaging dicts referencing plugin architectures resolve in worker
+processes under any multiprocessing start method — including ``spawn``,
+where workers do not inherit the parent's registry state.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
@@ -30,6 +39,7 @@ from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
 from repro.design.eda import DEFAULT_DESIGN_ITERATIONS
+from repro.packaging.registry import import_plugin_modules, plugin_modules
 from repro.sweep.spec import Scenario, SweepSpec, resolve_base
 from repro.sweep.store import (
     ResultStore,
@@ -40,6 +50,9 @@ from repro.technology.nodes import TechnologyTable
 from repro.technology.scaling import DesignType
 
 Record = Dict[str, Any]
+
+#: Plugin-module snapshot shipped to worker initializers.
+PluginModules = Tuple[Tuple[str, Optional[str]], ...]
 
 
 # ---------------------------------------------------------------------------
@@ -274,9 +287,13 @@ _EVALUATOR: Optional[_ScenarioEvaluator] = None
 
 
 def _init_worker(
-    default_config: Optional[EstimatorConfig], memoize: bool, include_cost: bool = False
+    default_config: Optional[EstimatorConfig],
+    memoize: bool,
+    include_cost: bool = False,
+    plugins: PluginModules = (),
 ) -> None:
     global _EVALUATOR
+    import_plugin_modules(plugins)
     _EVALUATOR = _ScenarioEvaluator(default_config, memoize, include_cost)
 
 
@@ -290,11 +307,14 @@ _BATCH_EVALUATOR: Optional[Any] = None
 
 
 def _init_batch_worker(
-    default_config: Optional[EstimatorConfig], include_cost: bool
+    default_config: Optional[EstimatorConfig],
+    include_cost: bool,
+    plugins: PluginModules = (),
 ) -> None:
     global _BATCH_EVALUATOR
     from repro.fastpath import BatchEstimator
 
+    import_plugin_modules(plugins)
     _BATCH_EVALUATOR = BatchEstimator(config=default_config, include_cost=include_cost)
 
 
@@ -417,6 +437,11 @@ class SweepEngine:
             magnitude faster on repetitive grids.
         include_cost: Add ``cost_usd`` (the Chiplet-Actuary-style dollar
             cost) to every record.
+        mp_context: Multiprocessing start method for worker pools
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+            platform default.  Workers re-import out-of-tree packaging
+            plugins in their initializer, so plugin sweeps work under every
+            start method.
     """
 
     def __init__(
@@ -427,6 +452,7 @@ class SweepEngine:
         config: Optional[EstimatorConfig] = None,
         backend: str = "scalar",
         include_cost: bool = True,
+        mp_context: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -436,14 +462,38 @@ class SweepEngine:
             raise ValueError(
                 f"unknown backend {backend!r}; known backends: {list(BACKENDS)}"
             )
+        if mp_context is not None:
+            known = multiprocessing.get_all_start_methods()
+            if mp_context not in known:
+                raise ValueError(
+                    f"unknown multiprocessing start method {mp_context!r}; "
+                    f"available on this platform: {known}"
+                )
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.memoize = memoize
         self.config = config
         self.backend = backend
         self.include_cost = include_cost
+        self.mp_context = mp_context
         #: Kernel-cache stats of the last serial run (None after parallel runs).
         self.last_cache_stats: Optional[KernelCacheStats] = None
+
+    def _pool(
+        self, max_workers: int, initializer: Callable[..., None], initargs: Tuple
+    ) -> ProcessPoolExecutor:
+        """Worker pool with the engine's start method and plugin shipping."""
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
+        )
 
     # -- streaming ------------------------------------------------------------------
     def _resolve_scenarios(
@@ -480,10 +530,10 @@ class SweepEngine:
                 yield evaluator.evaluate(scenario)
             return
         chunks = shard(scenarios, self._chunk_size_for(len(scenarios)))
-        with ProcessPoolExecutor(
+        with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_worker,
-            initargs=(self.config, self.memoize, self.include_cost),
+            initargs=(self.config, self.memoize, self.include_cost, plugin_modules()),
         ) as pool:
             for chunk_records in pool.map(_evaluate_chunk, chunks):
                 for record in chunk_records:
@@ -526,10 +576,10 @@ class SweepEngine:
         # Shard whole groups (not scenarios) so each template compiles in
         # exactly one worker; chunks keep the first-occurrence group order.
         chunks = shard(payload, max(1, -(-len(payload) // (self.jobs * 4))))
-        with ProcessPoolExecutor(
+        with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_batch_worker,
-            initargs=(self.config, self.include_cost),
+            initargs=(self.config, self.include_cost, plugin_modules()),
         ) as pool:
             for chunk_results in pool.map(_evaluate_batch_chunk, chunks):
                 for position, record in chunk_results:
@@ -637,8 +687,10 @@ def _init_system_worker(
     table: Optional[TechnologyTable],
     include_cost: bool,
     memoize: bool,
+    plugins: PluginModules = (),
 ) -> None:
     global _SYSTEM_EVALUATOR
+    import_plugin_modules(plugins)
     _SYSTEM_EVALUATOR = _SystemEvaluator(config, table, include_cost, memoize)
 
 
@@ -677,7 +729,7 @@ def evaluate_systems(
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(chunks)),
         initializer=_init_system_worker,
-        initargs=(config, table, include_cost, memoize),
+        initargs=(config, table, include_cost, memoize, plugin_modules()),
     ) as pool:
         for chunk_points in pool.map(_evaluate_system_chunk, chunks):
             points.extend(chunk_points)

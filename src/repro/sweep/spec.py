@@ -21,7 +21,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.core.disaggregation import all_node_configurations
 from repro.core.system import ChipletSystem
 from repro.io.loaders import load_design_directory
-from repro.packaging.registry import spec_from_dict
+from repro.packaging.registry import (
+    CORE_SWEEP_AXES,
+    canonical_packaging_name,
+    expand_packaging_params,
+    spec_from_dict,
+)
 from repro.technology.carbon_sources import carbon_intensity
 from repro.testcases.registry import get_testcase
 
@@ -30,6 +35,48 @@ PathLike = Union[str, Path]
 #: Base-system kinds a scenario can reference.
 BASE_TESTCASE = "testcase"
 BASE_DESIGN_DIR = "design_dir"
+
+
+def packaging_signature(packaging: Optional[Mapping[str, Any]]) -> Optional[Tuple]:
+    """Hashable canonical form of a scenario packaging-override dict.
+
+    Used as the packaging component of batch-template keys — two packaging
+    dicts with the same signature compile to (and share) one template — and
+    for duplicate detection on the spec's packaging axis, so parameterised
+    specs (dicts that differ only in a ``params``-expanded field value) stay
+    distinct.  The ``type`` value is resolved to its canonical architecture
+    name, so alias spellings (``"rdl"`` vs ``"rdl_fanout"``) compare — and
+    share templates — like the identical configs they are.
+    """
+    if packaging is None:
+        return None
+    return tuple(
+        sorted(
+            (
+                str(key),
+                repr(canonical_packaging_name(value)) if key == "type" else repr(value),
+            )
+            for key, value in packaging.items()
+        )
+    )
+
+
+def packaging_params_json(packaging: Optional[Mapping[str, Any]]) -> Optional[str]:
+    """Canonical JSON of a packaging override's non-``type`` keys.
+
+    This is the ``packaging_params`` record column: it distinguishes rows of
+    a per-architecture parameter-axis sweep that share an architecture name.
+    Keys are sorted so the string is deterministic; ``None`` when the
+    scenario has no packaging override or only a ``type`` key.  Both record
+    paths (:func:`repro.sweep.engine.make_record` and the batch backend's
+    ``_record``) call this helper so their bits cannot diverge.
+    """
+    if packaging is None:
+        return None
+    params = {key: packaging[key] for key in packaging if key != "type"}
+    if not params:
+        return None
+    return json.dumps(params, sort_keys=True, default=str)
 
 
 # ---------------------------------------------------------------------------
@@ -109,6 +156,7 @@ class Scenario:
             "packaging": (
                 str(self.packaging.get("type", "?")) if self.packaging is not None else None
             ),
+            "packaging_params": packaging_params_json(self.packaging),
             "fab_source": self.fab_source,
             "lifetime_years": self.lifetime_years,
             "system_volume": self.system_volume,
@@ -127,17 +175,31 @@ def resolve_base(base_kind: str, base_ref: str) -> ChipletSystem:
 # ---------------------------------------------------------------------------
 # SweepSpec: the declarative grid
 # ---------------------------------------------------------------------------
-_SPEC_KEYS = {
-    "name",
-    "testcases",
-    "design_dirs",
-    "nodes",
-    "node_configs",
-    "packaging",
-    "carbon_sources",
-    "lifetimes",
-    "system_volumes",
-}
+#: Accepted spec-dictionary keys: the core sweep axes (single-sourced from
+#: the packaging registry, which also rejects per-architecture param axes
+#: that shadow one of them) plus the spec name.
+_SPEC_KEYS = frozenset(CORE_SWEEP_AXES) | {"name"}
+
+
+def _reject_duplicate_axis_values(
+    axis: str, values: Sequence[Any], key: Optional[Any] = None
+) -> None:
+    """Raise when a sweep axis lists the same value twice.
+
+    Duplicate values silently inflate the grid (every downstream summary —
+    counts, bests, Pareto fronts — double-weights the duplicated point), so
+    they are rejected eagerly at spec construction.
+    """
+    seen = set()
+    for value in values:
+        marker = key(value) if key is not None else value
+        if marker in seen:
+            raise ValueError(
+                f"duplicate value {value!r} in sweep axis {axis!r}; duplicate "
+                f"axis values inflate the scenario grid and skew sweep "
+                f"summaries — list each value once"
+            )
+        seen.add(marker)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -156,7 +218,12 @@ class SweepSpec:
         design_dirs: ECO-CHIP design directories to use as base systems.
         nodes: Node choices for mix-and-match expansion.
         node_configs: Explicit node assignments (tuples, one per chiplet).
-        packaging: Packaging configurations (dicts with a ``type`` key).
+        packaging: Packaging configurations (dicts with a ``type`` key).  An
+            entry may declare per-architecture parameter axes under a
+            ``params`` key (``{"type": "bridge", "params":
+            {"bridge_range_mm": [2, 4]}}``); construction expands such
+            entries into one concrete config per value combination, so the
+            stored axis always holds concrete configs.
         carbon_sources: Fab energy sources to sweep.
         lifetimes: Lifetimes (years) to sweep.
         system_volumes: Manufacturing volumes ``NS`` to sweep.
@@ -183,10 +250,29 @@ class SweepSpec:
         for value in self.system_volumes:
             if value <= 0:
                 raise ValueError(f"system volumes must be positive, got {value}")
+        # Per-architecture parameter axes (packaging entries with a "params"
+        # key) expand into one concrete config per value combination; the
+        # registry validates axis names against the spec dataclass and
+        # rejects collisions with the core sweep axes.
+        expanded: List[Mapping[str, Any]] = []
+        for config in self.packaging:
+            expanded.extend(
+                expand_packaging_params(config, reserved_axes=CORE_SWEEP_AXES)
+            )
+        object.__setattr__(self, "packaging", tuple(expanded))
         for config in self.packaging:
             spec_from_dict(dict(config))  # validate eagerly: raises KeyError/TypeError
         for source in self.carbon_sources:
             carbon_intensity(source)  # validate eagerly
+        # No axis may list a value twice (duplicates inflate the grid).
+        _reject_duplicate_axis_values("testcases", self.testcases)
+        _reject_duplicate_axis_values("design_dirs", self.design_dirs)
+        _reject_duplicate_axis_values("nodes", self.nodes)
+        _reject_duplicate_axis_values("node_configs", self.node_configs)
+        _reject_duplicate_axis_values("packaging", self.packaging, key=packaging_signature)
+        _reject_duplicate_axis_values("carbon_sources", self.carbon_sources)
+        _reject_duplicate_axis_values("lifetimes", self.lifetimes)
+        _reject_duplicate_axis_values("system_volumes", self.system_volumes)
 
     # -- construction ---------------------------------------------------------------
     @classmethod

@@ -77,9 +77,10 @@ class CsvResultStore(ResultStore):
     ``;``-separated strings — with a trailing ``;`` marking one-element
     lists — so the file stays one row per scenario and round-trips through
     :func:`load_records`.  When appending to an existing file the header
-    already on disk wins: records are written in that column order, and a
-    record with keys the header does not know raises instead of silently
-    misaligning columns.
+    already on disk wins: records are written in that column order, and
+    record keys the header does not know are dropped — columns can never
+    misalign, and a store written by an older version (fewer columns) stays
+    resumable by a newer one, keeping its original schema.
     """
 
     def __init__(self, path: PathLike, append: bool = False):
@@ -92,7 +93,9 @@ class CsvResultStore(ResultStore):
         super().__init__(path, append=append)
         self._writer: Optional[csv.DictWriter] = None
         if fieldnames:
-            self._writer = csv.DictWriter(self._handle, fieldnames=fieldnames, restval="")
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=fieldnames, restval="", extrasaction="ignore"
+            )
 
     @staticmethod
     def _flatten(value: Any) -> Any:

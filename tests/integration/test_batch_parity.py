@@ -10,10 +10,7 @@ means exact bit-for-bit equality, not tolerance-based closeness.
 
 from __future__ import annotations
 
-import importlib.util
 import json
-import pathlib
-import sys
 
 import pytest
 
@@ -119,39 +116,23 @@ class TestConfigurationParity:
         )
 
 
-_EXAMPLE_MODULE = None
-
-
-def _custom_packaging_example():
-    """Import examples/custom_packaging.py once, registering its architecture."""
-    global _EXAMPLE_MODULE
-    if _EXAMPLE_MODULE is None:
-        path = (
-            pathlib.Path(__file__).resolve().parents[2]
-            / "examples"
-            / "custom_packaging.py"
-        )
-        spec = importlib.util.spec_from_file_location("custom_packaging_example", path)
-        module = importlib.util.module_from_spec(spec)
-        sys.modules[spec.name] = module  # dataclasses resolve cls.__module__
-        spec.loader.exec_module(module)
-        _EXAMPLE_MODULE = module
-    return _EXAMPLE_MODULE
-
-
 class TestOutOfTreeArchitecture:
-    """The example plugin architecture meets the same parity bar as built-ins."""
+    """The example plugin architecture meets the same parity bar as built-ins.
 
-    def test_example_registers_through_the_public_api(self):
-        _custom_packaging_example()
+    The plugin module itself comes from the session-scoped
+    ``custom_packaging`` fixture in ``tests/conftest.py``.
+    """
+
+    def test_example_registers_through_the_public_api(self, custom_packaging):
         from repro.packaging.registry import packaging_names, spec_from_dict
 
         assert "organic_bridge" in packaging_names()
-        example = _custom_packaging_example()
-        assert isinstance(spec_from_dict({"type": "ofb"}), example.OrganicBridgeSpec)
+        assert isinstance(
+            spec_from_dict({"type": "ofb"}), custom_packaging.OrganicBridgeSpec
+        )
 
-    def test_plugin_architecture_bit_identical_across_backends(self):
-        example = _custom_packaging_example()
+    def test_plugin_architecture_bit_identical_across_backends(self, custom_packaging):
+        example = custom_packaging
         spec = SweepSpec.from_dict(
             {
                 "testcases": ["ga102-3chiplet", "emr-2chiplet"],
@@ -172,8 +153,8 @@ class TestOutOfTreeArchitecture:
         assert scalar == pure
         assert any(r["packaging"] == example.OrganicBridgeModel.architecture for r in scalar)
 
-    def test_plugin_spec_subclass_still_resolves(self):
-        example = _custom_packaging_example()
+    def test_plugin_spec_subclass_still_resolves(self, custom_packaging):
+        example = custom_packaging
         from repro.packaging.registry import build_packaging_model
 
         class TweakedSpec(example.OrganicBridgeSpec):

@@ -1,0 +1,133 @@
+"""Property-based parity and resume-idempotence of the sweep subsystem.
+
+Seeded random :class:`~repro.sweep.spec.SweepSpec` grids — random axis
+subsets, per-architecture packaging params, monolithic bases — must satisfy
+the engine's two core contracts for *every* spec, not just the shipped
+presets:
+
+* **backend parity** — ``backend="batch"`` records equal ``backend="scalar"``
+  records under ``==`` (exact float equality, same keys, same order);
+* **resume idempotence** — re-running a sweep against a store that already
+  holds a prefix of its records computes exactly the missing tail, and
+  resuming a *complete* store computes nothing and changes nothing.
+
+Grids are kept small (≤ ~128 scenarios) so the whole suite stays CI-cheap;
+the deterministic ``ci`` hypothesis profile (see ``conftest.py``) makes the
+drawn grids reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.engine import SweepEngine
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import JsonlResultStore, load_records
+
+#: chiplet counts of the base systems the strategy draws from.
+_TESTCASES = {"emr-2chiplet": 2, "ga102-3chiplet": 3}
+
+#: Packaging axis entries, including parameterised and monolithic ones.
+_PACKAGING_OPTIONS = (
+    {"type": "monolithic"},
+    {"type": "rdl_fanout"},
+    {"type": "rdl_fanout", "params": {"layers": [4, 6]}},
+    {"type": "silicon_bridge", "params": {"bridge_range_mm": [2.0, 4.0]}},
+    {"type": "passive_interposer"},
+    {"type": "3d", "params": {"bond_type": ["microbump", "hybrid"]}},
+)
+
+
+@st.composite
+def sweep_specs(draw) -> SweepSpec:
+    """A random small-but-representative sweep spec."""
+    testcase = draw(st.sampled_from(sorted(_TESTCASES)))
+    chiplets = _TESTCASES[testcase]
+    node_configs = draw(
+        st.lists(
+            st.tuples(*[st.sampled_from([7.0, 10.0, 14.0])] * chiplets),
+            min_size=0,
+            max_size=2,
+            unique=True,
+        )
+    )
+    packaging_indices = draw(
+        st.lists(
+            st.sampled_from(range(len(_PACKAGING_OPTIONS))),
+            min_size=0,
+            max_size=2,
+            unique=True,
+        )
+    )
+    packaging = [dict(_PACKAGING_OPTIONS[i]) for i in packaging_indices]
+    carbon_sources = draw(st.sampled_from([(), ("coal",), ("coal", "solar")]))
+    lifetimes = draw(st.sampled_from([(), (2.0, 6.0)]))
+    system_volumes = draw(st.sampled_from([(), (1e5, 1e7)]))
+    return SweepSpec.from_dict(
+        {
+            "name": "property-grid",
+            "testcases": [testcase],
+            "node_configs": [list(config) for config in node_configs],
+            "packaging": packaging,
+            "carbon_sources": list(carbon_sources),
+            "lifetimes": list(lifetimes),
+            "system_volumes": list(system_volumes),
+        }
+    )
+
+
+class TestBackendParity:
+    @given(spec=sweep_specs())
+    @settings(max_examples=8)
+    def test_scalar_and_batch_records_are_bit_identical(self, spec):
+        scenarios = spec.expand()
+        assert len(scenarios) == spec.count()
+        scalar = list(SweepEngine(jobs=1).iter_records(scenarios))
+        batch = list(SweepEngine(jobs=1, backend="batch").iter_records(scenarios))
+        assert scalar == batch
+
+    @given(spec=sweep_specs())
+    @settings(max_examples=4)
+    def test_grid_indices_are_stable_and_dense(self, spec):
+        scenarios = spec.expand()
+        assert [s.index for s in scenarios] == list(range(len(scenarios)))
+
+
+class TestResumeIdempotence:
+    @given(spec=sweep_specs(), cut_fraction=st.floats(0.0, 1.0))
+    @settings(max_examples=8)
+    def test_resuming_a_prefix_reproduces_the_full_run(self, spec, cut_fraction):
+        scenarios = spec.expand()
+        engine = SweepEngine(jobs=1, backend="batch")
+        full = list(engine.iter_records(scenarios))
+        cut = int(len(full) * cut_fraction)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "partial.jsonl"
+            with JsonlResultStore(path) as store:
+                for record in full[:cut]:
+                    store.append(record)
+            with JsonlResultStore(path, append=True) as store:
+                summary = engine.run(scenarios, store=store, resume=store)
+            assert summary.skipped_count == cut
+            assert summary.scenario_count == len(full) - cut
+            assert load_records(path) == full
+
+    @given(spec=sweep_specs())
+    @settings(max_examples=4)
+    def test_resuming_a_complete_store_is_a_no_op(self, spec):
+        scenarios = spec.expand()
+        engine = SweepEngine(jobs=1)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "done.jsonl"
+            with JsonlResultStore(path) as store:
+                engine.run(scenarios, store=store)
+            before = load_records(path)
+            with JsonlResultStore(path, append=True) as store:
+                summary = engine.run(scenarios, store=store, resume=store)
+            assert summary.scenario_count == 0
+            assert summary.skipped_count == len(scenarios)
+            assert load_records(path) == before

@@ -225,3 +225,155 @@ class TestYamlishParser:
             parse_yamlish("key\n")
         with pytest.raises(ValueError):
             parse_yamlish("a: 1\n   nested: 2\n")
+
+
+class TestDuplicateAxisValues:
+    """Duplicate values within an axis inflate grids — rejected eagerly."""
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate value"):
+            SweepSpec.from_dict({"testcases": ["ga102-3chiplet"], "nodes": [7, 14, 7]})
+
+    def test_duplicate_testcases_rejected(self):
+        with pytest.raises(ValueError, match="duplicate value"):
+            SweepSpec.from_dict({"testcases": ["ga102-3chiplet", "ga102-3chiplet"]})
+
+    def test_duplicate_lifetimes_rejected(self):
+        with pytest.raises(ValueError, match="lifetimes"):
+            SweepSpec.from_dict(
+                {"testcases": ["ga102-3chiplet"], "lifetimes": [2, 2.0]}
+            )
+
+    def test_duplicate_carbon_sources_rejected(self):
+        with pytest.raises(ValueError, match="carbon_sources"):
+            SweepSpec.from_dict(
+                {"testcases": ["ga102-3chiplet"], "carbon_sources": ["coal", "coal"]}
+            )
+
+    def test_duplicate_system_volumes_rejected(self):
+        with pytest.raises(ValueError, match="system_volumes"):
+            SweepSpec.from_dict(
+                {"testcases": ["ga102-3chiplet"], "system_volumes": [1e5, 1e5]}
+            )
+
+    def test_duplicate_node_configs_rejected(self):
+        with pytest.raises(ValueError, match="node_configs"):
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["ga102-3chiplet"],
+                    "node_configs": [[7, 14, 10], [7, 14, 10]],
+                }
+            )
+
+    def test_duplicate_packaging_configs_rejected(self):
+        with pytest.raises(ValueError, match="packaging"):
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["ga102-3chiplet"],
+                    "packaging": ["rdl", {"type": "rdl"}],
+                }
+            )
+
+    def test_param_expansion_collision_with_explicit_entry_rejected(self):
+        # The expanded {type: rdl, layers: 6} duplicates the explicit entry.
+        with pytest.raises(ValueError, match="duplicate value"):
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["ga102-3chiplet"],
+                    "packaging": [
+                        {"type": "rdl", "layers": 6},
+                        {"type": "rdl", "params": {"layers": [4, 6]}},
+                    ],
+                }
+            )
+
+    def test_distinct_values_still_accepted(self):
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-3chiplet"],
+                "nodes": [7, 14],
+                "packaging": ["rdl", {"type": "rdl", "layers": 4}],
+                "lifetimes": [2, 6],
+            }
+        )
+        assert len(spec.packaging) == 2
+
+
+class TestPackagingParamAxes:
+    def test_params_expand_into_concrete_configs(self):
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-3chiplet"],
+                "packaging": [
+                    {"type": "bridge", "params": {"bridge_range_mm": [2.0, 4.0]}}
+                ],
+            }
+        )
+        assert spec.packaging == (
+            {"type": "bridge", "bridge_range_mm": 2.0},
+            {"type": "bridge", "bridge_range_mm": 4.0},
+        )
+        assert spec.count() == 2
+
+    def test_direct_construction_expands_too(self):
+        spec = SweepSpec(
+            testcases=("ga102-3chiplet",),
+            packaging=({"type": "rdl", "params": {"layers": [4, 6]}},),
+        )
+        assert spec.packaging == (
+            {"type": "rdl", "layers": 4},
+            {"type": "rdl", "layers": 6},
+        )
+
+    def test_unknown_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="sweepable params"):
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["ga102-3chiplet"],
+                    "packaging": [{"type": "rdl", "params": {"warp": [1, 2]}}],
+                }
+            )
+
+    def test_invalid_param_value_rejected_eagerly(self):
+        # Expansion succeeds but the spec dataclass rejects the value.
+        with pytest.raises(ValueError, match="layer count"):
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["ga102-3chiplet"],
+                    "packaging": [{"type": "rdl", "params": {"layers": [4, 99]}}],
+                }
+            )
+
+    def test_yamlish_inline_params_parse_and_expand(self):
+        data = parse_yamlish(
+            "testcases: [ga102-3chiplet]\n"
+            "packaging:\n"
+            "  - rdl\n"
+            '  - {type: bridge, params: {bridge_range_mm: [2.0, 4.0]}}\n'
+        )
+        spec = SweepSpec.from_dict(data)
+        assert len(spec.packaging) == 3
+
+    def test_scenario_records_carry_param_values(self):
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["ga102-3chiplet"],
+                "packaging": [
+                    "rdl",
+                    {"type": "bridge", "params": {"bridge_range_mm": [2.0]}},
+                ],
+            }
+        )
+        records = [scenario.to_record() for scenario in spec.expand()]
+        assert records[0]["packaging_params"] is None
+        assert records[1]["packaging_params"] == json.dumps(
+            {"bridge_range_mm": 2.0}, sort_keys=True
+        )
+
+    def test_alias_duplicates_rejected(self):
+        # "rdl" and "rdl_fanout" name the same architecture; accepting both
+        # would double-count it in the grid.
+        with pytest.raises(ValueError, match="duplicate value"):
+            SweepSpec.from_dict(
+                {"testcases": ["ga102-3chiplet"], "packaging": ["rdl", "rdl_fanout"]}
+            )

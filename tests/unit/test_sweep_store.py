@@ -107,13 +107,16 @@ class TestCsvStore:
         assert first == {"a": 1, "b": 2}
         assert second == {"a": 10, "b": 20}
 
-    def test_append_mode_rejects_unknown_columns(self, tmp_path):
+    def test_append_mode_drops_unknown_columns(self, tmp_path):
+        # The on-disk header wins: unknown keys are dropped (never
+        # misaligned), so older stores stay resumable by newer versions
+        # that add record columns.
         path = tmp_path / "out.csv"
         with CsvResultStore(path) as store:
             store.append({"a": 1})
         with CsvResultStore(path, append=True) as store:
-            with pytest.raises(ValueError):
-                store.append({"a": 1, "surprise": 2})
+            store.append({"a": 2, "surprise": 3})
+        assert load_records(path) == [{"a": 1}, {"a": 2}]
 
     def test_header_written_once(self, tmp_path):
         path = tmp_path / "out.csv"
@@ -168,3 +171,24 @@ class TestSweepRow:
                 store.append(record)
         iterator = iter_records(path)
         assert next(iterator)["scenario"] == 0
+
+
+class TestCsvForwardCompatibleAppend:
+    def test_appending_records_with_new_columns_keeps_old_schema(self, tmp_path):
+        # A store written by an older version (fewer columns) must stay
+        # resumable: new-version records append in the on-disk schema, with
+        # unknown keys dropped rather than raising mid-resume.
+        from repro.sweep.store import CsvResultStore, load_records
+
+        path = tmp_path / "old.csv"
+        with CsvResultStore(path) as store:
+            store.append({"scenario": 0, "total_carbon_g": 1.5})
+        with CsvResultStore(path, append=True) as store:
+            store.append(
+                {"scenario": 1, "total_carbon_g": 2.5, "packaging_params": "{}"}
+            )
+        records = load_records(path)
+        assert records == [
+            {"scenario": 0, "total_carbon_g": 1.5},
+            {"scenario": 1, "total_carbon_g": 2.5},
+        ]
