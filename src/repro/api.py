@@ -1,0 +1,350 @@
+"""The documented public entry point: one :class:`Session` for everything.
+
+A :class:`Session` binds an estimator configuration and an execution policy
+(jobs, backend, multiprocessing context) once, and exposes the three things
+users do with the library behind typed results:
+
+* :meth:`Session.estimate` — one system, full
+  :class:`~repro.core.results.SystemCarbonReport`;
+* :meth:`Session.sweep` — a declarative scenario grid, evaluated on the
+  scalar or compiled batch backend (bit-identical records either way),
+  returning a :class:`SweepResult`;
+* :meth:`Session.explore` — exhaustive design-space search with a Pareto
+  front, returning an :class:`ExploreResult`.
+
+Every call accepts registered-axis ``overrides`` (:mod:`repro.axes`), so
+any estimator knob — wafer diameter, defect density, router spec, operating
+conditions, or an out-of-tree axis — is one mapping away::
+
+    from repro import Session
+
+    session = Session(jobs=4, backend="batch")
+    report = session.estimate("ga102-3chiplet",
+                              overrides={"wafer_diameter_mm": 300.0})
+    result = session.sweep({
+        "testcases": ["ga102-3chiplet"],
+        "wafer_diameter_mm": [300, 450],
+        "defect_density_scale": [1.0, 1.5],
+        "lifetimes": [2, 6],
+    })
+    print(result.best["total_carbon_g"])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.axes import (
+    apply_system_overrides,
+    axis_names,
+    config_overrides_signature,
+    validate_overrides,
+)
+from repro.core.estimator import EcoChip, EstimatorConfig
+from repro.core.explorer import DesignPoint, DesignSpaceExplorer, pareto_front
+from repro.core.results import SystemCarbonReport
+from repro.core.system import ChipletSystem
+from repro.packaging.registry import spec_from_dict
+from repro.sweep.engine import (
+    Record,
+    SweepEngine,
+    SweepSummary,
+    derive_scenario_config,
+)
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import SweepRow, load_records, open_store, rows_from_records
+from repro.technology.nodes import TechnologyTable
+from repro.testcases.registry import get_testcase
+
+__all__ = ["ExploreResult", "Session", "SweepResult"]
+
+#: What :meth:`Session.estimate` / :meth:`Session.explore` accept as a
+#: system: a built system, a testcase name, or a design-directory path.
+SystemLike = Union[ChipletSystem, str, Path]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Typed outcome of :meth:`Session.sweep`.
+
+    Attributes:
+        spec: The (expanded-from) sweep spec.
+        summary: Engine summary — counts, timing, backend, best record.
+        records: Every flattened record, in scenario order (empty when the
+            sweep ran with ``collect_records=False``).
+    """
+
+    spec: SweepSpec
+    summary: SweepSummary
+    records: Tuple[Record, ...] = ()
+
+    @property
+    def best(self) -> Optional[Record]:
+        """Record with the lowest ``total_carbon_g``."""
+        return self.summary.best
+
+    def rows(self) -> List[SweepRow]:
+        """Records wrapped for the Pareto/objective tooling."""
+        return rows_from_records(self.records)
+
+    def pareto(self, objectives: Sequence[str]) -> List[SweepRow]:
+        """Pareto-optimal rows under the named record metrics."""
+        return pareto_front(self.rows(), objectives)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExploreResult:
+    """Typed outcome of :meth:`Session.explore`.
+
+    Attributes:
+        points: Every evaluated candidate, in enumeration order.
+        front: Pareto-optimal subset under ``objectives``.
+        objectives: Objectives the front was computed under.
+    """
+
+    points: Tuple[DesignPoint, ...]
+    front: Tuple[DesignPoint, ...]
+    objectives: Tuple[str, ...]
+
+    @property
+    def best(self) -> DesignPoint:
+        """Single best point under the first objective."""
+        return min(self.points, key=lambda p: p.objective(self.objectives[0]))
+
+
+class Session:
+    """Facade unifying estimate / sweep / explore behind one object.
+
+    Args:
+        config: Estimator configuration shared by every call (axis
+            ``overrides`` derive per-call configs from it).
+        table: Technology table override.
+        jobs: Worker processes for sweeps and exploration (``1`` = serial).
+        backend: Sweep backend, ``"scalar"`` or ``"batch"`` (bit-identical
+            records, batch is much faster on repetitive grids).
+        include_cost: Add ``cost_usd`` to sweep records and cost reports to
+            explore points.
+        memoize: Memoise the scalar backend's hot kernels.
+        mp_context: Multiprocessing start method for worker pools.
+
+    Raises:
+        ValueError: invalid ``jobs``, ``backend`` or ``mp_context``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig] = None,
+        *,
+        table: Optional[TechnologyTable] = None,
+        jobs: int = 1,
+        backend: str = "scalar",
+        include_cost: bool = True,
+        memoize: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        if config is not None and not isinstance(config, EstimatorConfig):
+            raise TypeError(
+                f"config must be an EstimatorConfig, got {type(config).__name__}"
+            )
+        self.config = config if config is not None else EstimatorConfig()
+        self.table = table
+        self.include_cost = include_cost
+        # The engine constructor validates jobs/backend/mp_context eagerly.
+        self.engine = SweepEngine(
+            jobs=jobs,
+            memoize=memoize,
+            config=self.config,
+            backend=backend,
+            include_cost=include_cost,
+            mp_context=mp_context,
+            table=table,
+        )
+        self._estimators: Dict[Tuple[Optional[str], Optional[Tuple]], EcoChip] = {}
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Worker processes sweeps and exploration fan out over."""
+        return self.engine.jobs
+
+    @property
+    def backend(self) -> str:
+        """Sweep evaluation backend."""
+        return self.engine.backend
+
+    def axes(self) -> List[str]:
+        """Names of every registered sweep axis (built-in and plugins)."""
+        return axis_names()
+
+    # -- resolution helpers -----------------------------------------------------------
+    def system(self, system: SystemLike) -> ChipletSystem:
+        """Resolve a system reference: built system, testcase name or
+        design-directory path."""
+        if isinstance(system, ChipletSystem):
+            return system
+        if isinstance(system, Path) or (
+            isinstance(system, str) and Path(system).is_dir()
+        ):
+            from repro.io.loaders import load_design_directory
+
+            return load_design_directory(system).system
+        if isinstance(system, str):
+            return get_testcase(system)  # raises KeyError listing testcases
+        raise TypeError(
+            f"system must be a ChipletSystem, testcase name or design "
+            f"directory, got {type(system).__name__}"
+        )
+
+    def _estimator(
+        self, fab_source: Optional[str], overrides: Optional[Mapping[str, Any]]
+    ) -> EcoChip:
+        key = (fab_source, config_overrides_signature(overrides))
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            # Same scenario→config semantics as the sweep engine's scalar
+            # evaluator, so estimate() matches sweep records bit for bit.
+            config = derive_scenario_config(self.config, fab_source, overrides)
+            estimator = EcoChip(config=config, table=self.table)
+            self._estimators[key] = estimator
+        return estimator
+
+    # -- estimate ---------------------------------------------------------------------
+    def estimate(
+        self,
+        system: SystemLike,
+        *,
+        overrides: Optional[Mapping[str, Any]] = None,
+        fab_source: Optional[str] = None,
+    ) -> SystemCarbonReport:
+        """Full carbon report of one system.
+
+        Args:
+            system: Built system, testcase name or design directory.
+            overrides: Registered-axis overrides (``{axis: value}``);
+                system-target axes transform the system, config-target axes
+                derive a per-call estimator configuration.
+            fab_source: Energy source for fab, packaging and design (the
+                same triple-override the sweep engine applies).
+        """
+        validate_overrides(overrides)
+        resolved = apply_system_overrides(self.system(system), overrides)
+        return self._estimator(fab_source, overrides).estimate(resolved)
+
+    # -- sweep ------------------------------------------------------------------------
+    def sweep(
+        self,
+        spec: Optional[Union[SweepSpec, Mapping[str, Any]]] = None,
+        *,
+        preset: Optional[str] = None,
+        spec_file: Optional[Union[str, Path]] = None,
+        out: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        progress: Optional[Any] = None,
+        collect_records: bool = True,
+    ) -> SweepResult:
+        """Evaluate a scenario grid on this session's backend.
+
+        Args:
+            spec: A :class:`SweepSpec` or a spec dictionary (any registered
+                axis name is a valid key).  Exactly one of ``spec``,
+                ``preset`` and ``spec_file`` must be given.
+            preset: Name of a built-in preset (``SweepSpec.preset``).
+            spec_file: Path of a ``.json``/``.yaml`` spec file.
+            out: Stream records to this JSONL/CSV file as they compute.
+            resume: Skip scenarios whose ids are already in ``out`` and
+                append only the missing tail (requires ``out``).
+            progress: Optional ``(done, total)`` callback per record.
+            collect_records: Keep every record in the returned result
+                (disable for huge grids streamed to ``out``).
+
+        Returns:
+            A :class:`SweepResult` with the spec, summary and records.
+        """
+        given = [value is not None for value in (spec, preset, spec_file)]
+        if sum(given) != 1:
+            raise ValueError(
+                "exactly one of spec, preset or spec_file must be given"
+            )
+        if preset is not None:
+            spec = SweepSpec.preset(preset)
+        elif spec_file is not None:
+            spec = SweepSpec.from_file(spec_file)
+        elif isinstance(spec, Mapping):
+            spec = SweepSpec.from_dict(spec)
+        if not isinstance(spec, SweepSpec):
+            raise TypeError(
+                f"spec must be a SweepSpec or a spec mapping, got "
+                f"{type(spec).__name__}"
+            )
+        if resume and out is None:
+            raise ValueError("resume=True needs an out file to resume into")
+
+        records: List[Record] = []
+        store = open_store(out, append=resume) if out is not None else None
+        try:
+            summary = self.engine.run(
+                spec,
+                store=store,
+                progress=progress,
+                resume=(out if resume else None),
+                on_record=records.append if collect_records else None,
+            )
+        finally:
+            if store is not None:
+                store.close()
+        if collect_records and resume:
+            # A resumed run only computed the tail; the full record set —
+            # old and new, in scenario order on disk — lives in the store.
+            records = load_records(out)
+        return SweepResult(spec=spec, summary=summary, records=tuple(records))
+
+    # -- explore ----------------------------------------------------------------------
+    def explore(
+        self,
+        system: SystemLike,
+        node_choices: Sequence[float],
+        *,
+        packaging: Optional[Sequence[Any]] = None,
+        objectives: Sequence[str] = ("total_carbon_g", "power_w"),
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> ExploreResult:
+        """Exhaustive node (× packaging) design-space search + Pareto front.
+
+        Args:
+            system: Built system, testcase name or design directory.
+            node_choices: Nodes each chiplet may be retargeted to.
+            packaging: Optional packaging choices — registered names,
+                config dicts (``{"type": ..., ...}``) or spec objects.
+            objectives: Record metrics the Pareto front minimises.
+            overrides: Registered-axis overrides applied to every candidate
+                (system-target axes transform the base system before
+                enumeration, config-target axes the estimator config).
+        """
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        validate_overrides(overrides)
+        resolved = apply_system_overrides(self.system(system), overrides)
+        packagings = None
+        if packaging is not None:
+            packagings = []
+            for entry in packaging:
+                if isinstance(entry, str):
+                    packagings.append(spec_from_dict({"type": entry}))
+                elif isinstance(entry, Mapping):
+                    packagings.append(spec_from_dict(dict(entry)))
+                else:
+                    packagings.append(entry)
+        explorer = DesignSpaceExplorer(
+            estimator=self._estimator(None, overrides), include_cost=self.include_cost
+        )
+        points = explorer.explore(
+            resolved, node_choices, packaging_choices=packagings, jobs=self.jobs
+        )
+        front = pareto_front(points, list(objectives))
+        return ExploreResult(
+            points=tuple(points),
+            front=tuple(front),
+            objectives=tuple(objectives),
+        )

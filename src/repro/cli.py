@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--list-axes",
+        action="store_true",
+        help=(
+            "List the registered sweep axes (built-in and plugin knobs "
+            "usable in spec files and 'eco-chip sweep --set') and exit"
+        ),
+    )
+    parser.add_argument(
         "--sweep-nodes",
         action="store_true",
         help=(
@@ -167,6 +175,18 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--list-presets", action="store_true", help="List the built-in sweep presets and exit"
     )
     parser.add_argument(
+        "--set",
+        dest="axis_sets",
+        action="append",
+        default=[],
+        metavar="AXIS=V1[,V2,...]",
+        help=(
+            "Sweep a registered axis over the comma-separated values, e.g. "
+            "--set wafer_diameter_mm=300,450 or --set 'router_spec={ports: 8}' "
+            "(repeatable; see 'eco-chip --list-axes' for the axis catalogue)"
+        ),
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, help="Worker processes (1 = serial, default)"
     )
     parser.add_argument(
@@ -221,13 +241,57 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_axis_sets(entries: Sequence[str]) -> "dict":
+    """Parse repeated ``--set AXIS=V1[,V2,...]`` flags into an axis mapping.
+
+    Values use the YAML-ish inline grammar (scalars, ``[...]``, ``{...}``)
+    split on top-level commas, then go through the axis's own parser and
+    validator, so a typo fails here with the axis named — before any
+    evaluation starts.
+
+    Raises:
+        KeyError: an unregistered axis name (message lists the catalogue).
+        ValueError: malformed ``NAME=...`` syntax, an empty value list, a
+            repeated axis, or a value the axis's validator rejects.
+    """
+    from repro.axes import get_axis
+    from repro.yamlish import split_inline
+
+    axes: dict = {}
+    for entry in entries:
+        name, sep, text = entry.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"--set expects AXIS=V1[,V2,...], got {entry!r} "
+                f"(see 'eco-chip --list-axes')"
+            )
+        axis = get_axis(name)  # raises KeyError listing registered axes
+        if axis.name in axes:
+            raise ValueError(
+                f"--set {axis.name} given more than once; list every value "
+                f"in one flag: --set {axis.name}=V1,V2,..."
+            )
+        parts = split_inline(text) if text.strip() else []
+        if not parts:
+            raise ValueError(f"--set {axis.name}: no values given")
+        try:
+            values = [axis.parse_text(part) for part in parts]
+        except (TypeError, ValueError, KeyError) as exc:
+            # KeyError included: axis validators that delegate to lookup
+            # helpers (e.g. carbon sources) raise it for unknown names.
+            raise ValueError(f"--set {axis.name}: {exc}") from exc
+        axes[axis.name] = values
+    return axes
+
+
 def _sweep_main(argv: Sequence[str]) -> int:
     """Implementation of ``eco-chip sweep``; returns a process exit code."""
     from pathlib import Path
 
     from repro.core.explorer import pareto_front
     from repro.sweep.engine import SweepEngine, prepare_resume
-    from repro.sweep.spec import PRESETS, SweepSpec
+    from repro.sweep.spec import PRESETS, SweepSpec, load_spec_dict, preset_dict
     from repro.sweep.store import open_store, rows_from_records
 
     parser = build_sweep_parser()
@@ -245,10 +309,19 @@ def _sweep_main(argv: Sequence[str]) -> int:
         return 2
 
     try:
+        axis_sets = _parse_axis_sets(args.axis_sets)
         if args.preset:
-            spec = SweepSpec.preset(args.preset)
+            config, base_dir = preset_dict(args.preset), None
         else:
-            spec = SweepSpec.from_file(args.spec)
+            config, base_dir = load_spec_dict(args.spec)
+        for name, values in axis_sets.items():
+            if name in config:
+                raise ValueError(
+                    f"--set {name} conflicts with the spec's own {name!r} "
+                    f"axis; drop one of the two"
+                )
+            config[name] = values
+        spec = SweepSpec.from_dict(config, base_dir=base_dir)
         scenarios = spec.expand()
     except (OSError, KeyError, TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -396,16 +469,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(arguments)
 
-    if args.list_testcases:
-        for name in list_testcases():
-            print(name)
-        return 0
+    if args.list_testcases or args.list_packaging or args.list_axes:
+        if args.list_testcases:
+            for name in list_testcases():
+                print(name)
+        if args.list_packaging:
+            from repro.packaging.registry import describe_packaging
 
-    if args.list_packaging:
-        from repro.packaging.registry import describe_packaging
+            for line in describe_packaging():
+                print(line)
+        if args.list_axes:
+            from repro.axes import describe_axes
 
-        for line in describe_packaging():
-            print(line)
+            for line in describe_axes():
+                print(line)
         return 0
 
     estimator = _estimator_from_args(args)

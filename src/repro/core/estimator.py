@@ -62,6 +62,10 @@ class EstimatorConfig:
             (disable to mimic ACT-style accounting).
         chiplet_spacing_mm: Floorplanner spacing constraint.
         router_spec: NoC router microarchitecture for interposer packages.
+        defect_density_scale: Multiplier on every node's Table-I defect
+            density in the Eq. 4 die-yield model (the
+            ``defect_density_scale`` sweep axis); 1.0 reproduces the
+            table values bit-exactly.
     """
 
     fab_carbon_source: SourceLike = CarbonSource.COAL
@@ -73,6 +77,7 @@ class EstimatorConfig:
     include_design: bool = True
     chiplet_spacing_mm: float = DEFAULT_CHIPLET_SPACING_MM
     router_spec: RouterSpec = dataclasses.field(default_factory=RouterSpec)
+    defect_density_scale: float = 1.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -125,6 +130,7 @@ class EcoChip:
             fab_carbon_source=self.config.fab_carbon_source,
             wafer_diameter_mm=self.config.wafer_diameter_mm,
             include_wafer_waste=self.config.include_wafer_waste,
+            defect_density_scale=self.config.defect_density_scale,
         )
         self.design_model = DesignCarbonModel(
             table=self.table,

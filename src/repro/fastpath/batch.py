@@ -23,6 +23,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.axes import (
+    apply_config_overrides,
+    config_overrides_signature,
+    overrides_json,
+    template_overrides_signature,
+)
 from repro.core.estimator import EstimatorConfig
 from repro.fastpath.compiled import (
     CompiledSystem,
@@ -57,11 +63,13 @@ def group_scenarios(
     ``position`` is the scenario's index in the input sequence (*not* its
     grid index, which survives resume filtering).
     """
-    # Packaging axis dicts are shared between the scenarios of one spec
-    # expansion, so canonicalising per object identity avoids re-hashing the
-    # same mapping thousands of times.  The id cache is only valid while the
-    # scenarios (and therefore the dicts) are alive, i.e. within this call.
+    # Packaging and override dicts are shared between the scenarios of one
+    # spec expansion, so canonicalising per object identity avoids
+    # re-hashing the same mapping thousands of times.  The id caches are
+    # only valid while the scenarios (and therefore the dicts) are alive,
+    # i.e. within this call.
     signature_by_id: Dict[int, Optional[Tuple]] = {}
+    override_sig_by_id: Dict[int, Optional[Tuple]] = {}
     groups: Dict[Tuple, List[Tuple[int, Scenario]]] = {}
     for position, scenario in enumerate(scenarios):
         packaging = scenario.packaging
@@ -72,7 +80,21 @@ def group_scenarios(
             if signature is None:
                 signature = packaging_signature(packaging)
                 signature_by_id[id(packaging)] = signature
-        key = (scenario.base_kind, scenario.base_ref, scenario.nodes, signature)
+        overrides = scenario.overrides
+        if not overrides:
+            override_sig = None
+        else:
+            override_sig = override_sig_by_id.get(id(overrides))
+            if override_sig is None:
+                override_sig = template_overrides_signature(overrides)
+                override_sig_by_id[id(overrides)] = override_sig
+        key = (
+            scenario.base_kind,
+            scenario.base_ref,
+            scenario.nodes,
+            signature,
+            override_sig,
+        )
         members = groups.get(key)
         if members is None:
             groups[key] = members = []
@@ -80,13 +102,51 @@ def group_scenarios(
     return list(groups.items())
 
 
+class _ConfigContext:
+    """One compilation context per distinct estimator configuration.
+
+    Config-target axis overrides (:mod:`repro.axes`) produce distinct
+    :class:`EstimatorConfig` objects; each gets its own template compiler
+    (template coefficients depend on the config — wafer diameter, defect
+    scale, router spec, ...) plus the config-derived evaluation constants.
+    """
+
+    __slots__ = (
+        "compiler",
+        "default_fab_label",
+        "default_intensities",
+        "include_design",
+        "include_wafer_waste",
+    )
+
+    def __init__(
+        self,
+        config: Optional[EstimatorConfig],
+        table: Optional[TechnologyTable],
+        include_cost: bool,
+    ):
+        self.compiler = TemplateCompiler(
+            config=config, table=table, include_cost=include_cost
+        )
+        config = self.compiler.config
+        self.default_fab_label = _source_name(config.fab_carbon_source)
+        self.default_intensities = (
+            carbon_intensity(config.fab_carbon_source),
+            carbon_intensity(config.package_carbon_source),
+            carbon_intensity(config.design_carbon_source),
+        )
+        self.include_design = config.include_design
+        self.include_wafer_waste = config.include_wafer_waste
+
+
 class BatchEstimator:
     """Evaluates scenario batches against compiled templates.
 
     Args:
         config: Estimator configuration shared by all scenarios (scenario
-            ``fab_source`` overrides the three energy sources, exactly like
-            the scalar sweep path).
+            ``fab_source`` overrides the three energy sources, and
+            config-target axis overrides derive per-scenario configs,
+            exactly like the scalar sweep path).
         table: Technology table override.
         include_cost: Add ``cost_usd`` (the Chiplet-Actuary-style dollar
             cost) to every record.
@@ -108,20 +168,32 @@ class BatchEstimator:
                 "use_numpy=True but numpy is not installed; "
                 "install the optional extra: pip install eco-chip-repro[fast]"
             )
-        self.compiler = TemplateCompiler(
-            config=config, table=table, include_cost=include_cost
-        )
+        self._table = table
         self.include_cost = include_cost
         self.use_numpy = use_numpy
-        config = self.compiler.config
-        self._default_fab_label = _source_name(config.fab_carbon_source)
-        self._default_intensities = (
-            carbon_intensity(config.fab_carbon_source),
-            carbon_intensity(config.package_carbon_source),
-            carbon_intensity(config.design_carbon_source),
-        )
-        self._include_design = config.include_design
-        self._include_wafer_waste = config.include_wafer_waste
+        self._base_context = _ConfigContext(config, table, include_cost)
+        #: Config-override signature -> compilation context; ``None`` is
+        #: the override-free base configuration.
+        self._contexts: Dict[Optional[Tuple], _ConfigContext] = {
+            None: self._base_context
+        }
+        #: Base-config template compiler (kept as an attribute for callers
+        #: that inspect or pre-warm the override-free cache).
+        self.compiler = self._base_context.compiler
+
+    def _context_for(self, scenario: Scenario) -> _ConfigContext:
+        """The compilation context for a scenario's config-axis overrides."""
+        if not scenario.overrides:  # hot path: override-free grids
+            return self._base_context
+        signature = config_overrides_signature(scenario.overrides)
+        context = self._contexts.get(signature)
+        if context is None:
+            config = apply_config_overrides(
+                self._base_context.compiler.config, scenario.overrides
+            )
+            context = _ConfigContext(config, self._table, self.include_cost)
+            self._contexts[signature] = context
+        return context
 
     @property
     def numpy_available(self) -> bool:
@@ -143,39 +215,51 @@ class BatchEstimator:
 
     def compile_for(self, scenario: Scenario) -> CompiledSystem:
         """The compiled template behind ``scenario``."""
-        return self.compiler.compile(
-            scenario.base_kind, scenario.base_ref, scenario.nodes, scenario.packaging
+        return self._context_for(scenario).compiler.compile(
+            scenario.base_kind,
+            scenario.base_ref,
+            scenario.nodes,
+            scenario.packaging,
+            scenario.overrides,
         )
 
     def evaluate_group(
         self, template: CompiledSystem, scenarios: Sequence[Scenario]
     ) -> List[Record]:
         """Records for scenarios that all share ``template``."""
+        context = self._context_for(scenarios[0])
         use_numpy = self.use_numpy
         if use_numpy is None:
             use_numpy = _np is not None and len(scenarios) >= NUMPY_MIN_GROUP
         if use_numpy:
-            return self._evaluate_group_numpy(template, scenarios)
-        return self._evaluate_group_pure(template, scenarios)
+            return self._evaluate_group_numpy(template, scenarios, context)
+        return self._evaluate_group_pure(template, scenarios, context)
 
     # -- per-(template, fab source) terms ----------------------------------------------
     def source_terms(
-        self, template: CompiledSystem, fab_source: Optional[str]
+        self,
+        template: CompiledSystem,
+        fab_source: Optional[str],
+        context: Optional[_ConfigContext] = None,
     ) -> SourceTerms:
         """Terms that depend on the fab source but not on lifetime/volume."""
+        if context is None:
+            context = self._base_context
         terms = template.source_terms_cache.get(fab_source)
         if terms is not None:
             return terms
         if fab_source is None:
-            fab_intensity, package_intensity, design_intensity = self._default_intensities
-            label = self._default_fab_label
+            fab_intensity, package_intensity, design_intensity = (
+                context.default_intensities
+            )
+            label = context.default_fab_label
         else:
             fab_intensity = package_intensity = design_intensity = carbon_intensity(
                 fab_source
             )
             label = fab_source
 
-        include_waste = self._include_wafer_waste
+        include_waste = context.include_wafer_waste
         manufacturing_total = 0.0
         design_parts: List[Tuple[bool, float]] = []
         for chiplet in template.chiplets:
@@ -239,6 +323,7 @@ class BatchEstimator:
             "fab_source": terms.fab_label,
             "lifetime_years": lifetime,
             "system_volume": system_volume,
+            "overrides": overrides_json(scenario.overrides) if scenario.overrides else None,
             "system": template.system_name,
             "total_carbon_g": total,
             "embodied_carbon_g": embodied,
@@ -256,16 +341,21 @@ class BatchEstimator:
 
     # -- pure-Python backend -------------------------------------------------------------
     def _evaluate_group_pure(
-        self, template: CompiledSystem, scenarios: Sequence[Scenario]
+        self,
+        template: CompiledSystem,
+        scenarios: Sequence[Scenario],
+        context: Optional[_ConfigContext] = None,
     ) -> List[Record]:
-        include_design = self._include_design
+        if context is None:
+            context = self._base_context
+        include_design = context.include_design
         annual = template.annual_cfp_g
         base_volume = template.base_volume
         base_lifetime = template.base_lifetime
         cost = template.cost
         records: List[Record] = []
         for scenario in scenarios:
-            terms = self.source_terms(template, scenario.fab_source)
+            terms = self.source_terms(template, scenario.fab_source, context)
             system_volume = (
                 scenario.system_volume
                 if scenario.system_volume is not None
@@ -297,12 +387,18 @@ class BatchEstimator:
 
     # -- NumPy backend -----------------------------------------------------------------
     def _evaluate_group_numpy(
-        self, template: CompiledSystem, scenarios: Sequence[Scenario]
+        self,
+        template: CompiledSystem,
+        scenarios: Sequence[Scenario],
+        context: Optional[_ConfigContext] = None,
     ) -> List[Record]:
         assert _np is not None, "numpy backend requested without numpy installed"
+        if context is None:
+            context = self._base_context
         count = len(scenarios)
         terms_list = [
-            self.source_terms(template, scenario.fab_source) for scenario in scenarios
+            self.source_terms(template, scenario.fab_source, context)
+            for scenario in scenarios
         ]
         base_volume = template.base_volume
         base_lifetime = template.base_lifetime
@@ -339,7 +435,7 @@ class BatchEstimator:
             fixed = terms_list[0].design_parts[chiplet_index][0]
             amortised = amortised + (values if fixed else values / system_volume)
         design_total = amortised + comm_design / system_volume
-        if self._include_design:
+        if context.include_design:
             design_used = design_total
         else:
             design_used = _np.zeros(count, dtype=_np.float64)

@@ -42,6 +42,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.axes import (
+    apply_system_overrides,
+    system_overrides_signature,
+    template_overrides_signature,
+)
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.system import ChipletSystem
 from repro.cost.model import (
@@ -216,12 +221,16 @@ class CompiledSystem:
 # ---------------------------------------------------------------------------
 # The compiler
 # ---------------------------------------------------------------------------
-#: Template keys carry the *full* parameterised packaging spec: the
+#: Template keys carry the *full* parameterised packaging spec — the
 #: packaging component is :func:`repro.sweep.spec.packaging_signature` of
-#: the concrete override dict, so two scenarios that differ in any
-#: param-axis value (``bridge_range_mm``, ``layers``, ...) compile to
-#: distinct templates while scenarios sharing every value share one.
-TemplateKey = Tuple[str, str, Optional[Tuple[float, ...]], Optional[Tuple]]
+#: the concrete override dict — plus the registered-axis override terms
+#: (:func:`repro.axes.template_overrides_signature`, which runs each
+#: axis's ``compile_terms`` hook), so two scenarios that differ in any
+#: param-axis or axis-override value compile to distinct templates while
+#: scenarios sharing every value share one.
+TemplateKey = Tuple[
+    str, str, Optional[Tuple[float, ...]], Optional[Tuple], Optional[Tuple]
+]
 
 
 class TemplateCompiler:
@@ -249,8 +258,11 @@ class TemplateCompiler:
         self._templates: Dict[TemplateKey, CompiledSystem] = {}
         # packaging signature -> packaging spec
         self._specs: Dict[Tuple, Any] = {}
-        # (base key, chiplet name, node) -> (base area, transistor count)
-        self._areas: Dict[Tuple[Tuple[str, str], str, float], Tuple[float, float]] = {}
+        # (base key incl. system-override signature, chiplet name, node)
+        # -> (base area, transistor count)
+        self._areas: Dict[
+            Tuple[Tuple[str, str, Optional[Tuple]], str, float], Tuple[float, float]
+        ] = {}
         # packaging spec -> model (compile-time only: yields / areas / powers)
         self._packaging_models: Dict[Any, PackagingModel] = {}
         # (packaging spec, node, chiplet count) -> per-chiplet area overhead
@@ -331,12 +343,28 @@ class TemplateCompiler:
         base_ref: str,
         nodes: Optional[Tuple[float, ...]],
         packaging: Optional[Mapping[str, Any]],
+        overrides: Optional[Mapping[str, Any]] = None,
     ) -> CompiledSystem:
-        """Compile (or fetch) the template for one scenario family."""
-        key: TemplateKey = (base_kind, base_ref, nodes, packaging_signature(packaging))
+        """Compile (or fetch) the template for one scenario family.
+
+        ``overrides`` is the scenario's registered-axis override mapping
+        (:mod:`repro.axes`): system-target axes are applied to the base
+        system before compilation, and the axis ``compile_terms`` hooks
+        key the template cache.  Config-target axes must already be baked
+        into this compiler's ``config`` — the
+        :class:`repro.fastpath.batch.BatchEstimator` keeps one compiler
+        per config-override signature.
+        """
+        key: TemplateKey = (
+            base_kind,
+            base_ref,
+            nodes,
+            packaging_signature(packaging),
+            template_overrides_signature(overrides) if overrides else None,
+        )
         template = self._templates.get(key)
         if template is None:
-            template = self._compile(base_kind, base_ref, nodes, packaging)
+            template = self._compile(base_kind, base_ref, nodes, packaging, overrides)
             self._templates[key] = template
         return template
 
@@ -346,9 +374,17 @@ class TemplateCompiler:
         base_ref: str,
         nodes: Optional[Tuple[float, ...]],
         packaging: Optional[Mapping[str, Any]],
+        overrides: Optional[Mapping[str, Any]] = None,
     ) -> CompiledSystem:
-        base_key = (base_kind, base_ref)
-        base = self.base_system(base_kind, base_ref)
+        # System-target axis overrides transform the base system before any
+        # geometry is derived — mirroring Scenario.build_system, which
+        # applies them first on the scalar path.  Caches keyed on the base
+        # (areas, cost) carry the override signature so an axis that
+        # changes the chiplets themselves cannot poison shared entries.
+        base_key = (base_kind, base_ref, system_overrides_signature(overrides))
+        base = apply_system_overrides(
+            self.base_system(base_kind, base_ref), overrides
+        )
         estimator = self.estimator
         spec = self._packaging_spec(packaging, base)
         model = self._packaging_model(spec)
@@ -545,7 +581,7 @@ class TemplateCompiler:
 
     def _compile_cost(
         self,
-        base_key: Tuple[str, str],
+        base_key: Tuple[str, str, Optional[Tuple]],
         base: ChipletSystem,
         node_values: Tuple[float, ...],
     ) -> CostTerms:

@@ -61,6 +61,8 @@ class ChipManufacturingModel:
         wafer_diameter_mm: Wafer diameter used for the waste model.
         include_wafer_waste: When False the ``CFPA_Si * A_wasted`` term is
             dropped; used for the Fig. 3(b) with/without-wastage comparison.
+        defect_density_scale: Multiplier on every node's defect density in
+            the die-yield model (the ``defect_density_scale`` sweep axis).
     """
 
     def __init__(
@@ -69,9 +71,12 @@ class ChipManufacturingModel:
         fab_carbon_source: SourceLike = "coal",
         wafer_diameter_mm: float = DEFAULT_WAFER_DIAMETER_MM,
         include_wafer_waste: bool = True,
+        defect_density_scale: float = 1.0,
     ):
         self.table = table if table is not None else DEFAULT_TECHNOLOGY_TABLE
-        self.yield_model = YieldModel(table=self.table)
+        self.yield_model = YieldModel(
+            table=self.table, defect_density_scale=defect_density_scale
+        )
         self.cfpa_model = CFPAModel(
             table=self.table,
             fab_carbon_source=fab_carbon_source,

@@ -103,16 +103,29 @@ class YieldModel:
         table: Technology table supplying per-node defect densities.
         clustering_alpha: Override for the clustering parameter; ``None``
             uses the per-node value from the table.
+        defect_density_scale: Multiplier applied to every node's table
+            defect density — the ``defect_density_scale`` sweep axis.  The
+            default of 1.0 leaves the table values bit-exactly untouched.
     """
 
     table: TechnologyTable = dataclasses.field(default_factory=lambda: DEFAULT_TECHNOLOGY_TABLE)
     clustering_alpha: Optional[float] = None
+    defect_density_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.defect_density_scale <= 0:
+            raise ValueError(
+                f"defect-density scale must be positive, got {self.defect_density_scale}"
+            )
 
     def die_yield(self, area_mm2: float, node: NodeKey) -> float:
         """Negative-binomial yield of a die of ``area_mm2`` at ``node``."""
         record = self.table.get(node)
         alpha = self.clustering_alpha if self.clustering_alpha is not None else record.clustering_alpha
-        return negative_binomial_yield(area_mm2, record.defect_density_per_cm2, alpha)
+        density = record.defect_density_per_cm2
+        if self.defect_density_scale != 1.0:
+            density = density * self.defect_density_scale
+        return negative_binomial_yield(area_mm2, density, alpha)
 
     def known_good_die_fraction(self, area_mm2: float, node: NodeKey) -> float:
         """Alias of :meth:`die_yield`; name used in the chiplet literature."""

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.noc.orion import RouterSpec
 from repro.packaging.base import PackagingModel, SourceLike
+from repro.plugins import PLUGIN_API_VERSION, check_plugin_api_version
 from repro.technology.nodes import TechnologyTable
 
 #: Entry-point group scanned by :func:`load_entry_point_plugins`.
@@ -140,6 +141,7 @@ def register_packaging(
     spec_cls: type,
     model_cls: Type[PackagingModel],
     aliases: Sequence[str] = (),
+    api_version: int = PLUGIN_API_VERSION,
 ) -> RegisteredPackaging:
     """Register a packaging architecture with the global catalogue.
 
@@ -157,17 +159,23 @@ def register_packaging(
         model_cls: :class:`PackagingModel` subclass; must implement
             ``evaluate`` and (for batch-backend support) ``compile_terms``.
         aliases: Additional accepted spelling(s) of the name.
+        api_version: Plugin-API version the registering code was built
+            against (:data:`repro.plugins.PLUGIN_API_VERSION`); a mismatch
+            raises :class:`repro.plugins.PluginAPIVersionError` instead of
+            failing obscurely later.
 
     Returns:
         The stored :class:`RegisteredPackaging` entry.
 
     Raises:
+        repro.plugins.PluginAPIVersionError: incompatible ``api_version``.
         TypeError: when ``model_cls`` is not a :class:`PackagingModel`
             subclass or ``spec_cls`` is not a class.
         ValueError: when the name, an alias or the spec class is already
             registered to a different architecture, or when the spec's
             ``SWEEP_PARAMS`` declaration names unknown fields.
     """
+    check_plugin_api_version(api_version, f"packaging architecture {name!r}")
     if not isinstance(spec_cls, type):
         raise TypeError(f"spec_cls must be a class, got {spec_cls!r}")
     if not (isinstance(model_cls, type) and issubclass(model_cls, PackagingModel)):

@@ -1,0 +1,50 @@
+"""Versioned plugin-API contract shared by the extension registries.
+
+Out-of-tree code extends the estimator through two registries — packaging
+architectures (:func:`repro.packaging.registry.register_packaging`) and
+sweepable axes (:func:`repro.axes.register_axis`).  Both registration entry
+points accept an ``api_version`` keyword: a plugin built against this
+library declares the plugin-API version it was written for, and
+registration fails fast with an actionable error when that version is not
+the one this installation provides, instead of failing later with an
+obscure ``TypeError`` deep inside a sweep.
+
+The version is a single integer, bumped only when the registration
+contract itself changes incompatibly (registration signatures, required
+model/axis hooks such as ``compile_terms``, or the worker plugin-shipping
+protocol).  Additive changes — new optional hooks, new built-in axes — do
+not bump it.
+"""
+
+from __future__ import annotations
+
+#: Current plugin-API version of this installation.  Plugins pass the
+#: version they were built against to ``register_packaging`` /
+#: ``register_axis``; a mismatch raises :class:`PluginAPIVersionError`.
+PLUGIN_API_VERSION = 1
+
+
+class PluginAPIVersionError(RuntimeError):
+    """A plugin declared a plugin-API version this installation does not provide."""
+
+
+def check_plugin_api_version(api_version: int, what: str) -> None:
+    """Raise :class:`PluginAPIVersionError` unless ``api_version`` matches.
+
+    Args:
+        api_version: Version the registering plugin was built against.
+        what: Human-readable description of the registration ("packaging
+            architecture 'foo'", "axis 'bar'") used in the error message.
+    """
+    if not isinstance(api_version, int) or isinstance(api_version, bool):
+        raise PluginAPIVersionError(
+            f"{what}: api_version must be an integer plugin-API version, "
+            f"got {api_version!r}"
+        )
+    if api_version != PLUGIN_API_VERSION:
+        raise PluginAPIVersionError(
+            f"{what} was built against plugin API version {api_version}, but "
+            f"this installation provides version {PLUGIN_API_VERSION}; "
+            f"update the plugin to the current API (or install the matching "
+            f"eco-chip-repro release)"
+        )

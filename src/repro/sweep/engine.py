@@ -17,13 +17,18 @@ scenario that keeps it at 14 nm — so the cache collapses the grid's cost
 from ``scenarios x chiplets`` kernel runs to the number of *distinct*
 kernel inputs.
 
-Out-of-tree packaging architectures work at any ``jobs`` value: every pool
-initializer receives the registry's plugin-module snapshot
-(:func:`repro.packaging.registry.plugin_modules`) and re-imports it in the
-worker (:func:`repro.packaging.registry.import_plugin_modules`), so
-scenario packaging dicts referencing plugin architectures resolve in worker
+Out-of-tree packaging architectures *and* sweep axes work at any ``jobs``
+value: every pool initializer receives the shared plugin-module snapshot
+(:func:`repro.packaging.registry.plugin_modules`, which also records
+:func:`repro.axes.register_axis` modules) and re-imports it in the worker
+(:func:`repro.packaging.registry.import_plugin_modules`), so scenario
+packaging dicts and axis overrides referencing plugins resolve in worker
 processes under any multiprocessing start method — including ``spawn``,
 where workers do not inherit the parent's registry state.
+
+Scenario axis overrides (:mod:`repro.axes`) are applied per scenario:
+system-target axes inside :meth:`Scenario.build_system`, config-target
+axes by keying one estimator per (fab source, config-override signature).
 """
 
 from __future__ import annotations
@@ -33,8 +38,25 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.axes import (
+    apply_config_overrides,
+    config_overrides_signature,
+    system_overrides_signature,
+)
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
@@ -161,6 +183,29 @@ def _source_name(source: Any) -> str:
     return str(getattr(source, "value", source))
 
 
+def derive_scenario_config(
+    base_config: EstimatorConfig,
+    fab_source: Optional[str],
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> EstimatorConfig:
+    """The estimator configuration a scenario evaluates under.
+
+    One definition of the scenario→config semantics, shared by the scalar
+    evaluator and :class:`repro.api.Session`: a scenario ``fab_source``
+    replaces all three energy sources, then config-target axis overrides
+    (:mod:`repro.axes`) are applied on top.
+    """
+    config = base_config
+    if fab_source is not None:
+        config = dataclasses.replace(
+            config,
+            fab_carbon_source=fab_source,
+            package_carbon_source=fab_source,
+            design_carbon_source=fab_source,
+        )
+    return apply_config_overrides(config, overrides)
+
+
 def make_record(
     scenario: Scenario,
     system: ChipletSystem,
@@ -208,18 +253,23 @@ class _ScenarioEvaluator:
         default_config: Optional[EstimatorConfig],
         memoize: bool,
         include_cost: bool = False,
+        table: Optional[TechnologyTable] = None,
     ):
         self.default_config = default_config if default_config is not None else EstimatorConfig()
         self.memoize = memoize
         self.include_cost = include_cost
+        self.table = table
         self.stats = KernelCacheStats()
         self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
-        self._estimators: Dict[Optional[str], EcoChip] = {}
+        # One estimator per (fab source, config-axis override signature):
+        # config-target axes (repro.axes) produce distinct EstimatorConfigs.
+        self._estimators: Dict[Tuple[Optional[str], Optional[Tuple]], EcoChip] = {}
         self._cost_model: Optional[Any] = None
-        # Cost depends only on (base, nodes, NS) — not packaging, fab source
-        # or lifetime — so one evaluation serves every scenario sharing them.
+        # Cost depends only on (base, nodes, NS) and any axis overrides —
+        # not packaging, fab source or lifetime — so one evaluation serves
+        # every scenario sharing them.
         self._cost_cache: Dict[
-            Tuple[str, str, Optional[Tuple[float, ...]], float], float
+            Tuple[str, str, Optional[Tuple[float, ...]], float, Optional[Tuple]], float
         ] = {}
 
     def _base(self, scenario: Scenario) -> ChipletSystem:
@@ -230,22 +280,17 @@ class _ScenarioEvaluator:
             self._bases[key] = system
         return system
 
-    def _estimator(self, fab_source: Optional[str]) -> EcoChip:
-        estimator = self._estimators.get(fab_source)
+    def _estimator(
+        self, fab_source: Optional[str], overrides: Optional[Mapping[str, Any]] = None
+    ) -> EcoChip:
+        key = (fab_source, config_overrides_signature(overrides))
+        estimator = self._estimators.get(key)
         if estimator is None:
-            if fab_source is None:
-                config = self.default_config
-            else:
-                config = dataclasses.replace(
-                    self.default_config,
-                    fab_carbon_source=fab_source,
-                    package_carbon_source=fab_source,
-                    design_carbon_source=fab_source,
-                )
-            estimator = EcoChip(config=config)
+            config = derive_scenario_config(self.default_config, fab_source, overrides)
+            estimator = EcoChip(config=config, table=self.table)
             if self.memoize:
                 install_kernel_cache(estimator, self.stats)
-            self._estimators[fab_source] = estimator
+            self._estimators[key] = estimator
         return estimator
 
     def _cost_usd(self, scenario: Scenario, system: ChipletSystem) -> float:
@@ -253,14 +298,20 @@ class _ScenarioEvaluator:
         if self._cost_model is None:
             from repro.cost.model import ChipletCostModel
 
-            self._cost_model = ChipletCostModel()
+            # Same table as the batch backend's cost terms, so cost_usd
+            # stays bit-identical across backends under custom tables.
+            self._cost_model = ChipletCostModel(table=self.table)
         if not self.memoize:
             return self._cost_model.estimate(system).total_cost_usd
+        # Config-target axes never reach the cost model, so only the
+        # system-target subset keys the cache (matches the batch compiler's
+        # system-override-aware cost base key).
         key = (
             scenario.base_kind,
             scenario.base_ref,
             scenario.nodes,
             system.system_volume,
+            system_overrides_signature(scenario.overrides),
         )
         cost = self._cost_cache.get(key)
         if cost is None:
@@ -271,7 +322,7 @@ class _ScenarioEvaluator:
     def evaluate(self, scenario: Scenario) -> Record:
         """Evaluate one scenario into a flattened record."""
         system = scenario.build_system(base=self._base(scenario))
-        estimator = self._estimator(scenario.fab_source)
+        estimator = self._estimator(scenario.fab_source, scenario.overrides)
         report = estimator.estimate(system)
         fab_source = (
             scenario.fab_source
@@ -291,10 +342,11 @@ def _init_worker(
     memoize: bool,
     include_cost: bool = False,
     plugins: PluginModules = (),
+    table: Optional[TechnologyTable] = None,
 ) -> None:
     global _EVALUATOR
     import_plugin_modules(plugins)
-    _EVALUATOR = _ScenarioEvaluator(default_config, memoize, include_cost)
+    _EVALUATOR = _ScenarioEvaluator(default_config, memoize, include_cost, table)
 
 
 def _evaluate_chunk(scenarios: Sequence[Scenario]) -> List[Record]:
@@ -310,12 +362,15 @@ def _init_batch_worker(
     default_config: Optional[EstimatorConfig],
     include_cost: bool,
     plugins: PluginModules = (),
+    table: Optional[TechnologyTable] = None,
 ) -> None:
     global _BATCH_EVALUATOR
     from repro.fastpath import BatchEstimator
 
     import_plugin_modules(plugins)
-    _BATCH_EVALUATOR = BatchEstimator(config=default_config, include_cost=include_cost)
+    _BATCH_EVALUATOR = BatchEstimator(
+        config=default_config, table=table, include_cost=include_cost
+    )
 
 
 def _evaluate_batch_chunk(
@@ -442,6 +497,8 @@ class SweepEngine:
             platform default.  Workers re-import out-of-tree packaging
             plugins in their initializer, so plugin sweeps work under every
             start method.
+        table: Technology table override, honoured by both backends and
+            shipped to worker processes (``None`` uses the built-in table).
     """
 
     def __init__(
@@ -453,6 +510,7 @@ class SweepEngine:
         backend: str = "scalar",
         include_cost: bool = True,
         mp_context: Optional[str] = None,
+        table: Optional[TechnologyTable] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -476,6 +534,7 @@ class SweepEngine:
         self.backend = backend
         self.include_cost = include_cost
         self.mp_context = mp_context
+        self.table = table
         #: Kernel-cache stats of the last serial run (None after parallel runs).
         self.last_cache_stats: Optional[KernelCacheStats] = None
 
@@ -524,7 +583,9 @@ class SweepEngine:
             yield from self._iter_records_batch(scenarios)
             return
         if self.jobs == 1:
-            evaluator = _ScenarioEvaluator(self.config, self.memoize, self.include_cost)
+            evaluator = _ScenarioEvaluator(
+                self.config, self.memoize, self.include_cost, self.table
+            )
             self.last_cache_stats = evaluator.stats
             for scenario in scenarios:
                 yield evaluator.evaluate(scenario)
@@ -533,7 +594,10 @@ class SweepEngine:
         with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_worker,
-            initargs=(self.config, self.memoize, self.include_cost, plugin_modules()),
+            initargs=(
+                self.config, self.memoize, self.include_cost,
+                plugin_modules(), self.table,
+            ),
         ) as pool:
             for chunk_records in pool.map(_evaluate_chunk, chunks):
                 for record in chunk_records:
@@ -554,7 +618,9 @@ class SweepEngine:
         if self.jobs == 1:
             from repro.fastpath import BatchEstimator
 
-            estimator = BatchEstimator(config=self.config, include_cost=self.include_cost)
+            estimator = BatchEstimator(
+                config=self.config, table=self.table, include_cost=self.include_cost
+            )
             for _, members in groups:
                 template = estimator.compile_for(members[0][1])
                 records = estimator.evaluate_group(
@@ -579,7 +645,7 @@ class SweepEngine:
         with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_batch_worker,
-            initargs=(self.config, self.include_cost, plugin_modules()),
+            initargs=(self.config, self.include_cost, plugin_modules(), self.table),
         ) as pool:
             for chunk_results in pool.map(_evaluate_batch_chunk, chunks):
                 for position, record in chunk_results:
@@ -595,6 +661,7 @@ class SweepEngine:
         store: Optional[ResultStore] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         resume: Optional[Union[ResultStore, str, "Path"]] = None,
+        on_record: Optional[Callable[[Record], None]] = None,
     ) -> SweepSummary:
         """Evaluate every scenario, streaming records into ``store``.
 
@@ -610,6 +677,10 @@ class SweepEngine:
                 summary covers the whole sweep.  Usually the same file as
                 ``store``, opened with ``append=True`` so old and new
                 records accumulate together.
+            on_record: Optional callback invoked with every record as soon
+                as it is computed (after the ``store`` append).  Used by
+                :class:`repro.api.Session` to collect records without
+                round-tripping through a file.
 
         Returns:
             A :class:`SweepSummary` with counts, timing and the best record.
@@ -631,6 +702,8 @@ class SweepEngine:
         for record in self.iter_records(scenarios):
             if store is not None:
                 store.append(record)
+            if on_record is not None:
+                on_record(record)
             if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
                 best = record
             done += 1

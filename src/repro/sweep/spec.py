@@ -18,6 +18,13 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.axes import (
+    apply_system_overrides,
+    axis_names,
+    canonical_value,
+    get_axis,
+    overrides_json,
+)
 from repro.core.disaggregation import all_node_configurations
 from repro.core.system import ChipletSystem
 from repro.io.loaders import load_design_directory
@@ -29,6 +36,7 @@ from repro.packaging.registry import (
 )
 from repro.technology.carbon_sources import carbon_intensity
 from repro.testcases.registry import get_testcase
+from repro.yamlish import parse_yamlish
 
 PathLike = Union[str, Path]
 
@@ -100,6 +108,10 @@ class Scenario:
             engine default).
         lifetime_years: Use-phase lifetime override.
         system_volume: Manufacturing volume ``NS`` override.
+        overrides: Registered-axis overrides (``{axis name: value}``, see
+            :mod:`repro.axes`); ``None`` keeps every axis at its default.
+            System-target axes are applied by :meth:`build_system`,
+            config-target axes by the evaluation backends.
     """
 
     index: int
@@ -110,10 +122,16 @@ class Scenario:
     fab_source: Optional[str] = None
     lifetime_years: Optional[float] = None
     system_volume: Optional[float] = None
+    overrides: Optional[Mapping[str, Any]] = None
 
     @property
     def label(self) -> str:
-        """Compact human-readable identifier of the scenario."""
+        """Compact human-readable identifier of the scenario.
+
+        Override axes are rendered ``name=value``, sorted by axis name, so
+        labels (and therefore logs and resume diffs) are deterministic
+        regardless of the mapping's insertion order.
+        """
         parts = [self.base_ref]
         if self.nodes is not None:
             parts.append("(" + ",".join(f"{n:g}" for n in self.nodes) + ")")
@@ -125,16 +143,26 @@ class Scenario:
             parts.append(f"{self.lifetime_years:g}y")
         if self.system_volume is not None:
             parts.append(f"NS={self.system_volume:g}")
+        if self.overrides:
+            for name in sorted(self.overrides, key=str):
+                parts.append(f"{name}={format_axis_value(self.overrides[name])}")
         return "/".join(parts)
 
     def build_system(self, base: Optional[ChipletSystem] = None) -> ChipletSystem:
         """Resolve the scenario into a concrete :class:`ChipletSystem`.
+
+        System-target axis overrides are applied to the base *first* —
+        the same order the batch template compiler uses — and the legacy
+        knobs (nodes, packaging, volume, lifetime) after, so both backends
+        build bit-identical systems.
 
         Args:
             base: Pre-resolved base system (callers that evaluate many
                 scenarios of the same base pass it to avoid re-loading).
         """
         system = base if base is not None else resolve_base(self.base_kind, self.base_ref)
+        if self.overrides:
+            system = apply_system_overrides(system, self.overrides)
         if self.nodes is not None:
             system = system.with_nodes(*self.nodes)
         if self.packaging is not None:
@@ -160,7 +188,22 @@ class Scenario:
             "fab_source": self.fab_source,
             "lifetime_years": self.lifetime_years,
             "system_volume": self.system_volume,
+            "overrides": overrides_json(self.overrides),
         }
+
+
+def format_axis_value(value: Any) -> str:
+    """Compact deterministic rendering of one axis value for labels."""
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, Mapping):
+        inner = ",".join(
+            f"{key}:{format_axis_value(value[key])}" for key in sorted(value, key=str)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(format_axis_value(item) for item in value) + "]"
+    return str(value)
 
 
 def resolve_base(base_kind: str, base_ref: str) -> ChipletSystem:
@@ -227,6 +270,12 @@ class SweepSpec:
         carbon_sources: Fab energy sources to sweep.
         lifetimes: Lifetimes (years) to sweep.
         system_volumes: Manufacturing volumes ``NS`` to sweep.
+        overrides: Registered-axis value lists (:mod:`repro.axes`), stored
+            canonically as ``((axis name, (values...)), ...)`` sorted by
+            axis name.  Construction accepts a mapping too.  Any spec-
+            dictionary key that is not a core axis resolves through the
+            axis registry, so ``{"wafer_diameter_mm": [300, 450]}`` sweeps
+            the wafer-diameter axis with no spec-schema change.
     """
 
     name: str = "sweep"
@@ -238,6 +287,7 @@ class SweepSpec:
     carbon_sources: Tuple[str, ...] = ()
     lifetimes: Tuple[float, ...] = ()
     system_volumes: Tuple[float, ...] = ()
+    overrides: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.testcases and not self.design_dirs:
@@ -264,6 +314,36 @@ class SweepSpec:
             spec_from_dict(dict(config))  # validate eagerly: raises KeyError/TypeError
         for source in self.carbon_sources:
             carbon_intensity(source)  # validate eagerly
+        # Registered-axis override lists: normalise to a name-sorted tuple
+        # of (axis, values) pairs, resolve every name through the registry
+        # (unknown names fail here, not mid-sweep) and validate each value
+        # with the axis's own validator.
+        raw_overrides = self.overrides
+        if isinstance(raw_overrides, Mapping):
+            items = list(raw_overrides.items())
+        else:
+            items = [(name, values) for name, values in raw_overrides]
+        normalised: List[Tuple[str, Tuple[Any, ...]]] = []
+        for name, values in sorted(items, key=lambda item: str(item[0])):
+            axis = get_axis(name)  # raises KeyError for unknown axes
+            if isinstance(values, (str, bytes, Mapping)) or not isinstance(
+                values, (list, tuple)
+            ):
+                values = (values,)
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {axis.name!r} has no values to sweep")
+            for value in values:
+                if axis.validate is not None:
+                    try:
+                        axis.validate(value)
+                    except (TypeError, ValueError, KeyError) as exc:
+                        raise type(exc)(f"axis {axis.name!r}: {exc}") from exc
+            normalised.append((axis.name, values))
+        seen_names = [name for name, _ in normalised]
+        if len(set(seen_names)) != len(seen_names):
+            raise ValueError(f"duplicate override axes in spec: {seen_names}")
+        object.__setattr__(self, "overrides", tuple(normalised))
         # No axis may list a value twice (duplicates inflate the grid).
         _reject_duplicate_axis_values("testcases", self.testcases)
         _reject_duplicate_axis_values("design_dirs", self.design_dirs)
@@ -273,6 +353,8 @@ class SweepSpec:
         _reject_duplicate_axis_values("carbon_sources", self.carbon_sources)
         _reject_duplicate_axis_values("lifetimes", self.lifetimes)
         _reject_duplicate_axis_values("system_volumes", self.system_volumes)
+        for name, values in self.overrides:
+            _reject_duplicate_axis_values(name, values, key=canonical_value)
 
     # -- construction ---------------------------------------------------------------
     @classmethod
@@ -284,12 +366,24 @@ class SweepSpec:
         Scalars are promoted to one-element axes, packaging entries may be
         plain architecture names (``"rdl"``) or full dicts, and
         ``design_dirs`` are resolved relative to ``base_dir`` (usually the
-        directory of the spec file).
+        directory of the spec file).  Keys that are not core spec keys
+        resolve through the axis registry (:mod:`repro.axes`): any
+        registered axis name maps to an override-axis value list.
         """
-        unknown = set(config) - _SPEC_KEYS
+        extra = set(config) - _SPEC_KEYS
+        override_keys: List[str] = []
+        unknown: List[str] = []
+        for key in sorted(extra):
+            try:
+                get_axis(key)
+            except KeyError:
+                unknown.append(key)
+            else:
+                override_keys.append(key)
         if unknown:
             raise KeyError(
-                f"unknown sweep-spec keys {sorted(unknown)}; known keys: {sorted(_SPEC_KEYS)}"
+                f"unknown sweep-spec keys {unknown}; known keys: "
+                f"{sorted(_SPEC_KEYS)}; registered axes: {axis_names()}"
             )
 
         def listify(value: Any) -> List[Any]:
@@ -324,6 +418,10 @@ class SweepSpec:
             for entry in listify(config.get("node_configs"))
         )
 
+        overrides = tuple(
+            (key, tuple(listify(config.get(key)))) for key in override_keys
+        )
+
         return cls(
             name=str(config.get("name", "sweep")),
             testcases=tuple(str(t) for t in listify(config.get("testcases"))),
@@ -334,29 +432,19 @@ class SweepSpec:
             carbon_sources=tuple(str(s) for s in listify(config.get("carbon_sources"))),
             lifetimes=tuple(float(v) for v in listify(config.get("lifetimes"))),
             system_volumes=tuple(float(v) for v in listify(config.get("system_volumes"))),
+            overrides=overrides,
         )
 
     @classmethod
     def from_file(cls, path: PathLike) -> "SweepSpec":
         """Load a spec from a ``.json`` or YAML-ish ``.yaml``/``.yml`` file."""
-        target = Path(path)
-        text = target.read_text(encoding="utf-8")
-        if target.suffix.lower() in (".yaml", ".yml"):
-            data = parse_yamlish(text)
-        else:
-            data = json.loads(text)
-            if not isinstance(data, dict):
-                raise ValueError(f"{target}: expected a JSON object at the top level")
-        return cls.from_dict(data, base_dir=target.parent)
+        data, base_dir = load_spec_dict(path)
+        return cls.from_dict(data, base_dir=base_dir)
 
     @classmethod
     def preset(cls, name: str) -> "SweepSpec":
         """One of the named scenario presets in :data:`PRESETS`."""
-        key = name.strip().lower()
-        config = PRESETS.get(key)
-        if config is None:
-            raise KeyError(f"unknown sweep preset {name!r}; known presets: {sorted(PRESETS)}")
-        return cls.from_dict(config)
+        return cls.from_dict(preset_dict(name))
 
     # -- expansion ------------------------------------------------------------------
     def expand(self) -> List[Scenario]:
@@ -373,6 +461,20 @@ class SweepSpec:
         source_axis: Sequence[Optional[str]] = self.carbon_sources or (None,)
         lifetime_axis: Sequence[Optional[float]] = self.lifetimes or (None,)
         volume_axis: Sequence[Optional[float]] = self.system_volumes or (None,)
+        # One shared dict per override combination: scenarios of a combo
+        # reference the same object, so the batch backend's identity-keyed
+        # signature caches avoid re-hashing it thousands of times.
+        override_axis: Sequence[Optional[Mapping[str, Any]]]
+        if self.overrides:
+            names = [name for name, _ in self.overrides]
+            override_axis = [
+                dict(zip(names, combo))
+                for combo in itertools.product(
+                    *(values for _, values in self.overrides)
+                )
+            ]
+        else:
+            override_axis = (None,)
 
         scenarios: List[Scenario] = []
         for base_kind, base_ref in bases:
@@ -391,8 +493,11 @@ class SweepSpec:
                     node_axis = all_node_configurations(self.nodes, system.chiplet_count)
             else:
                 node_axis = (None,)
-            for nodes, packaging, source, lifetime, volume in itertools.product(
-                node_axis, packaging_axis, source_axis, lifetime_axis, volume_axis
+            # Template-defining axes (nodes, packaging, overrides) are the
+            # outer loops so batch-backend template groups stay contiguous.
+            for nodes, packaging, overrides, source, lifetime, volume in itertools.product(
+                node_axis, packaging_axis, override_axis, source_axis,
+                lifetime_axis, volume_axis,
             ):
                 scenarios.append(
                     Scenario(
@@ -404,6 +509,7 @@ class SweepSpec:
                         fab_source=source,
                         lifetime_years=lifetime,
                         system_volume=volume,
+                        overrides=overrides,
                     )
                 )
         return scenarios
@@ -421,6 +527,8 @@ class SweepSpec:
             * max(1, len(self.lifetimes))
             * max(1, len(self.system_volumes))
         )
+        for _, values in self.overrides:
+            other_axes *= len(values)
         bases: List[Tuple[str, str]] = [(BASE_TESTCASE, t) for t in self.testcases]
         bases += [(BASE_DESIGN_DIR, d) for d in self.design_dirs]
         total = 0
@@ -434,6 +542,43 @@ class SweepSpec:
                 node_count = 1
             total += node_count * other_axes
         return total
+
+
+def preset_dict(name: str) -> Dict[str, Any]:
+    """A copy of the named preset's spec dictionary.
+
+    Shared by :meth:`SweepSpec.preset` and callers that merge additional
+    axes into the dictionary first (the CLI's ``--set`` flag), so name
+    normalisation and the unknown-preset error live in one place.
+
+    Raises:
+        KeyError: unknown preset name, listing the known presets.
+    """
+    key = str(name).strip().lower()
+    config = PRESETS.get(key)
+    if config is None:
+        raise KeyError(
+            f"unknown sweep preset {name!r}; known presets: {sorted(PRESETS)}"
+        )
+    return dict(config)
+
+
+def load_spec_dict(path: PathLike) -> Tuple[Dict[str, Any], Path]:
+    """``(spec dictionary, base dir)`` of a spec file, before validation.
+
+    Exposed separately from :meth:`SweepSpec.from_file` so callers that
+    merge additional axes into the dictionary first — the CLI's ``--set``
+    flag — share the file-format handling.
+    """
+    target = Path(path)
+    text = target.read_text(encoding="utf-8")
+    if target.suffix.lower() in (".yaml", ".yml"):
+        data = parse_yamlish(text)
+    else:
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"{target}: expected a JSON object at the top level")
+    return data, target.parent
 
 
 def load_spec(path: PathLike) -> SweepSpec:
@@ -476,109 +621,6 @@ PRESETS: Dict[str, Dict[str, Any]] = {
 }
 
 
-# ---------------------------------------------------------------------------
-# Minimal YAML-ish parser (no external dependency)
-# ---------------------------------------------------------------------------
-def _parse_scalar(text: str) -> Any:
-    value = text.strip()
-    if not value or value == "null" or value == "~":
-        return None
-    if value.lower() == "true":
-        return True
-    if value.lower() == "false":
-        return False
-    if (value[0] == value[-1] == '"') or (value[0] == value[-1] == "'"):
-        return value[1:-1] if len(value) >= 2 else value
-    try:
-        return int(value)
-    except ValueError:
-        pass
-    try:
-        return float(value)
-    except ValueError:
-        pass
-    return value
-
-
-def _split_inline(text: str) -> List[str]:
-    """Split on top-level commas, respecting ``[]``/``{}`` nesting and quotes."""
-    parts, depth, current = [], 0, []
-    quote: Optional[str] = None
-    for char in text:
-        if quote is not None:
-            current.append(char)
-            if char == quote:
-                quote = None
-            continue
-        if char in "\"'":
-            quote = char
-            current.append(char)
-            continue
-        if char in "[{":
-            depth += 1
-        elif char in "]}":
-            depth -= 1
-        if char == "," and depth == 0:
-            parts.append("".join(current))
-            current = []
-        else:
-            current.append(char)
-    tail = "".join(current).strip()
-    if tail:
-        parts.append(tail)
-    return parts
-
-
-def _parse_inline(text: str) -> Any:
-    value = text.strip()
-    if value.startswith("[") and value.endswith("]"):
-        inner = value[1:-1].strip()
-        return [_parse_inline(part) for part in _split_inline(inner)] if inner else []
-    if value.startswith("{") and value.endswith("}"):
-        inner = value[1:-1].strip()
-        result: Dict[str, Any] = {}
-        for part in _split_inline(inner):
-            if ":" not in part:
-                raise ValueError(f"cannot parse inline mapping entry {part!r}")
-            key, _, rest = part.partition(":")
-            result[str(_parse_scalar(key))] = _parse_inline(rest)
-        return result
-    return _parse_scalar(value)
-
-
-def parse_yamlish(text: str) -> Dict[str, Any]:
-    """Parse the YAML subset used by sweep-spec files.
-
-    Supported constructs: top-level ``key: value`` pairs with scalar or
-    inline ``[...]``/``{...}`` values, and block lists of scalars or inline
-    mappings introduced by ``- ``.  Comments (``#``) and blank lines are
-    ignored.  This is intentionally *not* a YAML parser — it exists so spec
-    files stay readable without adding a dependency.
-    """
-    data: Dict[str, Any] = {}
-    current_key: Optional[str] = None
-    for raw_line in text.splitlines():
-        line = raw_line.split("#", 1)[0].rstrip()
-        if not line.strip():
-            continue
-        stripped = line.strip()
-        if stripped.startswith("- "):
-            if current_key is None:
-                raise ValueError(f"list item outside of a key: {raw_line!r}")
-            data.setdefault(current_key, [])
-            if not isinstance(data[current_key], list):
-                raise ValueError(f"key {current_key!r} mixes scalar and list values")
-            data[current_key].append(_parse_inline(stripped[2:]))
-            continue
-        if line[0].isspace():
-            raise ValueError(f"unsupported indentation in spec file: {raw_line!r}")
-        if ":" not in stripped:
-            raise ValueError(f"cannot parse spec line {raw_line!r}")
-        key, _, rest = stripped.partition(":")
-        current_key = key.strip()
-        rest = rest.strip()
-        if rest:
-            data[current_key] = _parse_inline(rest)
-        else:
-            data[current_key] = []
-    return data
+# The YAML-ish parser lives in :mod:`repro.yamlish` (shared with the axis
+# registry's CLI value parsing); ``parse_yamlish`` stays re-exported here
+# for backwards compatibility.

@@ -409,13 +409,22 @@ class SweepRow:
 
     @property
     def label(self) -> str:
-        """Readable identifier reconstructed from the record."""
+        """Readable identifier reconstructed from the record.
+
+        Axis overrides (the ``overrides`` record column, canonical JSON
+        written by both backends) are appended verbatim so rows of a
+        multi-knob sweep stay distinguishable in Pareto/top-N listings.
+        """
         nodes = self.record.get("nodes")
         if isinstance(nodes, (list, tuple)):
             node_text = "(" + ",".join(f"{float(n):g}" for n in nodes) + ")"
         else:
             node_text = str(self.record.get("base", "?"))
-        return f"{node_text}/{self.record.get('packaging', '?')}"
+        label = f"{node_text}/{self.record.get('packaging', '?')}"
+        overrides = self.record.get("overrides")
+        if overrides:
+            label = f"{label}/{overrides}"
+        return label
 
     def objective(self, name: str) -> float:
         """Value of the named objective (smaller is better)."""

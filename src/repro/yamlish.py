@@ -1,0 +1,120 @@
+"""Minimal YAML-ish parser shared by spec files and CLI value lists.
+
+Lives at the top of the package (no ``repro`` imports) so that leaf modules
+— the axis registry parsing ``--set`` values, the sweep spec loading
+``.yaml`` files — can share one scalar/inline grammar without import
+cycles.  This is intentionally *not* a YAML parser — it exists so spec
+files stay readable without adding a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["parse_inline", "parse_scalar", "parse_yamlish", "split_inline"]
+
+
+def parse_scalar(text: str) -> Any:
+    """One scalar token: null/bool/quoted string/int/float, else the text."""
+    value = text.strip()
+    if not value or value == "null" or value == "~":
+        return None
+    if value.lower() == "true":
+        return True
+    if value.lower() == "false":
+        return False
+    if (value[0] == value[-1] == '"') or (value[0] == value[-1] == "'"):
+        return value[1:-1] if len(value) >= 2 else value
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def split_inline(text: str) -> List[str]:
+    """Split on top-level commas, respecting ``[]``/``{}`` nesting and quotes."""
+    parts, depth, current = [], 0, []
+    quote: Optional[str] = None
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "\"'":
+            quote = char
+            current.append(char)
+            continue
+        if char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_inline(text: str) -> Any:
+    """A scalar, inline list ``[...]`` or inline mapping ``{...}``."""
+    value = text.strip()
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        return [parse_inline(part) for part in split_inline(inner)] if inner else []
+    if value.startswith("{") and value.endswith("}"):
+        inner = value[1:-1].strip()
+        result: Dict[str, Any] = {}
+        for part in split_inline(inner):
+            if ":" not in part:
+                raise ValueError(f"cannot parse inline mapping entry {part!r}")
+            key, _, rest = part.partition(":")
+            result[str(parse_scalar(key))] = parse_inline(rest)
+        return result
+    return parse_scalar(value)
+
+
+def parse_yamlish(text: str) -> Dict[str, Any]:
+    """Parse the YAML subset used by sweep-spec files.
+
+    Supported constructs: top-level ``key: value`` pairs with scalar or
+    inline ``[...]``/``{...}`` values, and block lists of scalars or inline
+    mappings introduced by ``- ``.  Comments (``#``) and blank lines are
+    ignored.
+    """
+    data: Dict[str, Any] = {}
+    current_key: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("- "):
+            if current_key is None:
+                raise ValueError(f"list item outside of a key: {raw_line!r}")
+            data.setdefault(current_key, [])
+            if not isinstance(data[current_key], list):
+                raise ValueError(f"key {current_key!r} mixes scalar and list values")
+            data[current_key].append(parse_inline(stripped[2:]))
+            continue
+        if line[0].isspace():
+            raise ValueError(f"unsupported indentation in spec file: {raw_line!r}")
+        if ":" not in stripped:
+            raise ValueError(f"cannot parse spec line {raw_line!r}")
+        key, _, rest = stripped.partition(":")
+        current_key = key.strip()
+        rest = rest.strip()
+        if rest:
+            data[current_key] = parse_inline(rest)
+        else:
+            data[current_key] = []
+    return data

@@ -138,3 +138,28 @@ def custom_packaging():
     sys.modules[name] = module  # registered dataclasses resolve cls.__module__
     spec.loader.exec_module(module)
     return module
+
+
+# -- out-of-tree sweep-axis plugin ---------------------------------------------
+@pytest.fixture(scope="session")
+def custom_axis():
+    """``examples/custom_axis.py`` imported once as an out-of-tree axis plugin.
+
+    Same file-path loading pattern as ``custom_packaging``: a stable module
+    name so repeated imports hit the axis registry's idempotent
+    re-registration path, and a recorded source file so worker processes can
+    re-import the module by path.
+    """
+    import importlib.util
+    import pathlib
+    import sys
+
+    name = "custom_axis_example"
+    if name in sys.modules:
+        return sys.modules[name]
+    path = pathlib.Path(__file__).resolve().parents[1] / "examples" / "custom_axis.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module  # registered callables resolve __module__
+    spec.loader.exec_module(module)
+    return module

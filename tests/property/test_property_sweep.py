@@ -41,6 +41,19 @@ _PACKAGING_OPTIONS = (
     {"type": "3d", "params": {"bond_type": ["microbump", "hybrid"]}},
 )
 
+#: Built-in registered-axis override options (repro.axes): one value list
+#: per axis, covering both config-target knobs (wafer diameter, defect
+#: density, router spec — these fork estimator configs and batch template
+#: compilers) and system-target knobs (operating-spec fields).
+_OVERRIDE_OPTIONS = (
+    ("wafer_diameter_mm", [300.0, 450.0]),
+    ("defect_density_scale", [1.0, 1.6]),
+    ("router_spec", [{"ports": 5}, {"ports": 8, "virtual_channels": 2}]),
+    ("operating_power_w", [25.0]),
+    ("duty_cycle", [0.1, 0.3]),
+    ("use_carbon_source", ["grid_world", "wind"]),
+)
+
 
 @st.composite
 def sweep_specs(draw) -> SweepSpec:
@@ -67,17 +80,29 @@ def sweep_specs(draw) -> SweepSpec:
     carbon_sources = draw(st.sampled_from([(), ("coal",), ("coal", "solar")]))
     lifetimes = draw(st.sampled_from([(), (2.0, 6.0)]))
     system_volumes = draw(st.sampled_from([(), (1e5, 1e7)]))
-    return SweepSpec.from_dict(
-        {
-            "name": "property-grid",
-            "testcases": [testcase],
-            "node_configs": [list(config) for config in node_configs],
-            "packaging": packaging,
-            "carbon_sources": list(carbon_sources),
-            "lifetimes": list(lifetimes),
-            "system_volumes": list(system_volumes),
-        }
+    # Up to two registered-axis overrides (kept small so the cartesian
+    # grid stays CI-cheap) drawn from the built-in axis catalogue.
+    override_indices = draw(
+        st.lists(
+            st.sampled_from(range(len(_OVERRIDE_OPTIONS))),
+            min_size=0,
+            max_size=2,
+            unique=True,
+        )
     )
+    config = {
+        "name": "property-grid",
+        "testcases": [testcase],
+        "node_configs": [list(config) for config in node_configs],
+        "packaging": packaging,
+        "carbon_sources": list(carbon_sources),
+        "lifetimes": list(lifetimes),
+        "system_volumes": list(system_volumes),
+    }
+    for index in override_indices:
+        name, values = _OVERRIDE_OPTIONS[index]
+        config[name] = list(values)
+    return SweepSpec.from_dict(config)
 
 
 class TestBackendParity:

@@ -1,0 +1,196 @@
+"""Unit tests of the :class:`repro.api.Session` facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EcoChip, EstimatorConfig, Session
+from repro.api import ExploreResult, SweepResult
+from repro.sweep.store import load_records
+from repro.testcases.registry import get_testcase
+
+SMALL_SPEC = {
+    "name": "session-grid",
+    "testcases": ["emr-2chiplet"],
+    "lifetimes": [2.0, 6.0],
+    "wafer_diameter_mm": [300.0, 450.0],
+}
+
+
+class TestArgumentValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Session(jobs=0)
+
+    def test_backend_must_be_known(self):
+        with pytest.raises(ValueError, match="backend"):
+            Session(backend="warp")
+
+    def test_mp_context_must_be_known(self):
+        with pytest.raises(ValueError, match="start method"):
+            Session(mp_context="thread")
+
+    def test_config_must_be_an_estimator_config(self):
+        with pytest.raises(TypeError, match="EstimatorConfig"):
+            Session(config={"fab_carbon_source": "coal"})
+
+    def test_sweep_requires_exactly_one_source(self, tmp_path):
+        session = Session()
+        with pytest.raises(ValueError, match="exactly one"):
+            session.sweep()
+        with pytest.raises(ValueError, match="exactly one"):
+            session.sweep(SMALL_SPEC, preset="ga102-quick")
+
+    def test_sweep_resume_requires_out(self):
+        with pytest.raises(ValueError, match="resume"):
+            Session().sweep(SMALL_SPEC, resume=True)
+
+    def test_sweep_rejects_non_spec_objects(self):
+        with pytest.raises(TypeError, match="SweepSpec"):
+            Session().sweep(spec=42)
+
+    def test_estimate_rejects_unknown_override_axes(self):
+        with pytest.raises(KeyError, match="unknown axis"):
+            Session().estimate("emr-2chiplet", overrides={"bogus": 1})
+
+    def test_estimate_rejects_bad_override_values(self):
+        with pytest.raises(ValueError, match="duty"):
+            Session().estimate("emr-2chiplet", overrides={"duty_cycle": 2.0})
+
+    def test_unknown_testcase_name(self):
+        with pytest.raises(KeyError, match="testcase"):
+            Session().estimate("no-such-testcase")
+
+    def test_system_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ChipletSystem"):
+            Session().system(42)
+
+    def test_explore_requires_objectives(self):
+        with pytest.raises(ValueError, match="objective"):
+            Session().explore("emr-2chiplet", [7, 14], objectives=())
+
+
+class TestEstimate:
+    def test_matches_the_raw_estimator(self):
+        report = Session().estimate("emr-2chiplet")
+        expected = EcoChip().estimate(get_testcase("emr-2chiplet"))
+        assert report.total_cfp_g == expected.total_cfp_g
+
+    def test_overrides_match_a_manually_built_config(self):
+        report = Session().estimate(
+            "emr-2chiplet", overrides={"wafer_diameter_mm": 300.0}
+        )
+        expected = EcoChip(
+            config=EstimatorConfig(wafer_diameter_mm=300.0)
+        ).estimate(get_testcase("emr-2chiplet"))
+        assert report.total_cfp_g == expected.total_cfp_g
+        assert report.total_cfp_g != Session().estimate("emr-2chiplet").total_cfp_g
+
+    def test_fab_source_triple_override(self):
+        report = Session().estimate("emr-2chiplet", fab_source="wind")
+        expected = EcoChip(
+            config=EstimatorConfig(
+                fab_carbon_source="wind",
+                package_carbon_source="wind",
+                design_carbon_source="wind",
+            )
+        ).estimate(get_testcase("emr-2chiplet"))
+        assert report.total_cfp_g == expected.total_cfp_g
+
+    def test_accepts_prebuilt_systems(self):
+        system = get_testcase("emr-2chiplet")
+        assert Session().estimate(system).total_cfp_g == (
+            EcoChip().estimate(system).total_cfp_g
+        )
+
+
+class TestSweep:
+    def test_returns_typed_result_with_records(self):
+        result = Session().sweep(SMALL_SPEC)
+        assert isinstance(result, SweepResult)
+        assert len(result.records) == 4
+        assert result.summary.scenario_count == 4
+        assert result.best == min(
+            result.records, key=lambda r: r["total_carbon_g"]
+        )
+        assert result.spec.name == "session-grid"
+
+    def test_collect_records_false_streams_only(self, tmp_path):
+        out = tmp_path / "r.jsonl"
+        result = Session().sweep(SMALL_SPEC, out=out, collect_records=False)
+        assert result.records == ()
+        assert len(load_records(out)) == 4
+
+    def test_resume_skips_completed_scenarios(self, tmp_path):
+        out = tmp_path / "r.jsonl"
+        session = Session()
+        first = session.sweep(SMALL_SPEC, out=out)
+        again = session.sweep(SMALL_SPEC, out=out, resume=True)
+        assert again.summary.scenario_count == 0
+        assert again.summary.skipped_count == 4
+        assert list(again.records) == list(first.records)
+
+    def test_pareto_rows_from_records(self):
+        result = Session().sweep(SMALL_SPEC)
+        front = result.pareto(["total_carbon_g", "power_w"])
+        assert 1 <= len(front) <= len(result.records)
+
+    def test_preset_and_spec_file_sources(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps(SMALL_SPEC))
+        by_dict = Session().sweep(SMALL_SPEC)
+        by_file = Session().sweep(spec_file=spec_path)
+        assert list(by_dict.records) == list(by_file.records)
+
+
+class TestCustomTable:
+    def test_sweep_honours_the_session_table_on_both_backends(self):
+        import dataclasses as dc
+
+        from repro.technology.nodes import DEFAULT_TECHNOLOGY_TABLE, TechnologyTable
+
+        custom = TechnologyTable(
+            nodes=[
+                dc.replace(n, defect_density_per_cm2=n.defect_density_per_cm2 * 3.0)
+                for n in DEFAULT_TECHNOLOGY_TABLE
+            ]
+        )
+        spec = {"testcases": ["emr-2chiplet"]}
+        expected = Session(table=custom).estimate("emr-2chiplet").total_cfp_g
+        scalar = Session(table=custom).sweep(spec).best["total_carbon_g"]
+        batch = Session(table=custom, backend="batch").sweep(spec).best[
+            "total_carbon_g"
+        ]
+        assert scalar == expected == batch
+        assert scalar != Session().sweep(spec).best["total_carbon_g"]
+
+
+class TestExplore:
+    def test_explore_accepts_axis_overrides(self):
+        base = Session().explore("emr-2chiplet", [7], objectives=["total_carbon_g"])
+        overridden = Session().explore(
+            "emr-2chiplet", [7],
+            objectives=["total_carbon_g"],
+            overrides={"wafer_diameter_mm": 300.0},
+        )
+        assert overridden.best.objective("total_carbon_g") != (
+            base.best.objective("total_carbon_g")
+        )
+        with pytest.raises(KeyError, match="unknown axis"):
+            Session().explore("emr-2chiplet", [7], overrides={"bogus": 1})
+
+    def test_typed_explore_result(self):
+        result = Session().explore(
+            "emr-2chiplet", [7, 14],
+            packaging=["rdl_fanout", {"type": "silicon_bridge"}],
+            objectives=["total_carbon_g", "power_w"],
+        )
+        assert isinstance(result, ExploreResult)
+        assert len(result.points) == 8  # 2^2 node configs x 2 packagings
+        assert all(any(p is q for q in result.points) for p in result.front)
+        assert result.best in result.points
+        assert result.best.objective("total_carbon_g") == min(
+            p.objective("total_carbon_g") for p in result.points
+        )

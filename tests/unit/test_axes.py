@@ -1,0 +1,307 @@
+"""Unit tests of the typed axis registry (:mod:`repro.axes`)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.axes import (
+    Axis,
+    apply_config_overrides,
+    apply_system_overrides,
+    axis_names,
+    canonical_value,
+    config_overrides_signature,
+    describe_axes,
+    get_axis,
+    overrides_json,
+    overrides_signature,
+    register_axis,
+    system_overrides_signature,
+    template_overrides_signature,
+    validate_overrides,
+)
+from repro.axes.registry import RESERVED_AXIS_NAMES
+from repro.core.estimator import EstimatorConfig
+from repro.plugins import PLUGIN_API_VERSION, PluginAPIVersionError
+from repro.testcases.registry import get_testcase
+
+BUILTIN_AXES = (
+    "annual_energy_kwh",
+    "defect_density_scale",
+    "duty_cycle",
+    "operating_power_w",
+    "router_spec",
+    "use_carbon_source",
+    "vdd_v",
+    "wafer_diameter_mm",
+)
+
+
+def _noop_apply(obj, value):
+    return obj
+
+
+class TestRegistry:
+    def test_builtin_axes_are_registered(self):
+        names = axis_names()
+        for name in BUILTIN_AXES:
+            assert name in names
+
+    def test_get_axis_is_case_insensitive_and_typed(self):
+        axis = get_axis("Wafer_Diameter_MM")
+        assert isinstance(axis, Axis)
+        assert axis.name == "wafer_diameter_mm"
+        assert axis.target == "config"
+
+    def test_unknown_axis_lists_the_catalogue(self):
+        with pytest.raises(KeyError, match="registered axes"):
+            get_axis("no_such_axis")
+
+    def test_reserved_names_are_rejected(self):
+        for reserved in ("nodes", "packaging", "lifetimes", "overrides", "scenario"):
+            assert reserved in RESERVED_AXIS_NAMES
+            with pytest.raises(ValueError, match="reserved"):
+                register_axis(reserved, "system", _noop_apply)
+
+    def test_bad_target_and_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            register_axis("ok_name_xyz", "estimator", _noop_apply)
+        with pytest.raises(ValueError, match="identifier"):
+            register_axis("bad name!", "system", _noop_apply)
+        with pytest.raises(TypeError, match="callable"):
+            register_axis("ok_name_xyz", "system", "not callable")
+
+    def test_idempotent_reregistration_and_conflict(self):
+        axis = register_axis("tmp_axis_for_test", "system", _noop_apply)
+        assert register_axis("tmp_axis_for_test", "system", _noop_apply) is axis
+        with pytest.raises(ValueError, match="already registered"):
+            register_axis("tmp_axis_for_test", "config", _noop_apply)
+
+    def test_describe_axes_mentions_name_and_target(self):
+        lines = describe_axes()
+        rendered = "\n".join(lines)
+        for name in BUILTIN_AXES:
+            assert name in rendered
+        assert "[config]" in rendered and "[system]" in rendered
+
+
+class TestPluginAPIVersion:
+    def test_current_version_accepted(self):
+        axis = register_axis(
+            "tmp_versioned_axis", "system", _noop_apply,
+            api_version=PLUGIN_API_VERSION,
+        )
+        assert axis.name == "tmp_versioned_axis"
+
+    def test_register_axis_rejects_incompatible_version(self):
+        with pytest.raises(PluginAPIVersionError, match="plugin API version 999"):
+            register_axis(
+                "tmp_bad_version_axis", "system", _noop_apply, api_version=999
+            )
+        with pytest.raises(KeyError):
+            get_axis("tmp_bad_version_axis")  # nothing was registered
+
+    def test_register_axis_rejects_non_integer_version(self):
+        with pytest.raises(PluginAPIVersionError, match="integer"):
+            register_axis(
+                "tmp_bad_version_axis2", "system", _noop_apply, api_version="1"
+            )
+
+    def test_register_packaging_rejects_incompatible_version(self):
+        from repro.packaging.base import PackagingModel
+        from repro.packaging.registry import register_packaging
+
+        class _TmpSpec:
+            pass
+
+        class _TmpModel(PackagingModel):
+            architecture = "tmp"
+
+            def chiplet_area_overhead_mm2(self, chiplet, chiplet_count):
+                return 0.0
+
+            def evaluate(self, chiplets, floorplan):
+                raise NotImplementedError
+
+            def compile_terms(self, *args):
+                raise NotImplementedError
+
+        with pytest.raises(PluginAPIVersionError, match="provides version"):
+            register_packaging("tmp_arch_bad_version", _TmpSpec, _TmpModel, api_version=2)
+
+
+class TestValidators:
+    def test_wafer_diameter_must_be_positive(self):
+        with pytest.raises(ValueError, match="wafer_diameter_mm"):
+            validate_overrides({"wafer_diameter_mm": -1.0})
+
+    def test_duty_cycle_range(self):
+        with pytest.raises(ValueError, match="duty"):
+            validate_overrides({"duty_cycle": 1.5})
+        validate_overrides({"duty_cycle": 0.25})
+
+    def test_router_spec_requires_mapping_with_known_fields(self):
+        with pytest.raises(TypeError, match="mappings"):
+            validate_overrides({"router_spec": 8})
+        with pytest.raises(ValueError, match="unknown RouterSpec field"):
+            validate_overrides({"router_spec": {"portz": 8}})
+        validate_overrides({"router_spec": {"ports": 8, "flit_width_bits": 256}})
+
+    def test_unknown_axis_in_overrides(self):
+        with pytest.raises(KeyError, match="unknown axis"):
+            validate_overrides({"bogus": 1})
+
+    def test_overrides_must_be_a_mapping(self):
+        with pytest.raises(TypeError, match="map axis names"):
+            validate_overrides([("wafer_diameter_mm", 300.0)])
+
+
+class TestAppliers:
+    def test_config_axes_transform_the_config(self):
+        config = EstimatorConfig()
+        out = apply_config_overrides(
+            config,
+            {"wafer_diameter_mm": 300, "defect_density_scale": 1.5,
+             "router_spec": {"ports": 8}},
+        )
+        assert out.wafer_diameter_mm == 300.0
+        assert out.defect_density_scale == 1.5
+        assert out.router_spec.ports == 8
+        assert out.router_spec.flit_width_bits == config.router_spec.flit_width_bits
+        assert config.wafer_diameter_mm == 450.0  # original untouched
+
+    def test_system_axes_transform_the_operating_spec(self):
+        system = get_testcase("emr-2chiplet")
+        out = apply_system_overrides(
+            system, {"duty_cycle": 0.1, "operating_power_w": 25.0}
+        )
+        assert out.operating.duty_cycle == 0.1
+        assert out.operating.average_power_w == 25.0
+        assert out is not system
+
+    def test_targets_do_not_cross(self):
+        system = get_testcase("emr-2chiplet")
+        config = EstimatorConfig()
+        assert apply_system_overrides(system, {"wafer_diameter_mm": 300}) is system
+        assert apply_config_overrides(config, {"duty_cycle": 0.1}) is config
+
+
+class TestSignatures:
+    def test_signature_is_order_insensitive(self):
+        a = {"duty_cycle": 0.1, "wafer_diameter_mm": 300.0}
+        b = {"wafer_diameter_mm": 300.0, "duty_cycle": 0.1}
+        assert overrides_signature(a) == overrides_signature(b)
+        assert template_overrides_signature(a) == template_overrides_signature(b)
+
+    def test_mapping_values_are_canonicalised(self):
+        a = {"router_spec": {"ports": 8, "virtual_channels": 2}}
+        b = {"router_spec": {"virtual_channels": 2, "ports": 8}}
+        assert overrides_signature(a) == overrides_signature(b)
+        assert canonical_value(a["router_spec"]) == canonical_value(b["router_spec"])
+
+    def test_numerically_equal_values_share_a_signature(self):
+        assert canonical_value(300) == canonical_value(300.0)
+        assert canonical_value(True) != canonical_value(1)  # bools stay bools
+        huge = 10**30 + 1  # beyond lossless float round-trip: keep exact text
+        assert canonical_value(huge) == repr(huge)
+
+    def test_int_float_duplicate_axis_values_rejected(self):
+        from repro.sweep.spec import SweepSpec
+
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec.from_dict(
+                {"testcases": ["emr-2chiplet"], "wafer_diameter_mm": [300, 300.0]}
+            )
+
+    def test_empty_overrides_have_none_signature(self):
+        assert overrides_signature(None) is None
+        assert overrides_signature({}) is None
+        assert template_overrides_signature(None) is None
+        assert overrides_json(None) is None
+
+    def test_target_subset_signatures(self):
+        overrides = {"duty_cycle": 0.1, "wafer_diameter_mm": 300.0}
+        config_sig = config_overrides_signature(overrides)
+        system_sig = system_overrides_signature(overrides)
+        assert config_sig == (("wafer_diameter_mm", "300.0"),)
+        assert system_sig == (("duty_cycle", "0.1"),)
+        assert config_overrides_signature({"duty_cycle": 0.1}) is None
+
+    def test_overrides_json_is_sorted_and_deterministic(self):
+        a = overrides_json({"b_axis": 1, "a_axis": 2})
+        b = overrides_json({"a_axis": 2, "b_axis": 1})
+        assert a == b == '{"a_axis": 2, "b_axis": 1}'
+
+    def test_compile_terms_hook_widens_template_sharing(self):
+        calls = []
+
+        def terms(value):
+            calls.append(value)
+            return round(float(value), 0)
+
+        register_axis(
+            "tmp_hooked_axis", "system", _noop_apply, compile_terms=terms
+        )
+        a = template_overrides_signature({"tmp_hooked_axis": 1.2})
+        b = template_overrides_signature({"tmp_hooked_axis": 0.8})
+        assert a == b == (("tmp_hooked_axis", 1.0),)
+        assert calls == [1.2, 0.8]
+
+
+class TestDefectDensityPlumbing:
+    def test_scale_flows_into_the_yield_model(self):
+        from repro.core.estimator import EcoChip
+
+        base = EcoChip(config=EstimatorConfig())
+        scaled = EcoChip(config=EstimatorConfig(defect_density_scale=2.0))
+        y_base = base.manufacturing.yield_model.die_yield(100.0, 7)
+        y_scaled = scaled.manufacturing.yield_model.die_yield(100.0, 7)
+        assert y_scaled < y_base
+
+    def test_scale_of_one_is_bit_exact(self):
+        from repro.manufacturing.yield_model import YieldModel
+
+        assert YieldModel().die_yield(123.4, 7) == YieldModel(
+            defect_density_scale=1.0
+        ).die_yield(123.4, 7)
+
+    def test_scale_must_be_positive(self):
+        from repro.manufacturing.yield_model import YieldModel
+
+        with pytest.raises(ValueError, match="positive"):
+            YieldModel(defect_density_scale=0.0)
+
+
+class TestScenarioIntegration:
+    def test_label_sorts_override_axes(self):
+        from repro.sweep.spec import Scenario
+
+        scenario = Scenario(
+            index=0,
+            base_kind="testcase",
+            base_ref="emr-2chiplet",
+            lifetime_years=4.0,
+            overrides={"wafer_diameter_mm": 300.0, "duty_cycle": 0.1},
+        )
+        assert scenario.label == (
+            "emr-2chiplet/4y/duty_cycle=0.1/wafer_diameter_mm=300"
+        )
+        reordered = dataclasses.replace(
+            scenario, overrides={"duty_cycle": 0.1, "wafer_diameter_mm": 300.0}
+        )
+        assert reordered.label == scenario.label
+
+    def test_to_record_carries_canonical_overrides_json(self):
+        from repro.sweep.spec import Scenario
+
+        scenario = Scenario(
+            index=0,
+            base_kind="testcase",
+            base_ref="emr-2chiplet",
+            overrides={"wafer_diameter_mm": 300.0},
+        )
+        assert scenario.to_record()["overrides"] == '{"wafer_diameter_mm": 300.0}'
+        bare = Scenario(index=0, base_kind="testcase", base_ref="emr-2chiplet")
+        assert bare.to_record()["overrides"] is None
