@@ -47,7 +47,11 @@ from repro.packaging.registry import (
     _record_plugin_modules,
     load_entry_point_plugins,
 )
-from repro.plugins import PLUGIN_API_VERSION, check_plugin_api_version
+from repro.plugins import (
+    PLUGIN_API_VERSION,
+    REGISTRY_LOCK,
+    check_plugin_api_version,
+)
 from repro.yamlish import parse_inline
 
 __all__ = [
@@ -265,21 +269,30 @@ def register_axis(
         description=description,
         compile_terms=compile_terms,
     )
-    existing = _AXES.get(name)
-    if existing is not None:
-        if _axis_marker(existing) == _axis_marker(axis):
-            return existing  # idempotent re-registration (repeated import)
-        raise ValueError(
-            f"axis {name!r} is already registered (target {existing.target!r}, "
-            f"applier {_callable_marker(existing.apply)[1] or existing.apply!r})"
+    # Check-and-insert under the shared registry lock (see
+    # :data:`repro.plugins.REGISTRY_LOCK`): a long-lived server registers
+    # and looks up axes from many threads, and two concurrent first
+    # registrations of the same name must resolve to one stored axis.
+    with REGISTRY_LOCK:
+        existing = _AXES.get(name)
+        if existing is not None:
+            if _axis_marker(existing) == _axis_marker(axis):
+                return existing  # idempotent re-registration (repeated import)
+            raise ValueError(
+                f"axis {name!r} is already registered (target {existing.target!r}, "
+                f"applier {_callable_marker(existing.apply)[1] or existing.apply!r})"
+            )
+        _AXES[name] = axis
+        # Ship out-of-tree axis modules to sweep workers alongside packaging
+        # plugins (same snapshot, same worker re-import).
+        _record_plugin_modules(
+            *[
+                func
+                for func in (apply, parse, validate, compile_terms)
+                if func is not None
+            ]
         )
-    _AXES[name] = axis
-    # Ship out-of-tree axis modules to sweep workers alongside packaging
-    # plugins (same snapshot, same worker re-import).
-    _record_plugin_modules(
-        *[func for func in (apply, parse, validate, compile_terms) if func is not None]
-    )
-    return axis
+        return axis
 
 
 def get_axis(name: str) -> Axis:

@@ -17,6 +17,14 @@ Additional conveniences:
   through the compiled batch fast path (:mod:`repro.fastpath`), and
   ``--resume results.jsonl`` continues an interrupted sweep by skipping the
   scenario ids already in the file.
+* ``eco-chip serve`` runs the sweep-as-a-service HTTP job server
+  (:mod:`repro.serve`) with shared compile/result caches, quotas and a
+  metrics endpoint.
+
+Exit codes: ``2`` means the request itself was invalid (bad spec, unknown
+preset/axis/format, bad flag values), ``3`` a runtime failure (I/O,
+evaluation, port in use) — the same split, with the same structured error
+text, the HTTP API reports.
 """
 
 from __future__ import annotations
@@ -290,6 +298,11 @@ def _sweep_main(argv: Sequence[str]) -> int:
     from pathlib import Path
 
     from repro.core.explorer import pareto_front
+    from repro.serve.errors import (
+        EXIT_RUNTIME_ERROR,
+        EXIT_SPEC_ERROR,
+        format_error_text,
+    )
     from repro.sweep.engine import SweepEngine, prepare_resume
     from repro.sweep.spec import PRESETS, SweepSpec, load_spec_dict, preset_dict
     from repro.sweep.store import open_store, rows_from_records
@@ -305,8 +318,11 @@ def _sweep_main(argv: Sequence[str]) -> int:
         parser.print_help()
         return 1
     if args.jobs < 1:
-        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
-        return 2
+        print(
+            format_error_text("invalid-spec", f"--jobs must be >= 1, got {args.jobs}"),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
 
     try:
         axis_sets = _parse_axis_sets(args.axis_sets)
@@ -324,11 +340,14 @@ def _sweep_main(argv: Sequence[str]) -> int:
         spec = SweepSpec.from_dict(config, base_dir=base_dir)
         scenarios = spec.expand()
     except (OSError, KeyError, TypeError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
     if not scenarios:
-        print("error: the spec expands into zero scenarios", file=sys.stderr)
-        return 2
+        print(
+            format_error_text("invalid-spec", "the spec expands into zero scenarios"),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
 
     out_path = args.out
     append = False
@@ -337,11 +356,14 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if args.resume:
         if args.out and Path(args.out).resolve() != Path(args.resume).resolve():
             print(
-                "error: --resume writes into the resumed file; drop --out or "
-                "pass the same path",
+                format_error_text(
+                    "invalid-spec",
+                    "--resume writes into the resumed file; drop --out or "
+                    "pass the same path",
+                ),
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_SPEC_ERROR
         out_path = args.resume
         append = True
         try:
@@ -349,8 +371,13 @@ def _sweep_main(argv: Sequence[str]) -> int:
                 scenarios, args.resume
             )
         except (OSError, ValueError) as exc:
-            print(f"error: cannot read resume file {args.resume}: {exc}", file=sys.stderr)
-            return 2
+            print(
+                format_error_text(
+                    "runtime", f"cannot read resume file {args.resume}: {exc}"
+                ),
+                file=sys.stderr,
+            )
+            return EXIT_RUNTIME_ERROR
         if repaired:
             print(f"repaired torn tail of {args.resume} (crashed run)")
         if skipped:
@@ -363,9 +390,14 @@ def _sweep_main(argv: Sequence[str]) -> int:
     if out_path:
         try:
             store = open_store(out_path, append=append)
-        except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        except ValueError as exc:
+            # Unknown format: the request itself is wrong.
+            print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+            return EXIT_SPEC_ERROR
+        except (OSError, RuntimeError) as exc:
+            # I/O failure or a live writer holding the store lock.
+            print(format_error_text("runtime", str(exc)), file=sys.stderr)
+            return EXIT_RUNTIME_ERROR
 
     engine = SweepEngine(
         jobs=args.jobs,
@@ -412,8 +444,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
             if pareto_records is not None:
                 pareto_records.append(record)
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        print(format_error_text("runtime", str(exc)), file=sys.stderr)
+        return EXIT_RUNTIME_ERROR
     finally:
         if store is not None:
             store.close()
@@ -451,8 +483,8 @@ def _sweep_main(argv: Sequence[str]) -> int:
         try:
             front = pareto_front(rows_from_records(pareto_records), objectives)
         except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+            print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+            return EXIT_SPEC_ERROR
         print(f"\nPareto front under {objectives} ({len(front)} points):")
         for row in front:
             values = ", ".join(f"{name}={row.objective(name):.4g}" for name in objectives)
@@ -461,11 +493,148 @@ def _sweep_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``eco-chip serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="eco-chip serve",
+        description=(
+            "Run the sweep-as-a-service HTTP job server: POST SweepSpec-"
+            "shaped jobs to /v1/sweeps, poll /v1/sweeps/{id}, stream "
+            "/v1/sweeps/{id}/results, scrape /v1/metrics.  Compiled "
+            "templates and finished sweeps are cached process-wide, so "
+            "repeat traffic is served without re-evaluating."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="Bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8437,
+        help="Port to listen on; 0 picks an ephemeral port (default: 8437)",
+    )
+    parser.add_argument(
+        "--store-dir", default="serve-jobs",
+        help=(
+            "Directory for per-job metadata and JSONL record stores; "
+            "unfinished jobs found here are resumed on startup "
+            "(default: ./serve-jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="Worker threads evaluating jobs concurrently (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=32,
+        help="Pending-job queue bound; full rejects with 503 (default: 32)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="Worker processes per sweep; 1 keeps evaluation in-process "
+             "and shares the compile cache (default: 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=["scalar", "batch"], default="batch",
+        help="Sweep backend jobs run on (default: batch)",
+    )
+    parser.add_argument(
+        "--quota", type=int, default=None, metavar="SCENARIOS",
+        help=(
+            "Per-client in-flight scenario budget (X-Client-Id header); "
+            "submissions beyond it get 429 (default: unlimited)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cost", action="store_true",
+        help="Omit the cost_usd column from job records",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="Log every HTTP request"
+    )
+    return parser
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    """Implementation of ``eco-chip serve``; returns a process exit code."""
+    from pathlib import Path
+
+    from repro.serve.errors import (
+        EXIT_RUNTIME_ERROR,
+        EXIT_SPEC_ERROR,
+        format_error_text,
+    )
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+
+    for flag, value, minimum in (
+        ("--workers", args.workers, 1),
+        ("--queue-size", args.queue_size, 1),
+        ("--jobs", args.jobs, 1),
+        ("--quota", args.quota, 1),
+    ):
+        if value is not None and value < minimum:
+            print(
+                format_error_text(
+                    "invalid-spec", f"{flag} must be >= {minimum}, got {value}"
+                ),
+                file=sys.stderr,
+            )
+            return EXIT_SPEC_ERROR
+    if not 0 <= args.port <= 65535:
+        print(
+            format_error_text("invalid-spec", f"--port must be 0..65535, got {args.port}"),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
+
+    from repro.serve.app import create_server
+    from repro.serve.quota import QuotaTracker
+
+    quota = QuotaTracker(args.quota) if args.quota is not None else None
+    try:
+        server = create_server(
+            args.host,
+            args.port,
+            store_dir=args.store_dir,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            backend=args.backend,
+            jobs=args.jobs,
+            include_cost=not args.no_cost,
+            quota=quota,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        print(
+            format_error_text(
+                "runtime", f"cannot serve on {args.host}:{args.port}: {exc}"
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_RUNTIME_ERROR
+    host, port = server.server_address[:2]
+    print(
+        f"serving sweeps on http://{host}:{port} "
+        f"(backend={args.backend}, workers={args.workers}, "
+        f"jobs stored in {Path(args.store_dir).resolve()})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: interrupting jobs at the next record (resumable)")
+        server.close(drain=False)
+        return 0
+    server.close(drain=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "sweep":
         return _sweep_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return _serve_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
 

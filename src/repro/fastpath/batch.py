@@ -200,6 +200,22 @@ class BatchEstimator:
         """True when the NumPy backend can be used in this environment."""
         return _np is not None
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregate template-cache counters across all config contexts.
+
+        A process-wide estimator shared across server requests surfaces
+        these through ``/v1/metrics``: ``template_hits`` /
+        ``template_misses`` count :meth:`TemplateCompiler.compile` lookups,
+        ``templates`` and ``contexts`` the resident cache sizes.
+        """
+        contexts = list(self._contexts.values())
+        return {
+            "template_hits": sum(c.compiler.template_hits for c in contexts),
+            "template_misses": sum(c.compiler.template_misses for c in contexts),
+            "templates": sum(len(c.compiler._templates) for c in contexts),
+            "contexts": len(contexts),
+        }
+
     # -- public API -----------------------------------------------------------------
     def evaluate(self, scenarios: Iterable[Scenario]) -> List[Record]:
         """Records for ``scenarios``, in input order."""

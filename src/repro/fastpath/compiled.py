@@ -256,6 +256,11 @@ class TemplateCompiler:
         )
         self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
         self._templates: Dict[TemplateKey, CompiledSystem] = {}
+        #: Template-cache hit/miss counters (int increments are GIL-atomic;
+        #: a server sharing one compiler across threads reads these for its
+        #: /v1/metrics endpoint).
+        self.template_hits = 0
+        self.template_misses = 0
         # packaging signature -> packaging spec
         self._specs: Dict[Tuple, Any] = {}
         # (base key incl. system-override signature, chiplet name, node)
@@ -364,8 +369,11 @@ class TemplateCompiler:
         )
         template = self._templates.get(key)
         if template is None:
+            self.template_misses += 1
             template = self._compile(base_kind, base_ref, nodes, packaging, overrides)
             self._templates[key] = template
+        else:
+            self.template_hits += 1
         return template
 
     def _compile(

@@ -47,7 +47,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.noc.orion import RouterSpec
 from repro.packaging.base import PackagingModel, SourceLike
-from repro.plugins import PLUGIN_API_VERSION, check_plugin_api_version
+from repro.plugins import (
+    PLUGIN_API_VERSION,
+    REGISTRY_LOCK,
+    check_plugin_api_version,
+)
 from repro.technology.nodes import TechnologyTable
 
 #: Entry-point group scanned by :func:`load_entry_point_plugins`.
@@ -175,6 +179,19 @@ def register_packaging(
             registered to a different architecture, or when the spec's
             ``SWEEP_PARAMS`` declaration names unknown fields.
     """
+    with REGISTRY_LOCK:
+        return _register_packaging_locked(
+            name, spec_cls, model_cls, aliases, api_version
+        )
+
+
+def _register_packaging_locked(
+    name: str,
+    spec_cls: type,
+    model_cls: Type[PackagingModel],
+    aliases: Sequence[str],
+    api_version: int,
+) -> RegisteredPackaging:
     check_plugin_api_version(api_version, f"packaging architecture {name!r}")
     if not isinstance(spec_cls, type):
         raise TypeError(f"spec_cls must be a class, got {spec_cls!r}")
@@ -254,16 +271,17 @@ def _record_plugin_modules(*classes: type) -> None:
     are skipped; ``__main__`` cannot be re-imported meaningfully and is
     skipped too (multiprocessing already handles the main module).
     """
-    for cls in classes:
-        module = getattr(cls, "__module__", "") or ""
-        if module in ("", "__main__", "builtins"):
-            continue
-        if module == "repro" or module.startswith("repro."):
-            continue
-        if module in _PLUGIN_MODULES:
-            continue
-        source = getattr(sys.modules.get(module), "__file__", None)
-        _PLUGIN_MODULES[module] = str(source) if source else None
+    with REGISTRY_LOCK:
+        for cls in classes:
+            module = getattr(cls, "__module__", "") or ""
+            if module in ("", "__main__", "builtins"):
+                continue
+            if module == "repro" or module.startswith("repro."):
+                continue
+            if module in _PLUGIN_MODULES:
+                continue
+            source = getattr(sys.modules.get(module), "__file__", None)
+            _PLUGIN_MODULES[module] = str(source) if source else None
 
 
 def plugin_modules() -> Tuple[Tuple[str, Optional[str]], ...]:
@@ -295,38 +313,39 @@ def import_plugin_modules(
             nor from its recorded source file.
     """
     imported: List[str] = []
-    for name, source in modules:
-        if name in sys.modules:
-            continue
-        try:
-            importlib.import_module(name)
+    with REGISTRY_LOCK:
+        for name, source in modules:
+            if name in sys.modules:
+                continue
+            try:
+                importlib.import_module(name)
+                imported.append(name)
+                continue
+            except ImportError:
+                pass
+            if not source:
+                raise PackagingPluginError(
+                    f"cannot import packaging plugin module {name!r} in this "
+                    f"process: not importable by name and no source file was "
+                    f"recorded at registration time"
+                )
+            file_spec = importlib.util.spec_from_file_location(name, source)
+            if file_spec is None or file_spec.loader is None:
+                raise PackagingPluginError(
+                    f"cannot load packaging plugin module {name!r} from "
+                    f"{source!r}: no import spec could be built"
+                )
+            module = importlib.util.module_from_spec(file_spec)
+            sys.modules[name] = module  # registered dataclasses resolve __module__
+            try:
+                file_spec.loader.exec_module(module)
+            except BaseException as exc:
+                sys.modules.pop(name, None)
+                raise PackagingPluginError(
+                    f"packaging plugin module {name!r} ({source}) raised during "
+                    f"import: {type(exc).__name__}: {exc}"
+                ) from exc
             imported.append(name)
-            continue
-        except ImportError:
-            pass
-        if not source:
-            raise PackagingPluginError(
-                f"cannot import packaging plugin module {name!r} in this "
-                f"process: not importable by name and no source file was "
-                f"recorded at registration time"
-            )
-        file_spec = importlib.util.spec_from_file_location(name, source)
-        if file_spec is None or file_spec.loader is None:
-            raise PackagingPluginError(
-                f"cannot load packaging plugin module {name!r} from "
-                f"{source!r}: no import spec could be built"
-            )
-        module = importlib.util.module_from_spec(file_spec)
-        sys.modules[name] = module  # registered dataclasses resolve __module__
-        try:
-            file_spec.loader.exec_module(module)
-        except BaseException as exc:
-            sys.modules.pop(name, None)
-            raise PackagingPluginError(
-                f"packaging plugin module {name!r} ({source}) raised during "
-                f"import: {type(exc).__name__}: {exc}"
-            ) from exc
-        imported.append(name)
     return imported
 
 
@@ -374,30 +393,35 @@ def load_entry_point_plugins(refresh: bool = False) -> List[str]:
             normally with the healthy plugins registered.
     """
     global _entry_points_loaded
-    if _entry_points_loaded and not refresh:
-        return []
-    _entry_points_loaded = True
-    loaded: List[str] = []
-    failures: List[Tuple[Any, Exception]] = []
-    for entry_point in _iter_packaging_entry_points():
-        try:
-            entry_point.load()
-        except Exception as exc:
-            failures.append((entry_point, exc))
-            continue
-        loaded.append(entry_point.name)
-    if failures:
-        details = "; ".join(
-            f"{entry_point.name!r} ({entry_point.value}): "
-            f"{type(exc).__name__}: {exc}"
-            for entry_point, exc in failures
-        )
-        error = PackagingPluginError(
-            f"{len(failures)} packaging plugin entry point(s) in group "
-            f"{ENTRY_POINT_GROUP!r} raised during import: {details}"
-        )
-        raise error from failures[0][1]
-    return loaded
+    # The loaded-guard check-and-set and the imports themselves run under
+    # the shared registry lock: without it a second thread could observe
+    # the guard already set and proceed to a lookup while the first thread
+    # is still importing plugins (a half-populated registry).
+    with REGISTRY_LOCK:
+        if _entry_points_loaded and not refresh:
+            return []
+        _entry_points_loaded = True
+        loaded: List[str] = []
+        failures: List[Tuple[Any, Exception]] = []
+        for entry_point in _iter_packaging_entry_points():
+            try:
+                entry_point.load()
+            except Exception as exc:
+                failures.append((entry_point, exc))
+                continue
+            loaded.append(entry_point.name)
+        if failures:
+            details = "; ".join(
+                f"{entry_point.name!r} ({entry_point.value}): "
+                f"{type(exc).__name__}: {exc}"
+                for entry_point, exc in failures
+            )
+            error = PackagingPluginError(
+                f"{len(failures)} packaging plugin entry point(s) in group "
+                f"{ENTRY_POINT_GROUP!r} raised during import: {details}"
+            )
+            raise error from failures[0][1]
+        return loaded
 
 
 def registered_packaging() -> List[RegisteredPackaging]:

@@ -18,6 +18,23 @@ not bump it.
 
 from __future__ import annotations
 
+import threading
+
+#: Process-wide lock serialising mutation of the extension registries.
+#:
+#: Both registries (packaging architectures and sweep axes) are populated
+#: lazily — entry-point discovery runs on the first lookup miss, and plugin
+#: modules register themselves at import time — which is unsafe when a
+#: long-lived server (:mod:`repro.serve`) performs lookups from many
+#: request/worker threads at once.  All registration and discovery paths
+#: take this single re-entrant lock (re-entrant because discovery imports
+#: plugin modules whose top-level code calls back into registration), so
+#: concurrent first-lookups cannot interleave partial registry writes.
+#: Plain reads of already-registered entries stay lock-free: individual
+#: dict operations are atomic under the GIL and entries are never mutated
+#: in place once stored.
+REGISTRY_LOCK = threading.RLock()
+
 #: Current plugin-API version of this installation.  Plugins pass the
 #: version they were built against to ``register_packaging`` /
 #: ``register_axis``; a mismatch raises :class:`PluginAPIVersionError`.

@@ -1,0 +1,60 @@
+"""``repro.serve`` — sweep-as-a-service over :class:`repro.api.Session`.
+
+A stdlib-only HTTP JSON job server: submit SweepSpec-shaped jobs, poll
+status, stream crash-safe JSONL results, cancel, and scrape metrics —
+with process-wide compiled-template and result caches so repeat traffic
+is (nearly) free.  See :mod:`repro.serve.app` for the endpoint table and
+``eco-chip serve`` for the CLI entry point.
+
+Submodules are imported lazily so lightweight users (e.g. the CLI's
+error-code vocabulary in :mod:`repro.serve.errors`) do not pay for the
+estimator stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "JobManager",
+    "Metrics",
+    "QuotaTracker",
+    "ResultCache",
+    "ServeError",
+    "ServeServer",
+    "SharedCompileCache",
+    "create_server",
+]
+
+#: attribute -> defining submodule, resolved on first access.
+_EXPORTS = {
+    "JobManager": "repro.serve.jobs",
+    "Metrics": "repro.serve.metrics",
+    "QuotaTracker": "repro.serve.quota",
+    "ResultCache": "repro.serve.cache",
+    "ServeError": "repro.serve.errors",
+    "ServeServer": "repro.serve.app",
+    "SharedCompileCache": "repro.serve.cache",
+    "create_server": "repro.serve.app",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeServer, create_server
+    from repro.serve.cache import ResultCache, SharedCompileCache
+    from repro.serve.errors import ServeError
+    from repro.serve.jobs import JobManager
+    from repro.serve.metrics import Metrics
+    from repro.serve.quota import QuotaTracker
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

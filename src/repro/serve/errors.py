@@ -1,0 +1,108 @@
+"""Structured errors shared by the HTTP API and the CLI.
+
+Every failure the server reports — and every failure ``eco-chip sweep`` /
+``eco-chip serve`` print — goes through one vocabulary: a short machine
+error ``code`` plus a human message.  Over HTTP that renders as a JSON
+body (:meth:`ServeError.payload`) with the matching status; on a terminal
+it renders as one line (:func:`format_error_text`), so scripts can match
+the same codes in both places.
+
+Exit codes split the two failure classes the CLI can hit:
+
+* :data:`EXIT_SPEC_ERROR` (2) — the request itself is wrong (bad spec,
+  unknown preset/axis/format, invalid flag values); re-running without
+  changing it cannot succeed.
+* :data:`EXIT_RUNTIME_ERROR` (3) — the request was valid but evaluation
+  or I/O failed at run time (disk full, port in use, ...); a retry may
+  succeed.
+
+This module imports nothing from the rest of the package so the CLI can
+use it without paying for the server stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+#: Process exit code for spec/argument validation failures.
+EXIT_SPEC_ERROR = 2
+#: Process exit code for runtime (evaluation / I/O) failures.
+EXIT_RUNTIME_ERROR = 3
+
+
+def format_error_text(code: str, message: str) -> str:
+    """One-line terminal rendering of a structured error.
+
+    Keeps the ``error:`` prefix long used by the CLI, with the machine
+    code in brackets: ``error: [invalid-spec] unknown sweep preset ...``.
+    """
+    return f"error: [{code}] {message}"
+
+
+class ServeError(Exception):
+    """Base of all structured service errors.
+
+    Attributes:
+        code: Short machine-readable error code (stable API).
+        http_status: Status the HTTP layer responds with.
+        exit_code: Exit code the CLI maps this error class to.
+    """
+
+    code = "internal"
+    http_status = 500
+    exit_code = EXIT_RUNTIME_ERROR
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON body of the HTTP error response."""
+        return {"error": {"code": self.code, "message": self.message}}
+
+    def text(self) -> str:
+        """Terminal rendering (same code and message as :meth:`payload`)."""
+        return format_error_text(self.code, self.message)
+
+
+class SpecError(ServeError):
+    """The submitted sweep spec (or CLI arguments) failed validation."""
+
+    code = "invalid-spec"
+    http_status = 400
+    exit_code = EXIT_SPEC_ERROR
+
+
+class NotFoundError(ServeError):
+    """No job with the requested id."""
+
+    code = "not-found"
+    http_status = 404
+
+
+class QuotaExceededError(ServeError):
+    """The client's scenario-count quota cannot cover this submission."""
+
+    code = "quota-exceeded"
+    http_status = 429
+
+
+class QueueFullError(ServeError):
+    """The bounded job queue is full; retry after jobs drain."""
+
+    code = "queue-full"
+    http_status = 503
+
+
+class JobStateError(ServeError):
+    """The job is in a state that does not allow the requested transition."""
+
+    code = "conflict"
+    http_status = 409
+
+
+class RuntimeJobError(ServeError):
+    """A job failed while evaluating (captured in the job's error field)."""
+
+    code = "runtime"
+    http_status = 500

@@ -1,0 +1,51 @@
+"""Counters and per-stage latency aggregates behind ``/v1/metrics``.
+
+Deliberately tiny: monotonically increasing named counters plus
+``(count, total, max)`` latency aggregates per stage — enough for a
+scrape-style endpoint without growing a metrics dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Thread-safe named counters and stage-latency aggregates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        # stage -> [count, total_seconds, max_seconds]
+        self._latency: Dict[str, list] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for ``stage``."""
+        with self._lock:
+            entry = self._latency.setdefault(stage, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2] = max(entry[2], seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus derived mean/max latency per stage."""
+        with self._lock:
+            counters = dict(self._counters)
+            latency = {
+                stage: {
+                    "count": count,
+                    "total_s": total,
+                    "mean_s": (total / count) if count else 0.0,
+                    "max_s": peak,
+                }
+                for stage, (count, total, peak) in self._latency.items()
+            }
+        return {"counters": counters, "latency": latency}

@@ -1,0 +1,72 @@
+"""Per-client scenario-count quotas.
+
+A sweep submission costs its scenario count (``SweepSpec.count()``,
+computed without expanding the grid).  Each client — identified by the
+``X-Client-Id`` request header, defaulting to ``"anonymous"`` — may hold
+at most ``max_scenarios`` scenarios in flight (queued + running); the
+budget is released when a job reaches a terminal state.  A submission
+that does not fit raises :class:`~repro.serve.errors.QuotaExceededError`,
+which the HTTP layer maps to ``429 Too Many Requests``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.serve.errors import QuotaExceededError
+
+__all__ = ["QuotaTracker"]
+
+
+class QuotaTracker:
+    """Tracks in-flight scenario counts per client id.
+
+    Args:
+        max_scenarios: In-flight scenario budget per client.
+    """
+
+    def __init__(self, max_scenarios: int):
+        if max_scenarios < 1:
+            raise ValueError(f"max_scenarios must be >= 1, got {max_scenarios}")
+        self.max_scenarios = max_scenarios
+        self._lock = threading.Lock()
+        self._used: Dict[str, int] = {}
+        self.rejections = 0
+
+    def reserve(self, client: str, count: int, force: bool = False) -> None:
+        """Charge ``count`` scenarios to ``client`` or raise 429.
+
+        ``force=True`` skips the budget check — used when re-adopting
+        persisted jobs after a restart, where the budget was already
+        granted before the crash.
+        """
+        with self._lock:
+            used = self._used.get(client, 0)
+            if not force and used + count > self.max_scenarios:
+                self.rejections += 1
+                raise QuotaExceededError(
+                    f"client {client!r} quota exceeded: {count} scenarios "
+                    f"requested, {self.max_scenarios - used} of "
+                    f"{self.max_scenarios} available (retry after running "
+                    f"jobs finish)"
+                )
+            self._used[client] = used + count
+
+    def release(self, client: str, count: int) -> None:
+        """Return ``count`` scenarios to ``client``'s budget."""
+        with self._lock:
+            remaining = self._used.get(client, 0) - count
+            if remaining > 0:
+                self._used[client] = remaining
+            else:
+                self._used.pop(client, None)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Usage snapshot for ``/v1/metrics``."""
+        with self._lock:
+            return {
+                "max_scenarios": self.max_scenarios,
+                "in_flight": dict(self._used),
+                "rejections": self.rejections,
+            }

@@ -449,6 +449,9 @@ class SweepSummary:
         skipped_count: Scenarios skipped because a resume store already
             contained their ids.
         backend: Evaluation backend the run used.
+        cached: True when the whole run was served from a Session-level
+            result cache without evaluating any scenario
+            (:class:`repro.api.Session` with a shared ``result_cache``).
     """
 
     scenario_count: int
@@ -459,6 +462,7 @@ class SweepSummary:
     cache_stats: Optional[KernelCacheStats] = None
     skipped_count: int = 0
     backend: str = "scalar"
+    cached: bool = False
 
     @property
     def scenarios_per_second(self) -> float:
@@ -499,6 +503,13 @@ class SweepEngine:
             start method.
         table: Technology table override, honoured by both backends and
             shipped to worker processes (``None`` uses the built-in table).
+        batch_estimator: A pre-built :class:`repro.fastpath.BatchEstimator`
+            to evaluate with instead of creating a fresh one per run.  Lets
+            a long-lived process (:mod:`repro.serve`) share one compiled-
+            template cache across many runs.  Only meaningful with
+            ``backend="batch"`` and ``jobs=1`` (worker processes cannot
+            share an in-process cache); it must have been built with the
+            same ``config``/``table``/``include_cost`` as this engine.
     """
 
     def __init__(
@@ -511,6 +522,7 @@ class SweepEngine:
         include_cost: bool = True,
         mp_context: Optional[str] = None,
         table: Optional[TechnologyTable] = None,
+        batch_estimator: Optional[Any] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -527,6 +539,11 @@ class SweepEngine:
                     f"unknown multiprocessing start method {mp_context!r}; "
                     f"available on this platform: {known}"
                 )
+        if batch_estimator is not None and (backend != "batch" or jobs != 1):
+            raise ValueError(
+                "batch_estimator requires backend='batch' and jobs=1 "
+                f"(got backend={backend!r}, jobs={jobs})"
+            )
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.memoize = memoize
@@ -535,6 +552,7 @@ class SweepEngine:
         self.include_cost = include_cost
         self.mp_context = mp_context
         self.table = table
+        self.batch_estimator = batch_estimator
         #: Kernel-cache stats of the last serial run (None after parallel runs).
         self.last_cache_stats: Optional[KernelCacheStats] = None
 
@@ -618,9 +636,13 @@ class SweepEngine:
         if self.jobs == 1:
             from repro.fastpath import BatchEstimator
 
-            estimator = BatchEstimator(
-                config=self.config, table=self.table, include_cost=self.include_cost
-            )
+            # A shared estimator (repro.serve) keeps its compiled templates
+            # across runs; otherwise each run builds a fresh one.
+            estimator = self.batch_estimator
+            if estimator is None:
+                estimator = BatchEstimator(
+                    config=self.config, table=self.table, include_cost=self.include_cost
+                )
             for _, members in groups:
                 template = estimator.compile_for(members[0][1])
                 records = estimator.evaluate_group(

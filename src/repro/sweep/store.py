@@ -12,16 +12,91 @@ same ``objective(name)`` protocol as
 :class:`repro.core.explorer.DesignPoint`, so the existing
 :func:`repro.core.explorer.pareto_front` and summary tooling work on stored
 sweep results unchanged.
+
+Two properties make the stores safe for a multi-job server
+(:mod:`repro.serve`) where several sweeps stream to sibling files at once:
+
+* **Line-atomic appends** — every record is rendered to bytes first and
+  written with a single ``os.write`` to an ``O_APPEND`` descriptor, so a
+  row can never interleave with another writer's bytes mid-line.
+* **Single-writer ownership** — opening a store for writing acquires a
+  sidecar ``<path>.lock`` pid file; a second live writer gets
+  :class:`StoreLockError` instead of silently corrupting the stream, and a
+  lock left behind by a killed process is reclaimed automatically.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
 PathLike = Union[str, Path]
+
+
+class StoreLockError(RuntimeError):
+    """Another live process (or store object) owns the store's write lock."""
+
+
+# ---------------------------------------------------------------------------
+# Single-writer sidecar locks
+# ---------------------------------------------------------------------------
+def _store_lock_path(path: Path) -> Path:
+    return path.with_name(path.name + ".lock")
+
+
+def _lock_holder_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign-owned pid exists
+        return True
+    return True
+
+
+def _acquire_store_lock(path: Path) -> Path:
+    """Create ``<path>.lock`` containing our pid, atomically.
+
+    The pid is first written to a private temp file which is then
+    ``os.link``-ed to the lock name — link either succeeds (lock acquired,
+    content already complete) or raises ``FileExistsError`` (someone holds
+    it); there is no window where the lock exists empty.  A lock whose pid
+    no longer maps to a live process is a crash leftover and is reclaimed.
+    """
+    lock_path = _store_lock_path(path)
+    tmp_path = lock_path.with_name(f"{lock_path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(f"{os.getpid()}\n", encoding="utf-8")
+    try:
+        for _ in range(2):
+            try:
+                os.link(tmp_path, lock_path)
+                return lock_path
+            except FileExistsError:
+                try:
+                    holder = int(lock_path.read_text(encoding="utf-8").strip())
+                except (OSError, ValueError):
+                    holder = None
+                if holder is not None and _lock_holder_alive(holder):
+                    raise StoreLockError(
+                        f"store {path} is locked by pid {holder}; a result store "
+                        f"has exactly one writer (pass exclusive=False only for "
+                        f"stores guarded externally)"
+                    )
+                # Dead holder (crashed run): reclaim and retry once.
+                try:
+                    lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+        raise StoreLockError(f"store {path} lock contended: {lock_path}")
+    finally:
+        try:
+            tmp_path.unlink()
+        except FileNotFoundError:
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -30,31 +105,61 @@ PathLike = Union[str, Path]
 class ResultStore:
     """Base class: append flattened records to a file incrementally.
 
-    Subclasses implement :meth:`_write`.  Every append flushes, so partial
-    runs leave well-formed files (crash-safe streaming).
+    Subclasses implement :meth:`_render` (record -> complete encoded
+    line(s)).  Each append issues exactly one ``os.write`` to an
+    ``O_APPEND`` descriptor, so every record lands on disk whole — a killed
+    run leaves at most one torn *tail* line behind (repairable via
+    :func:`repair_torn_tail`), never an interleaved or mid-file torn row.
+
+    Args:
+        path: Store file to create or extend.
+        append: Extend an existing file instead of truncating.
+        exclusive: Acquire the single-writer ``<path>.lock`` sidecar
+            (default).  Pass ``False`` only when ownership is already
+            guaranteed by the caller (e.g. a worker writing to a store its
+            coordinator locked).
     """
 
-    def __init__(self, path: PathLike, append: bool = False):
+    def __init__(self, path: PathLike, append: bool = False, exclusive: bool = True):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a" if append else "w", encoding="utf-8", newline="")
+        self._lock_path: Optional[Path] = None
+        if exclusive:
+            self._lock_path = _acquire_store_lock(self.path)
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if not append:
+            flags |= os.O_TRUNC
+        try:
+            self._fd: Optional[int] = os.open(self.path, flags, 0o644)
+        except OSError:
+            self._release_lock()
+            raise
         self.count = 0
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Write one record and flush it to disk."""
-        if self._handle.closed:
+        """Write one record as a single line-atomic ``os.write``."""
+        if self._fd is None:
             raise ValueError(f"store {self.path} is closed")
-        self._write(record)
-        self._handle.flush()
+        os.write(self._fd, self._render(record))
         self.count += 1
 
-    def _write(self, record: Mapping[str, Any]) -> None:
+    def _render(self, record: Mapping[str, Any]) -> bytes:
         raise NotImplementedError
 
+    def _release_lock(self) -> None:
+        if self._lock_path is not None:
+            try:
+                self._lock_path.unlink()
+            except FileNotFoundError:
+                pass
+            self._lock_path = None
+
     def close(self) -> None:
-        """Close the underlying file (idempotent)."""
-        if not self._handle.closed:
-            self._handle.close()
+        """Close the descriptor and release the writer lock (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        self._release_lock()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -66,8 +171,8 @@ class ResultStore:
 class JsonlResultStore(ResultStore):
     """One JSON object per line (the default sweep output format)."""
 
-    def _write(self, record: Mapping[str, Any]) -> None:
-        self._handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+    def _render(self, record: Mapping[str, Any]) -> bytes:
+        return (json.dumps(dict(record), sort_keys=True) + "\n").encode("utf-8")
 
 
 class CsvResultStore(ResultStore):
@@ -83,19 +188,17 @@ class CsvResultStore(ResultStore):
     resumable by a newer one, keeping its original schema.
     """
 
-    def __init__(self, path: PathLike, append: bool = False):
+    def __init__(self, path: PathLike, append: bool = False, exclusive: bool = True):
         fieldnames: Optional[List[str]] = None
+        self._from_disk_header = False
         if append:
             target = Path(path)
             if target.is_file() and target.stat().st_size > 0:
                 with open(target, "r", encoding="utf-8", newline="") as handle:
                     fieldnames = next(csv.reader(handle), None)
-        super().__init__(path, append=append)
-        self._writer: Optional[csv.DictWriter] = None
-        if fieldnames:
-            self._writer = csv.DictWriter(
-                self._handle, fieldnames=fieldnames, restval="", extrasaction="ignore"
-            )
+                self._from_disk_header = fieldnames is not None
+        super().__init__(path, append=append, exclusive=exclusive)
+        self._fieldnames: Optional[List[str]] = fieldnames or None
 
     @staticmethod
     def _flatten(value: Any) -> Any:
@@ -104,12 +207,26 @@ class CsvResultStore(ResultStore):
             return text + ";" if len(value) == 1 else text
         return value
 
-    def _write(self, record: Mapping[str, Any]) -> None:
+    def _render(self, record: Mapping[str, Any]) -> bytes:
         flat = {key: self._flatten(value) for key, value in record.items()}
-        if self._writer is None:
-            self._writer = csv.DictWriter(self._handle, fieldnames=list(flat), restval="")
-            self._writer.writeheader()
-        self._writer.writerow(flat)
+        write_header = self._fieldnames is None
+        if write_header:
+            self._fieldnames = list(flat)
+        # Rows are rendered to an untranslated text buffer first (the csv
+        # module's native "\r\n" terminators pass through byte-identically)
+        # so the whole row — plus the header on first write — lands in one
+        # os.write.
+        buffer = io.StringIO(newline="")
+        writer = csv.DictWriter(
+            buffer,
+            fieldnames=self._fieldnames,
+            restval="",
+            extrasaction="ignore" if self._from_disk_header else "raise",
+        )
+        if write_header:
+            writer.writeheader()
+        writer.writerow(flat)
+        return buffer.getvalue().encode("utf-8")
 
 
 #: File suffix -> store class.
@@ -121,11 +238,18 @@ _STORE_FOR_SUFFIX = {
 }
 
 
-def open_store(path: PathLike, fmt: Optional[str] = None, append: bool = False) -> ResultStore:
+def open_store(
+    path: PathLike,
+    fmt: Optional[str] = None,
+    append: bool = False,
+    exclusive: bool = True,
+) -> ResultStore:
     """Open the store matching ``fmt`` (or the file suffix).
 
     Raises:
         ValueError: for unknown formats/suffixes.
+        StoreLockError: when ``exclusive`` and another live writer owns the
+            store's lock.
     """
     target = Path(path)
     if fmt is not None:
@@ -138,7 +262,7 @@ def open_store(path: PathLike, fmt: Optional[str] = None, append: bool = False) 
             f"unknown result-store format {key!r}; known formats: "
             f"{sorted(set(_STORE_FOR_SUFFIX))}"
         )
-    return store_cls(target, append=append)
+    return store_cls(target, append=append, exclusive=exclusive)
 
 
 # ---------------------------------------------------------------------------

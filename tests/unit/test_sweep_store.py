@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.core.explorer import pareto_front
 from repro.sweep.store import (
     CsvResultStore,
     JsonlResultStore,
+    StoreLockError,
     SweepRow,
     iter_records,
     load_records,
@@ -171,6 +173,67 @@ class TestSweepRow:
                 store.append(record)
         iterator = iter_records(path)
         assert next(iterator)["scenario"] == 0
+
+
+class TestStoreLocking:
+    def test_second_writer_rejected_while_lock_held(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as store:
+            store.append(RECORDS[0])
+            with pytest.raises(StoreLockError, match="locked"):
+                JsonlResultStore(path, append=True)
+        # close() released the lock: a new writer succeeds.
+        with JsonlResultStore(path, append=True) as store:
+            store.append(RECORDS[1])
+        assert load_records(path) == RECORDS[:2]
+
+    def test_lock_file_removed_on_close(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path):
+            assert (tmp_path / "out.jsonl.lock").exists()
+        assert not (tmp_path / "out.jsonl.lock").exists()
+
+    def test_stale_lock_from_dead_process_is_reclaimed(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        # Forge a lock naming a pid that cannot be alive.
+        (tmp_path / "out.jsonl.lock").write_text("99999999\n")
+        with JsonlResultStore(path) as store:
+            store.append(RECORDS[0])
+        assert load_records(path) == RECORDS[:1]
+
+    def test_exclusive_false_skips_locking(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as first:
+            first.append(RECORDS[0])
+            with JsonlResultStore(path, append=True, exclusive=False) as second:
+                second.append(RECORDS[1])
+        assert load_records(path) == RECORDS[:2]
+
+    def test_appends_are_line_atomic_across_writers(self, tmp_path):
+        # O_APPEND with one os.write per record: two fds interleaving must
+        # never produce torn or interleaved lines.
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path) as first:
+            with JsonlResultStore(path, append=True, exclusive=False) as second:
+                for record in RECORDS:
+                    first.append(record)
+                    second.append(record)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 6
+        assert [json.loads(line)["scenario"] for line in lines] == [0, 0, 1, 1, 2, 2]
+
+    def test_open_store_passes_exclusive_through(self, tmp_path):
+        path = tmp_path / "out.csv"
+        with open_store(path):
+            with pytest.raises(StoreLockError):
+                open_store(path, append=True)
+            open_store(path, append=True, exclusive=False).close()
+
+    def test_lock_held_by_live_process_reports_pid(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with JsonlResultStore(path):
+            with pytest.raises(StoreLockError, match=str(os.getpid())):
+                JsonlResultStore(path, append=True)
 
 
 class TestCsvForwardCompatibleAppend:
