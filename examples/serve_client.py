@@ -105,7 +105,7 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             job = self.status(job_id)
-            if job["state"] in ("done", "failed", "cancelled"):
+            if job["state"] in ("done", "partial", "failed", "cancelled"):
                 return job
             time.sleep(poll_s)
         raise TimeoutError(f"job {job_id} still {job['state']} after {timeout}s")

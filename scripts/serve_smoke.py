@@ -80,7 +80,7 @@ def main() -> int:
         deadline = time.monotonic() + TIMEOUT_S
         while time.monotonic() < deadline:
             job = get(f"{base}/v1/sweeps/{job['id']}")
-            if job["state"] in ("done", "failed", "cancelled"):
+            if job["state"] in ("done", "partial", "failed", "cancelled"):
                 break
             time.sleep(0.1)
         assert job["state"] == "done", job
@@ -117,7 +117,7 @@ def main() -> int:
         deadline = time.monotonic() + TIMEOUT_S
         while time.monotonic() < deadline:
             again = get(f"{base}/v1/sweeps/{again['id']}")
-            if again["state"] in ("done", "failed", "cancelled"):
+            if again["state"] in ("done", "partial", "failed", "cancelled"):
                 break
             time.sleep(0.1)
         assert again["state"] == "done" and again["cached"], again
@@ -137,6 +137,34 @@ def main() -> int:
             code = proc.wait(30)
     assert code == 0, f"server exited with {code}: {proc.stderr.read()}"
     print("server shut down cleanly (exit 0)")
+
+    # Resilient-sweep CLI smoke: the retry/timeout/supervision path with a
+    # real worker pool must finish bit-identically to the plain run above.
+    spec_path = store_dir / "smoke-spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    resilient_path = store_dir / "resilient.jsonl"
+    sweep = subprocess.run(
+        serve_command()
+        + [
+            "sweep",
+            "--spec", str(spec_path),
+            "--jobs", "2",
+            "--backend", "batch",
+            "--retries", "1",
+            "--scenario-timeout", "120",
+            "--out", str(resilient_path),
+            "--quiet",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    assert sweep.returncode == 0, sweep.stderr
+    direct = (store_dir / "direct.jsonl").read_bytes()
+    assert resilient_path.read_bytes() == direct, (
+        "resilient sweep rows differ from the plain run"
+    )
+    print("resilience OK: --retries/--scenario-timeout sweep matches bit-for-bit")
     print("serve smoke: PASS")
     return 0
 

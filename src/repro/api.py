@@ -189,6 +189,13 @@ class Session:
             :class:`repro.fastpath.BatchEstimator` (``backend="batch"``,
             ``jobs=1`` only) so a long-lived process keeps one compiled-
             template cache across sessions and requests.
+        resilience: Optional
+            :class:`~repro.resilience.ResiliencePolicy` — contain
+            per-scenario failures as structured error records (or retry
+            them), supervise worker pools, and bound hung scenarios.
+            ``None`` keeps the historical fail-fast behaviour.
+        chaos: Optional :class:`~repro.resilience.ChaosPlan` injecting
+            deterministic faults (tests only).
 
     Raises:
         ValueError: invalid ``jobs``, ``backend`` or ``mp_context``.
@@ -206,6 +213,8 @@ class Session:
         mp_context: Optional[str] = None,
         result_cache: Optional[Any] = None,
         batch_estimator: Optional[Any] = None,
+        resilience: Optional[Any] = None,
+        chaos: Optional[Any] = None,
     ):
         if config is not None and not isinstance(config, EstimatorConfig):
             raise TypeError(
@@ -224,6 +233,8 @@ class Session:
             mp_context=mp_context,
             table=table,
             batch_estimator=batch_estimator,
+            resilience=resilience,
+            chaos=chaos,
         )
         self.result_cache = result_cache
         self._estimators: Dict[Tuple[Optional[str], Optional[Tuple]], EcoChip] = {}
@@ -386,7 +397,10 @@ class Session:
             and cache_key is not None
             and not resume
             and summary.scenario_count == len(scenarios or ())
+            and summary.error_count == 0
         ):
+            # Runs containing error records are never cached: a retry of
+            # the same submission should re-evaluate the failed scenarios.
             cache.put(cache_key, tuple(records))
         if collect_records and resume:
             # A resumed run only computed the tail; the full record set —

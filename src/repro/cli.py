@@ -223,6 +223,38 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Retry each failing scenario up to N times (exponential backoff "
+            "with deterministic jitter) before recording it as an error row"
+        ),
+    )
+    parser.add_argument(
+        "--scenario-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "Soft per-scenario time budget; with --jobs > 1 a hung worker "
+            "chunk is killed and its scenarios requeued once the budget "
+            "(scaled by chunk size) expires"
+        ),
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["record", "raise"],
+        default=None,
+        help=(
+            "What a scenario failure (after retries) does: 'record' stores "
+            "a structured error row and continues, 'raise' aborts the sweep "
+            "(default: record, when any resilience flag is given; without "
+            "them failures abort as before)"
+        ),
+    )
+    parser.add_argument(
         "--no-memoize",
         action="store_true",
         help="Disable the manufacturing/design kernel caches",
@@ -323,6 +355,36 @@ def _sweep_main(argv: Sequence[str]) -> int:
             file=sys.stderr,
         )
         return EXIT_SPEC_ERROR
+    if args.retries is not None and args.retries < 0:
+        print(
+            format_error_text(
+                "invalid-spec", f"--retries must be >= 0, got {args.retries}"
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
+    if args.scenario_timeout is not None and args.scenario_timeout <= 0:
+        print(
+            format_error_text(
+                "invalid-spec",
+                f"--scenario-timeout must be > 0, got {args.scenario_timeout}",
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
+    resilience = None
+    if (
+        args.retries is not None
+        or args.scenario_timeout is not None
+        or args.on_error is not None
+    ):
+        from repro.resilience import ResiliencePolicy, RetryPolicy
+
+        resilience = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=(args.retries or 0) + 1),
+            on_error=args.on_error or "record",
+            scenario_timeout_s=args.scenario_timeout,
+        )
 
     try:
         axis_sets = _parse_axis_sets(args.axis_sets)
@@ -405,6 +467,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
         memoize=not args.no_memoize,
         backend=args.backend,
         include_cost=not args.no_cost,
+        resilience=resilience,
     )
     # Stream with bounded memory: track a running best and a top-N heap;
     # records are only accumulated when --pareto needs the full set.
@@ -429,16 +492,23 @@ def _sweep_main(argv: Sequence[str]) -> int:
                 heapq.heappop(top_heap)
         if pareto_records is not None:
             pareto_records.append(record)
+    error_count = 0
     try:
         for record in engine.iter_records(scenarios):
             if store is not None:
                 store.append(record)
             count += 1
             sequence += 1
-            if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
+            total_g = record.get("total_carbon_g")
+            if total_g is None:
+                # A contained failure (--retries/--on-error record): the
+                # row holds a structured error payload, not metrics.
+                error_count += 1
+                continue
+            if best is None or total_g < best["total_carbon_g"]:
                 best = record
             if top_n > 0:
-                heapq.heappush(top_heap, (-record["total_carbon_g"], sequence, record))
+                heapq.heappush(top_heap, (-total_g, sequence, record))
                 if len(top_heap) > top_n:
                     heapq.heappop(top_heap)
             if pareto_records is not None:
@@ -450,14 +520,20 @@ def _sweep_main(argv: Sequence[str]) -> int:
         if store is not None:
             store.close()
 
-    assert best is not None  # scenarios is non-empty
     skip_note = f" ({skipped} resumed)" if skipped else ""
-    print(
-        f"sweep {spec.name!r}: {count} scenarios{skip_note}, jobs={args.jobs}, "
-        f"backend={args.backend}, "
-        f"best Ctot = {best['total_carbon_g'] / 1000.0:.2f} kg "
-        f"({best['base']} nodes={best['nodes']} {best['packaging']}/{best['fab_source']})"
-    )
+    error_note = f", {error_count} failed" if error_count else ""
+    if best is None:
+        print(
+            f"sweep {spec.name!r}: {count} scenarios{skip_note}{error_note}, "
+            f"jobs={args.jobs}, backend={args.backend}, no successful scenarios"
+        )
+    else:
+        print(
+            f"sweep {spec.name!r}: {count} scenarios{skip_note}{error_note}, "
+            f"jobs={args.jobs}, backend={args.backend}, "
+            f"best Ctot = {best['total_carbon_g'] / 1000.0:.2f} kg "
+            f"({best['base']} nodes={best['nodes']} {best['packaging']}/{best['fab_source']})"
+        )
     if store is not None:
         print(f"results written to {store.path}")
 
@@ -547,6 +623,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="Omit the cost_usd column from job records",
     )
     parser.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "Graceful-shutdown budget: on SIGINT/SIGTERM running jobs get "
+            "this long to finish; stragglers are interrupted at their next "
+            "record and stay resumable (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--no-breaker", action="store_true",
+        help=(
+            "Disable the per-packaging-type circuit breaker (by default "
+            "repeatedly failing job classes are rejected with 503 until a "
+            "cooldown passes)"
+        ),
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="Log every HTTP request"
     )
     return parser
@@ -579,6 +671,14 @@ def _serve_main(argv: Sequence[str]) -> int:
                 file=sys.stderr,
             )
             return EXIT_SPEC_ERROR
+    if args.grace < 0:
+        print(
+            format_error_text(
+                "invalid-spec", f"--grace must be >= 0, got {args.grace}"
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
     if not 0 <= args.port <= 65535:
         print(
             format_error_text("invalid-spec", f"--port must be 0..65535, got {args.port}"),
@@ -601,6 +701,7 @@ def _serve_main(argv: Sequence[str]) -> int:
             jobs=args.jobs,
             include_cost=not args.no_cost,
             quota=quota,
+            breaker=False if args.no_breaker else None,
             verbose=args.verbose,
         )
     except OSError as exc:
@@ -618,12 +719,25 @@ def _serve_main(argv: Sequence[str]) -> int:
         f"jobs stored in {Path(args.store_dir).resolve()})",
         flush=True,
     )
+    import signal
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down: interrupting jobs at the next record (resumable)")
-        server.close(drain=False)
+        print(
+            f"shutting down: draining running jobs (grace {args.grace:g}s; "
+            f"stragglers are interrupted at their next record and stay "
+            f"resumable)",
+            flush=True,
+        )
+        server.close(drain=True, timeout=args.grace)
         return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
     server.close(drain=True)
     return 0
 

@@ -229,6 +229,18 @@ class BatchEstimator:
                 records[position] = record
         return records  # type: ignore[return-value]
 
+    def evaluate_scenario(self, scenario: Scenario) -> Record:
+        """The record of one scenario, through the compiled-template cache.
+
+        The single-scenario seam the resilience layer evaluates through:
+        containment isolates failures per scenario, so a raising scenario
+        must not take its whole template group down with it.  A group of
+        one always uses the pure-Python backend, whose arithmetic is
+        bit-identical to the NumPy group path, so records match
+        :meth:`evaluate_group` exactly.
+        """
+        return self.evaluate_group(self.compile_for(scenario), [scenario])[0]
+
     def compile_for(self, scenario: Scenario) -> CompiledSystem:
         """The compiled template behind ``scenario``."""
         return self._context_for(scenario).compiler.compile(

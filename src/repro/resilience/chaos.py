@@ -1,0 +1,164 @@
+"""Seeded, deterministic fault injection for sweeps.
+
+A :class:`ChaosPlan` declares exactly which scenario indices fail, how
+(``raise`` an exception, ``delay`` the evaluation, or ``die`` — simulate
+a worker crash), and how many times, so the chaos test suite can
+reproduce every failure path bit-for-bit.  The plan is consulted by
+:func:`repro.resilience.records.evaluate_contained` immediately before
+each scenario evaluates, which means injected faults exercise the real
+containment/retry/supervision machinery rather than a parallel test-only
+path.
+
+Fault accounting must survive process boundaries: a ``die`` fault kills
+its worker, and the respawned pool must *not* re-fire it (that is what
+makes "kill a worker once, finish byte-identical to a fault-free run" a
+deterministic test).  Plans therefore claim firings through one-byte
+appends to per-fault marker files under ``state_dir`` — ``O_APPEND``
+writes are atomic, so concurrent workers cannot double-claim — and fall
+back to in-memory counters when no ``state_dir`` is given (serial runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.resilience.policy import TransientSweepError
+
+#: Exit status a ``die`` fault terminates its worker process with.
+_DIE_EXIT_STATUS = 87
+
+#: Fault kinds a plan may inject.
+FAULT_KINDS = ("raise", "delay", "die")
+
+
+class InjectedFault(TransientSweepError):
+    """The exception a ``raise`` (or in-process ``die``) fault throws."""
+
+    sweep_error_code = "injected"
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One injected fault, bound to a scenario index.
+
+    Attributes:
+        scenario: Grid index of the scenario the fault fires on.
+        kind: ``"raise"`` throws :class:`InjectedFault`; ``"delay"``
+            sleeps ``seconds`` then evaluates normally (hung-worker
+            simulation); ``"die"`` terminates the worker process
+            (``os._exit``) — in a serial run, where killing the process
+            would kill the sweep itself, it degrades to ``raise``.
+        times: Firings before the fault disarms (use a large value for a
+            persistent failure, ``1`` for fails-once-then-succeeds).
+        message: Exception message of ``raise``/``die`` faults.
+        seconds: Sleep duration of ``delay`` faults.
+    """
+
+    scenario: int
+    kind: str = "raise"
+    times: int = 1
+    message: str = "injected fault"
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known kinds: {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic set of faults injected into one sweep run.
+
+    Attributes:
+        faults: The injected faults.
+        state_dir: Directory for cross-process fire-marker files.
+            Required for parallel sweeps (``jobs > 1``): workers are
+            separate processes, and ``die`` faults destroy the process
+            that fired them, so only filesystem markers keep the
+            fired-count consistent.  Serial runs may omit it.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    state_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # In-memory claim counters (serial fallback); attached via
+        # object.__setattr__ because the dataclass is frozen.
+        object.__setattr__(self, "_fired", {})
+        if self.state_dir is not None:
+            Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+
+    def _marker_path(self, fault: Fault) -> Path:
+        assert self.state_dir is not None
+        return Path(self.state_dir) / (
+            f"fault-{fault.scenario}-{fault.kind}.fired"
+        )
+
+    def _claim(self, fault: Fault) -> bool:
+        """Atomically claim one firing; False once ``times`` is reached."""
+        if self.state_dir is None:
+            fired: Dict[Tuple[int, str], int] = self._fired  # type: ignore[attr-defined]
+            key = (fault.scenario, fault.kind)
+            count = fired.get(key, 0) + 1
+            fired[key] = count
+            return count <= fault.times
+        # One byte per firing, O_APPEND-atomic: the file size *after* our
+        # write is our claim number, unique even across racing workers.
+        fd = os.open(
+            self._marker_path(fault), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, b"x")
+            claim = os.fstat(fd).st_size
+        finally:
+            os.close(fd)
+        return claim <= fault.times
+
+    def fire(
+        self,
+        scenario_index: int,
+        in_worker: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Inject every armed fault bound to ``scenario_index``.
+
+        Called by the containment loop immediately before the scenario
+        evaluates.  ``delay`` faults sleep and return; ``raise`` faults
+        throw :class:`InjectedFault`; ``die`` faults terminate the
+        worker process (or throw, when there is no worker to kill).
+        """
+        for fault in self.faults:
+            if fault.scenario != scenario_index:
+                continue
+            if not self._claim(fault):
+                continue
+            if fault.kind == "delay":
+                sleep(fault.seconds)
+            elif fault.kind == "die":
+                if in_worker:
+                    # Simulated crash: no cleanup, no exception — exactly
+                    # what a segfaulting plugin looks like to the pool.
+                    os._exit(_DIE_EXIT_STATUS)
+                raise InjectedFault(f"{fault.message} (worker death, serial run)")
+            else:
+                raise InjectedFault(fault.message)
+
+    def reset(self) -> None:
+        """Re-arm every fault (delete markers / clear counters)."""
+        self._fired.clear()  # type: ignore[attr-defined]
+        if self.state_dir is not None:
+            for fault in self.faults:
+                try:
+                    self._marker_path(fault).unlink()
+                except FileNotFoundError:
+                    pass

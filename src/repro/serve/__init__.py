@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 __all__ = [
+    "CircuitBreaker",
     "JobManager",
     "Metrics",
     "QuotaTracker",
@@ -28,6 +29,7 @@ __all__ = [
 
 #: attribute -> defining submodule, resolved on first access.
 _EXPORTS = {
+    "CircuitBreaker": "repro.serve.breaker",
     "JobManager": "repro.serve.jobs",
     "Metrics": "repro.serve.metrics",
     "QuotaTracker": "repro.serve.quota",
@@ -40,6 +42,7 @@ _EXPORTS = {
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.app import ServeServer, create_server
+    from repro.serve.breaker import CircuitBreaker
     from repro.serve.cache import ResultCache, SharedCompileCache
     from repro.serve.errors import ServeError
     from repro.serve.jobs import JobManager

@@ -21,12 +21,14 @@ Clients identify themselves for quota accounting with the ``X-Client-Id``
 header (default ``"anonymous"``).  Errors are structured
 (:mod:`repro.serve.errors`): ``{"error": {"code": ..., "message": ...}}``
 with the matching HTTP status — 400 invalid spec, 404 unknown job, 409
-invalid transition, 429 quota exhausted, 503 queue full.
+invalid transition, 429 quota exhausted, 503 queue full or circuit open.
+Transient-pressure errors (429/503) also carry a ``Retry-After`` header.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -58,16 +60,28 @@ class _Handler(BaseHTTPRequestHandler):
     def _client_id(self) -> str:
         return self.headers.get("X-Client-Id", "anonymous").strip() or "anonymous"
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, exc: ServeError) -> None:
-        self._send_json(exc.http_status, exc.payload())
+        headers = None
+        if exc.retry_after is not None:
+            # Retry-After is delta-seconds and integral; round up so a
+            # client honouring it never retries inside the window.
+            headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after)))}
+        self._send_json(exc.http_status, exc.payload(), headers=headers)
 
     def _read_json_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -178,8 +192,11 @@ class _Handler(BaseHTTPRequestHandler):
                 200, {"id": job.id, "objectives": objectives, "front": []}
             )
             return
+        # Error records (resilience containment) carry no metric columns;
+        # the front is computed over the successful rows only.
+        rows = [row for row in load_rows(job.store_path) if not row.record.get("error")]
         try:
-            front = pareto_front(load_rows(job.store_path), objectives)
+            front = pareto_front(rows, objectives)
         except KeyError as exc:
             raise SpecError(str(exc)) from exc
         self._send_json(

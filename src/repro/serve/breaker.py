@@ -1,0 +1,143 @@
+"""Per-key circuit breaker protecting the job queue from repeat failures.
+
+A sweep that keeps failing (a broken plugin for one packaging type, a
+corrupt technology override) would otherwise burn worker time on every
+resubmission.  The :class:`CircuitBreaker` counts *consecutive* failures
+per key — the job manager keys it by packaging type — and once the
+threshold trips, rejects further submissions for that key with
+:class:`~repro.serve.errors.CircuitOpenError` (HTTP 503 + ``Retry-After``)
+until a cooldown elapses.  After the cooldown the breaker goes
+*half-open*: exactly one trial job is admitted; its success closes the
+circuit, its failure reopens it for another full cooldown.
+
+States per key: ``closed`` (normal) -> ``open`` (rejecting) ->
+``half-open`` (one probe) -> ``closed`` | ``open``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.serve.errors import CircuitOpenError
+from repro.serve.metrics import Metrics
+
+__all__ = ["CircuitBreaker"]
+
+
+class _State:
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker, keyed by string.
+
+    Args:
+        threshold: Consecutive failures that open a key's circuit.
+        cooldown_s: Seconds an open circuit rejects before half-opening.
+        clock: Monotonic time source (injectable for tests).
+        metrics: Optional sink; transitions to open increment
+            ``breaker_open_total``.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[Metrics] = None,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._states: Dict[str, _State] = {}
+
+    def _state(self, key: str) -> _State:
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _State()
+        return state
+
+    def check(self, key: str) -> None:
+        """Admit or reject a submission for ``key``.
+
+        Raises:
+            CircuitOpenError: the circuit is open and the cooldown has
+                not elapsed (``retry_after`` carries the remainder), or a
+                half-open probe is already in flight.
+        """
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.opened_at is None:
+                return
+            remaining = state.opened_at + self.cooldown_s - self._clock()
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit for {key!r} is open after {state.failures} "
+                    f"consecutive failures; retry in {remaining:.1f}s",
+                    retry_after=remaining,
+                )
+            if state.probing:
+                raise CircuitOpenError(
+                    f"circuit for {key!r} is half-open with a trial job in "
+                    f"flight; retry after it finishes",
+                    retry_after=self.cooldown_s,
+                )
+            state.probing = True  # admit exactly one probe
+
+    def record_success(self, key: str) -> None:
+        """A job for ``key`` finished cleanly; close its circuit."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                return
+            state.failures = 0
+            state.opened_at = None
+            state.probing = False
+
+    def record_failure(self, key: str) -> None:
+        """A job for ``key`` failed; maybe open (or reopen) its circuit."""
+        with self._lock:
+            state = self._state(key)
+            state.failures += 1
+            reopen = state.probing  # failed probe: straight back to open
+            state.probing = False
+            if state.opened_at is None and (
+                reopen or state.failures >= self.threshold
+            ):
+                state.opened_at = self._clock()
+                if self._metrics is not None:
+                    self._metrics.increment("breaker_open_total")
+            elif reopen:
+                state.opened_at = self._clock()
+                if self._metrics is not None:
+                    self._metrics.increment("breaker_open_total")
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-key state for the metrics endpoint."""
+        now = self._clock()
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for key, state in self._states.items():
+                if state.opened_at is None:
+                    label = "closed"
+                elif state.probing:
+                    label = "half-open"
+                elif state.opened_at + self.cooldown_s <= now:
+                    label = "half-open"
+                else:
+                    label = "open"
+                out[key] = {"state": label, "failures": state.failures}
+        return out

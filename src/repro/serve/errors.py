@@ -22,7 +22,7 @@ use it without paying for the server stack.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Process exit code for spec/argument validation failures.
 EXIT_SPEC_ERROR = 2
@@ -46,19 +46,31 @@ class ServeError(Exception):
         code: Short machine-readable error code (stable API).
         http_status: Status the HTTP layer responds with.
         exit_code: Exit code the CLI maps this error class to.
+        retry_after: Seconds after which a retry may succeed; rendered as
+            a ``Retry-After`` header (and ``retry_after_s`` in the JSON
+            body) when set.  Error classes describing transient pressure
+            set :attr:`default_retry_after`.
     """
 
     code = "internal"
     http_status = 500
     exit_code = EXIT_RUNTIME_ERROR
+    #: Class-level retry hint used when the constructor gets none.
+    default_retry_after: Optional[float] = None
 
-    def __init__(self, message: str):
+    def __init__(self, message: str, retry_after: Optional[float] = None):
         super().__init__(message)
         self.message = message
+        self.retry_after = (
+            retry_after if retry_after is not None else self.default_retry_after
+        )
 
     def payload(self) -> Dict[str, Any]:
         """JSON body of the HTTP error response."""
-        return {"error": {"code": self.code, "message": self.message}}
+        body: Dict[str, Any] = {"error": {"code": self.code, "message": self.message}}
+        if self.retry_after is not None:
+            body["error"]["retry_after_s"] = self.retry_after
+        return body
 
     def text(self) -> str:
         """Terminal rendering (same code and message as :meth:`payload`)."""
@@ -85,12 +97,21 @@ class QuotaExceededError(ServeError):
 
     code = "quota-exceeded"
     http_status = 429
+    default_retry_after = 5.0
 
 
 class QueueFullError(ServeError):
     """The bounded job queue is full; retry after jobs drain."""
 
     code = "queue-full"
+    http_status = 503
+    default_retry_after = 1.0
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker for this job class is open (recent failures)."""
+
+    code = "circuit-open"
     http_status = 503
 
 

@@ -5,7 +5,9 @@ worker threads evaluating them through :class:`repro.api.Session`, and a
 store directory holding one metadata file (``<id>.json``) plus one
 streaming record store (``<id>.jsonl``) per job.
 
-Lifecycle: ``queued -> running -> done | failed | cancelled``.  Every
+Lifecycle: ``queued -> running -> done | partial | failed | cancelled``
+(``partial``: the sweep completed but contained per-scenario error
+records — see :mod:`repro.resilience`).  Every
 transition is persisted atomically, and record stores are only ever
 appended whole lines (``repro.sweep.store``), so killing the server at
 any instant leaves a state a restarted manager can adopt: ``recover()``
@@ -21,6 +23,7 @@ full sweep.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import queue
 import threading
@@ -31,6 +34,8 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.api import Session
 from repro.core.estimator import EstimatorConfig
+from repro.resilience import ChaosPlan, ResiliencePolicy
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache, SharedCompileCache
 from repro.serve.errors import (
     JobStateError,
@@ -45,10 +50,12 @@ from repro.technology.nodes import TechnologyTable
 
 __all__ = ["Job", "JobManager", "JOB_STATES", "TERMINAL_STATES"]
 
-#: Job lifecycle states.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+logger = logging.getLogger(__name__)
+
+#: Job lifecycle states (``partial``: completed with error records).
+JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
 #: States a job never leaves.
-TERMINAL_STATES = ("done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "partial", "failed", "cancelled")
 
 _STOP = object()  # worker shutdown sentinel
 
@@ -82,6 +89,9 @@ class Job:
         self.state = "queued"
         self.done = 0
         self.error: Optional[Dict[str, str]] = None
+        #: Per-scenario error summary of a ``partial`` job
+        #: (``{"count": ..., "retried": ..., "codes": {code: n}}``).
+        self.errors: Optional[Dict[str, Any]] = None
         self.submitted_at = submitted_at
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -101,6 +111,7 @@ class Job:
             "scenarios": self.scenario_count,
             "done": self.done,
             "error": self.error,
+            "errors": self.errors,
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
             "submitted_at": self.submitted_at,
@@ -130,6 +141,16 @@ class JobManager:
         result_cache: Session-level result cache (created when omitted).
         compile_cache: Shared compiled-template cache (created when the
             backend/jobs combination supports it, i.e. batch + in-process).
+        resilience: :class:`~repro.resilience.ResiliencePolicy` jobs run
+            under.  Defaults to containment (``on_error="record"``, no
+            retries): a scenario that raises becomes one error record and
+            the job finishes ``partial`` instead of ``failed``.  Pass
+            ``False`` for the historical fail-fast behaviour.
+        chaos: Optional :class:`~repro.resilience.ChaosPlan` injected into
+            every job's sweep (chaos tests only).
+        breaker: Per-packaging-type :class:`CircuitBreaker`.  ``None``
+            creates one with default thresholds; pass ``False`` to
+            disable, or a configured instance.
     """
 
     def __init__(
@@ -147,6 +168,9 @@ class JobManager:
         metrics: Optional[Metrics] = None,
         result_cache: Optional[ResultCache] = None,
         compile_cache: Optional[SharedCompileCache] = None,
+        resilience: Union[ResiliencePolicy, None, bool] = None,
+        chaos: Optional[ChaosPlan] = None,
+        breaker: Union[CircuitBreaker, None, bool] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -162,6 +186,19 @@ class JobManager:
         self.include_cost = include_cost
         self.quota = quota
         self.metrics = metrics if metrics is not None else Metrics()
+        if resilience is False:
+            self.resilience: Optional[ResiliencePolicy] = None
+        elif resilience is None or resilience is True:
+            self.resilience = ResiliencePolicy()
+        else:
+            self.resilience = resilience
+        self.chaos = chaos
+        if breaker is False:
+            self.breaker: Optional[CircuitBreaker] = None
+        elif breaker is None or breaker is True:
+            self.breaker = CircuitBreaker(metrics=self.metrics)
+        else:
+            self.breaker = breaker
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         if compile_cache is None and backend == "batch" and jobs == 1:
             compile_cache = SharedCompileCache(
@@ -191,7 +228,11 @@ class JobManager:
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the pool.
 
-        ``drain=True`` finishes every queued and running job first.
+        ``drain=True`` finishes every queued and running job first; with a
+        ``timeout`` that is a bounded *grace period* — jobs still running
+        when it expires are interrupted at their next record boundary and
+        persisted as ``queued`` (exactly the ``drain=False`` outcome), so
+        shutdown always terminates and never loses work.
         ``drain=False`` interrupts running jobs at their next record
         boundary and leaves them — and everything still queued — persisted
         as ``queued``, so a restarted manager resumes them from their
@@ -202,6 +243,18 @@ class JobManager:
             self._abort.set()
         for _ in self._threads:
             self._queue.put(_STOP)
+        if drain and timeout is not None:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+            if any(thread.is_alive() for thread in self._threads):
+                # Grace expired: escalate to interrupt-and-persist.
+                logger.warning(
+                    "shutdown grace period (%.1fs) expired; interrupting "
+                    "running jobs at their next record boundary",
+                    timeout,
+                )
+                self._abort.set()
         for thread in self._threads:
             thread.join(timeout)
 
@@ -211,6 +264,8 @@ class JobManager:
 
         Raises:
             SpecError: the payload is not a valid sweep spec.
+            CircuitOpenError: a packaging type in the spec has a tripped
+                circuit breaker (recent repeated failures).
             QuotaExceededError: the client's scenario budget is exhausted.
             QueueFullError: the bounded queue has no room.
             JobStateError: the manager is shutting down.
@@ -233,6 +288,9 @@ class JobManager:
             raise SpecError(str(exc)) from exc
         if spec.count() == 0:
             raise SpecError("the spec expands into zero scenarios")
+        if self.breaker is not None:
+            for key in self._breaker_keys(spec):
+                self.breaker.check(key)
         if self.quota is not None:
             self.quota.reserve(client, spec.count())
         job_id = uuid.uuid4().hex[:12]
@@ -312,6 +370,8 @@ class JobManager:
             payload["template_cache"] = self.compile_cache.stats()
         if self.quota is not None:
             payload["quota"] = self.quota.snapshot()
+        if self.breaker is not None:
+            payload["breaker"] = self.breaker.snapshot()
         return payload
 
     # -- recovery ---------------------------------------------------------------------
@@ -326,7 +386,24 @@ class JobManager:
         for meta_path in sorted(self.store_dir.glob("*.json")):
             try:
                 meta = json.loads(meta_path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+            except OSError:
+                continue
+            except json.JSONDecodeError as exc:
+                # Corrupt / torn metadata (e.g. a crash mid-write outside
+                # the atomic-rename path): quarantine it so it is neither
+                # re-parsed on every restart nor silently deleted.
+                quarantine = meta_path.with_name(meta_path.name + ".corrupt")
+                try:
+                    os.replace(meta_path, quarantine)
+                except OSError:
+                    continue
+                logger.warning(
+                    "quarantined corrupt job metadata %s -> %s (%s)",
+                    meta_path.name,
+                    quarantine.name,
+                    exc,
+                )
+                self.metrics.increment("jobs_quarantined")
                 continue
             if not isinstance(meta, dict) or "id" not in meta:
                 continue
@@ -350,6 +427,7 @@ class JobManager:
             job.state = str(meta.get("state", "queued"))
             job.done = int(meta.get("done") or 0)
             job.error = meta.get("error")
+            job.errors = meta.get("errors")
             job.cached = bool(meta.get("cached", False))
             job.elapsed_s = meta.get("elapsed_s")
             job.started_at = meta.get("started_at")
@@ -371,6 +449,18 @@ class JobManager:
         return adopted
 
     # -- internals --------------------------------------------------------------------
+    @staticmethod
+    def _breaker_keys(spec: SweepSpec) -> List[str]:
+        """Circuit-breaker keys of a spec: its packaging types.
+
+        A spec sweeping no packaging axis runs each testcase's baseline
+        packaging; those jobs share the ``"(base)"`` key.
+        """
+        keys = sorted(
+            {str(entry.get("type", "?")) for entry in spec.packaging}
+        )
+        return keys or ["(base)"]
+
     def _meta_path(self, job: Job) -> Path:
         return self.store_dir / f"{job.id}.json"
 
@@ -407,6 +497,8 @@ class JobManager:
             batch_estimator=(
                 self.compile_cache.estimator if self.compile_cache is not None else None
             ),
+            resilience=self.resilience,
+            chaos=self.chaos,
         )
 
     def _worker(self) -> None:
@@ -467,6 +559,7 @@ class JobManager:
                 "message": f"{type(exc).__name__}: {exc}",
             }
             self._finish(job, "failed")
+            self._charge_breaker(job, success=False)
         else:
             job.done = total_count
             job.cached = result.summary.cached
@@ -478,4 +571,30 @@ class JobManager:
                 self.metrics.increment(
                     "scenarios_evaluated", result.summary.scenario_count
                 )
-            self._finish(job, "done")
+            summary = result.summary
+            retried = getattr(summary, "retry_count", 0)
+            if retried:
+                self.metrics.increment("scenarios_retried", retried)
+            if getattr(summary, "error_count", 0):
+                # Completed, but some scenarios yielded error records:
+                # terminal ``partial`` with a per-code error summary.
+                job.errors = {
+                    "count": summary.error_count,
+                    "retried": retried,
+                    "codes": dict(summary.error_codes),
+                }
+                self.metrics.increment("scenarios_failed", summary.error_count)
+                self._finish(job, "partial")
+                self._charge_breaker(job, success=False)
+            else:
+                self._finish(job, "done")
+                self._charge_breaker(job, success=True)
+
+    def _charge_breaker(self, job: Job, success: bool) -> None:
+        if self.breaker is None:
+            return
+        for key in self._breaker_keys(job.spec):
+            if success:
+                self.breaker.record_success(key)
+            else:
+                self.breaker.record_failure(key)

@@ -37,6 +37,8 @@ import dataclasses
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import (
     Any,
@@ -62,6 +64,13 @@ from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
 from repro.design.eda import DEFAULT_DESIGN_ITERATIONS
 from repro.packaging.registry import import_plugin_modules, plugin_modules
+from repro.resilience.policy import ResiliencePolicy, WorkerLostError
+from repro.resilience.records import (
+    error_info,
+    error_record,
+    evaluate_contained,
+    is_error_record,
+)
 from repro.sweep.spec import Scenario, SweepSpec, resolve_base
 from repro.sweep.store import (
     ResultStore,
@@ -336,6 +345,10 @@ class _ScenarioEvaluator:
 #: Worker-process evaluator, created once per worker by the pool initializer.
 _EVALUATOR: Optional[_ScenarioEvaluator] = None
 
+#: Worker-process resilience policy / chaos plan (supervised pools only).
+_POLICY: Optional[ResiliencePolicy] = None
+_CHAOS: Optional[Any] = None
+
 
 def _init_worker(
     default_config: Optional[EstimatorConfig],
@@ -343,15 +356,36 @@ def _init_worker(
     include_cost: bool = False,
     plugins: PluginModules = (),
     table: Optional[TechnologyTable] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    chaos: Optional[Any] = None,
 ) -> None:
-    global _EVALUATOR
+    global _EVALUATOR, _POLICY, _CHAOS
     import_plugin_modules(plugins)
     _EVALUATOR = _ScenarioEvaluator(default_config, memoize, include_cost, table)
+    _POLICY = policy
+    _CHAOS = chaos
 
 
 def _evaluate_chunk(scenarios: Sequence[Scenario]) -> List[Record]:
     assert _EVALUATOR is not None, "worker initializer did not run"
     return [_EVALUATOR.evaluate(scenario) for scenario in scenarios]
+
+
+def _evaluate_chunk_contained(
+    scenarios: Sequence[Scenario],
+) -> Tuple[List[Record], int]:
+    """Contained chunk evaluation: ``(records, retries)`` per chunk."""
+    assert _EVALUATOR is not None, "worker initializer did not run"
+    assert _POLICY is not None, "supervised pool without a resilience policy"
+    records: List[Record] = []
+    retries = 0
+    for scenario in scenarios:
+        record, attempts_over = evaluate_contained(
+            _EVALUATOR.evaluate, scenario, _POLICY, chaos=_CHAOS, in_worker=True
+        )
+        retries += attempts_over
+        records.append(record)
+    return records, retries
 
 
 #: Worker-process batch estimator (backend="batch"), one per worker.
@@ -363,14 +397,18 @@ def _init_batch_worker(
     include_cost: bool,
     plugins: PluginModules = (),
     table: Optional[TechnologyTable] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    chaos: Optional[Any] = None,
 ) -> None:
-    global _BATCH_EVALUATOR
+    global _BATCH_EVALUATOR, _POLICY, _CHAOS
     from repro.fastpath import BatchEstimator
 
     import_plugin_modules(plugins)
     _BATCH_EVALUATOR = BatchEstimator(
         config=default_config, table=table, include_cost=include_cost
     )
+    _POLICY = policy
+    _CHAOS = chaos
 
 
 def _evaluate_batch_chunk(
@@ -389,6 +427,29 @@ def _evaluate_batch_chunk(
         records = _BATCH_EVALUATOR.evaluate_group(template, scenarios)
         results.extend(zip(positions, records))
     return results
+
+
+def _evaluate_batch_chunk_contained(
+    groups: Sequence[Tuple[Sequence[int], Sequence[Scenario]]],
+) -> Tuple[List[Tuple[int, Record]], int]:
+    """Contained batch chunk: per-scenario evaluation through the compiled
+    template cache, so one raising scenario costs its group nothing."""
+    assert _BATCH_EVALUATOR is not None, "worker initializer did not run"
+    assert _POLICY is not None, "supervised pool without a resilience policy"
+    results: List[Tuple[int, Record]] = []
+    retries = 0
+    for positions, scenarios in groups:
+        for position, scenario in zip(positions, scenarios):
+            record, attempts_over = evaluate_contained(
+                _BATCH_EVALUATOR.evaluate_scenario,
+                scenario,
+                _POLICY,
+                chaos=_CHAOS,
+                in_worker=True,
+            )
+            retries += attempts_over
+            results.append((position, record))
+    return results, retries
 
 
 def shard(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
@@ -452,6 +513,11 @@ class SweepSummary:
         cached: True when the whole run was served from a Session-level
             result cache without evaluating any scenario
             (:class:`repro.api.Session` with a shared ``result_cache``).
+        error_count: Scenarios contained as structured error records
+            (resilience policies with ``on_error="record"`` only).
+        retry_count: Total per-scenario retry attempts across the run.
+        error_codes: ``(code, count)`` pairs summarising the error
+            records, sorted by code.
     """
 
     scenario_count: int
@@ -463,6 +529,9 @@ class SweepSummary:
     skipped_count: int = 0
     backend: str = "scalar"
     cached: bool = False
+    error_count: int = 0
+    retry_count: int = 0
+    error_codes: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def scenarios_per_second(self) -> float:
@@ -510,6 +579,18 @@ class SweepEngine:
             ``backend="batch"`` and ``jobs=1`` (worker processes cannot
             share an in-process cache); it must have been built with the
             same ``config``/``table``/``include_cost`` as this engine.
+        resilience: Optional :class:`repro.resilience.ResiliencePolicy`.
+            When given, a raising scenario is retried per the policy and
+            then (``on_error="record"``) captured as a structured error
+            record instead of aborting the sweep, and parallel runs are
+            supervised: hung/dead worker pools are detected, their
+            in-flight chunks requeued and the pool respawned (bounded by
+            the policy's respawn budget).  ``None`` keeps the legacy
+            fail-fast behaviour (and the legacy fast paths) exactly.
+        chaos: Optional :class:`repro.resilience.ChaosPlan` injecting
+            deterministic faults before scenario evaluations (test
+            harness).  Parallel runs require the plan to carry a
+            ``state_dir`` so fault accounting survives worker death.
     """
 
     def __init__(
@@ -523,6 +604,8 @@ class SweepEngine:
         mp_context: Optional[str] = None,
         table: Optional[TechnologyTable] = None,
         batch_estimator: Optional[Any] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        chaos: Optional[Any] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -544,6 +627,18 @@ class SweepEngine:
                 "batch_estimator requires backend='batch' and jobs=1 "
                 f"(got backend={backend!r}, jobs={jobs})"
             )
+        if chaos is not None and jobs > 1:
+            if resilience is None:
+                raise ValueError(
+                    "chaos injection on parallel sweeps (jobs > 1) requires a "
+                    "resilience policy: faults are fired by the supervised "
+                    "containment path"
+                )
+            if getattr(chaos, "state_dir", None) is None:
+                raise ValueError(
+                    "chaos plans need a state_dir for parallel sweeps "
+                    "(jobs > 1): fault accounting must survive worker death"
+                )
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.memoize = memoize
@@ -553,8 +648,12 @@ class SweepEngine:
         self.mp_context = mp_context
         self.table = table
         self.batch_estimator = batch_estimator
+        self.resilience = resilience
+        self.chaos = chaos
         #: Kernel-cache stats of the last serial run (None after parallel runs).
         self.last_cache_stats: Optional[KernelCacheStats] = None
+        #: Per-scenario retry attempts observed by the last iter_records.
+        self.last_retry_count: int = 0
 
     def _pool(
         self, max_workers: int, initializer: Callable[..., None], initargs: Tuple
@@ -572,6 +671,105 @@ class SweepEngine:
             initargs=initargs,
         )
 
+    # -- worker supervision -----------------------------------------------------------
+    def _run_chunks_supervised(
+        self,
+        chunks: List[Any],
+        worker_fn: Callable[[Any], Tuple[Any, int]],
+        initializer: Callable[..., None],
+        initargs: Tuple,
+        chunk_weight: Callable[[Any], int],
+        lost_payload: Callable[[Any, BaseException], Any],
+    ) -> List[Any]:
+        """Run chunks through a supervised pool; return payloads in order.
+
+        The watchdog of resilient parallel runs: every chunk is submitted
+        as its own future and collected in chunk order under a soft
+        deadline of ``scenario_timeout_s x chunk scenarios + grace``.  A
+        deadline miss (hung worker) or a :class:`BrokenProcessPool` (dead
+        worker) kills the whole pool, harvests the chunks that *did*
+        complete, and respawns a fresh pool for the rest — at most
+        ``max_pool_respawns`` times, after which the still-unevaluated
+        chunks become ``worker-lost`` error records (or the loss is
+        raised, per ``on_error``), so a crash-looping plugin degrades the
+        sweep instead of wedging it.
+
+        Chunk workers return ``(payload, retries)``; payloads land in the
+        returned list at their chunk index, retries accumulate on
+        :attr:`last_retry_count`.
+        """
+        policy = self.resilience
+        assert policy is not None
+        results: List[Any] = [None] * len(chunks)
+        outstanding = set(range(len(chunks)))
+        respawns_left = policy.max_pool_respawns
+        while outstanding:
+            order = sorted(outstanding)
+            pool = self._pool(
+                max_workers=min(self.jobs, len(order)),
+                initializer=initializer,
+                initargs=initargs,
+            )
+            futures: Dict[int, Any] = {}
+            pool_lost = False
+            try:
+                try:
+                    for index in order:
+                        futures[index] = pool.submit(worker_fn, chunks[index])
+                    for index in order:
+                        timeout = None
+                        if policy.scenario_timeout_s is not None:
+                            timeout = (
+                                policy.scenario_timeout_s
+                                * max(1, chunk_weight(chunks[index]))
+                                + policy.timeout_grace_s
+                            )
+                        payload, retries = futures[index].result(timeout=timeout)
+                        results[index] = payload
+                        self.last_retry_count += retries
+                        outstanding.discard(index)
+                except (_FuturesTimeout, BrokenProcessPool, EOFError):
+                    # Hung or dead worker(s): harvest every chunk that did
+                    # complete, requeue the rest on a fresh pool.
+                    pool_lost = True
+                    for index in sorted(outstanding):
+                        future = futures.get(index)
+                        if future is None or not future.done():
+                            continue
+                        try:
+                            payload, retries = future.result(timeout=0)
+                        except Exception:  # noqa: BLE001 - broken future
+                            continue
+                        results[index] = payload
+                        self.last_retry_count += retries
+                        outstanding.discard(index)
+            finally:
+                if pool_lost:
+                    # Hung workers never return; terminate them so shutdown
+                    # cannot block behind a stuck evaluation.
+                    for process in list(getattr(pool, "_processes", {}).values()):
+                        try:
+                            process.terminate()
+                        except Exception:  # noqa: BLE001 - already dead
+                            pass
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
+            if outstanding and pool_lost:
+                if respawns_left <= 0:
+                    lost = WorkerLostError(
+                        "worker pool lost and respawn budget exhausted; "
+                        "remaining scenarios were not evaluated"
+                    )
+                    if policy.on_error != "record":
+                        raise lost
+                    for index in sorted(outstanding):
+                        results[index] = lost_payload(chunks[index], lost)
+                    outstanding.clear()
+                else:
+                    respawns_left -= 1
+        return results
+
     # -- streaming ------------------------------------------------------------------
     def _resolve_scenarios(
         self, sweep: Union[SweepSpec, Iterable[Scenario]]
@@ -586,29 +784,70 @@ class SweepEngine:
         target_chunks = self.jobs * 8
         return max(1, min(256, -(-scenario_count // max(1, target_chunks))))
 
+    def _containment_policy(self) -> Optional[ResiliencePolicy]:
+        """The effective policy when containment/chaos machinery engages.
+
+        A chaos plan without a resilience policy still routes scenarios
+        through the containment loop (so delay faults and deterministic
+        claims work) but propagates failures — the legacy abort mode.
+        """
+        if self.resilience is not None:
+            return self.resilience
+        if self.chaos is not None:
+            return ResiliencePolicy(on_error="raise")
+        return None
+
     def iter_records(self, sweep: Union[SweepSpec, Iterable[Scenario]]) -> Iterator[Record]:
         """Yield one flattened record per scenario, in scenario order.
 
         Every combination of backend and ``jobs`` runs the same per-scenario
         arithmetic, so the records (and any totals derived from them) are
-        bit-identical across all of them.
+        bit-identical across all of them — including structured error
+        records under a resilience policy.
         """
         self.last_cache_stats = None
+        self.last_retry_count = 0
         scenarios = self._resolve_scenarios(sweep)
         if not scenarios:
             return
+        policy = self._containment_policy()
         if self.backend == "batch":
-            yield from self._iter_records_batch(scenarios)
+            yield from self._iter_records_batch(scenarios, policy)
             return
         if self.jobs == 1:
             evaluator = _ScenarioEvaluator(
                 self.config, self.memoize, self.include_cost, self.table
             )
             self.last_cache_stats = evaluator.stats
+            if policy is None:
+                for scenario in scenarios:
+                    yield evaluator.evaluate(scenario)
+                return
             for scenario in scenarios:
-                yield evaluator.evaluate(scenario)
+                record, retries = evaluate_contained(
+                    evaluator.evaluate, scenario, policy, chaos=self.chaos
+                )
+                self.last_retry_count += retries
+                yield record
             return
         chunks = shard(scenarios, self._chunk_size_for(len(scenarios)))
+        if self.resilience is not None:
+            for chunk_records in self._run_chunks_supervised(
+                chunks,
+                worker_fn=_evaluate_chunk_contained,
+                initializer=_init_worker,
+                initargs=(
+                    self.config, self.memoize, self.include_cost,
+                    plugin_modules(), self.table, self.resilience, self.chaos,
+                ),
+                chunk_weight=len,
+                lost_payload=lambda chunk, exc: [
+                    error_record(scenario, exc) for scenario in chunk
+                ],
+            ):
+                for record in chunk_records:
+                    yield record
+            return
         with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_worker,
@@ -621,12 +860,19 @@ class SweepEngine:
                 for record in chunk_records:
                     yield record
 
-    def _iter_records_batch(self, scenarios: List[Scenario]) -> Iterator[Record]:
+    def _iter_records_batch(
+        self, scenarios: List[Scenario], policy: Optional[ResiliencePolicy] = None
+    ) -> Iterator[Record]:
         """Batch backend: group by template, evaluate groups, emit in order.
 
         Records are buffered only while a group completes out of input
         order; for spec-expanded grids (template axes outermost) groups are
         contiguous, so memory stays bounded by the largest group.
+
+        Under a containment policy each scenario evaluates individually
+        through :meth:`BatchEstimator.evaluate_scenario` (same compiled-
+        template cache, bit-identical records), so one raising scenario
+        costs its group nothing.
         """
         from repro.fastpath import group_scenarios
 
@@ -644,12 +890,23 @@ class SweepEngine:
                     config=self.config, table=self.table, include_cost=self.include_cost
                 )
             for _, members in groups:
-                template = estimator.compile_for(members[0][1])
-                records = estimator.evaluate_group(
-                    template, [scenario for _, scenario in members]
-                )
-                for (position, _), record in zip(members, records):
-                    pending[position] = record
+                if policy is not None:
+                    for position, scenario in members:
+                        record, retries = evaluate_contained(
+                            estimator.evaluate_scenario,
+                            scenario,
+                            policy,
+                            chaos=self.chaos,
+                        )
+                        self.last_retry_count += retries
+                        pending[position] = record
+                else:
+                    template = estimator.compile_for(members[0][1])
+                    records = estimator.evaluate_group(
+                        template, [scenario for _, scenario in members]
+                    )
+                    for (position, _), record in zip(members, records):
+                        pending[position] = record
                 while next_position in pending:
                     yield pending.pop(next_position)
                     next_position += 1
@@ -664,6 +921,30 @@ class SweepEngine:
         # Shard whole groups (not scenarios) so each template compiles in
         # exactly one worker; chunks keep the first-occurrence group order.
         chunks = shard(payload, max(1, -(-len(payload) // (self.jobs * 4))))
+        if self.resilience is not None:
+            for chunk_results in self._run_chunks_supervised(
+                chunks,
+                worker_fn=_evaluate_batch_chunk_contained,
+                initializer=_init_batch_worker,
+                initargs=(
+                    self.config, self.include_cost, plugin_modules(), self.table,
+                    self.resilience, self.chaos,
+                ),
+                chunk_weight=lambda chunk: sum(
+                    len(positions) for positions, _ in chunk
+                ),
+                lost_payload=lambda chunk, exc: [
+                    (position, error_record(scenario, exc))
+                    for positions, members in chunk
+                    for position, scenario in zip(positions, members)
+                ],
+            ):
+                for position, record in chunk_results:
+                    pending[position] = record
+                while next_position in pending:
+                    yield pending.pop(next_position)
+                    next_position += 1
+            return
         with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_batch_worker,
@@ -720,13 +1001,19 @@ class SweepEngine:
                     best = record
         total = len(scenarios)
         done = 0
+        error_count = 0
+        error_codes: Dict[str, int] = {}
         start = time.perf_counter()
         for record in self.iter_records(scenarios):
             if store is not None:
                 store.append(record)
             if on_record is not None:
                 on_record(record)
-            if best is None or record["total_carbon_g"] < best["total_carbon_g"]:
+            if is_error_record(record):
+                error_count += 1
+                code = (error_info(record) or {}).get("code", "evaluation-error")
+                error_codes[code] = error_codes.get(code, 0) + 1
+            elif best is None or record["total_carbon_g"] < best["total_carbon_g"]:
                 best = record
             done += 1
             if progress is not None:
@@ -741,6 +1028,9 @@ class SweepEngine:
             cache_stats=self.last_cache_stats,
             skipped_count=skipped,
             backend=self.backend,
+            error_count=error_count,
+            retry_count=self.last_retry_count,
+            error_codes=tuple(sorted(error_codes.items())),
         )
 
 

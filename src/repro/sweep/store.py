@@ -181,11 +181,14 @@ class CsvResultStore(ResultStore):
     Numeric lists (e.g. node configurations) are flattened to
     ``;``-separated strings — with a trailing ``;`` marking one-element
     lists — so the file stays one row per scenario and round-trips through
-    :func:`load_records`.  When appending to an existing file the header
-    already on disk wins: records are written in that column order, and
-    record keys the header does not know are dropped — columns can never
-    misalign, and a store written by an older version (fewer columns) stays
-    resumable by a newer one, keeping its original schema.
+    :func:`load_records`.  The header — on-disk when appending, otherwise
+    the first record's keys — wins for the life of the store: records are
+    written in that column order, and record keys the header does not know
+    are dropped — columns can never misalign, and a store written by an
+    older version (fewer columns) stays resumable by a newer one, keeping
+    its original schema.  (One consequence: a contained-failure row's
+    ``error`` column only survives when an error record fixed the header;
+    JSONL is the canonical format for resilient sweeps.)
     """
 
     def __init__(self, path: PathLike, append: bool = False, exclusive: bool = True):
@@ -221,7 +224,7 @@ class CsvResultStore(ResultStore):
             buffer,
             fieldnames=self._fieldnames,
             restval="",
-            extrasaction="ignore" if self._from_disk_header else "raise",
+            extrasaction="ignore",
         )
         if write_header:
             writer.writeheader()

@@ -1,0 +1,137 @@
+"""Injected-exception chaos: error-record parity across backends.
+
+The acceptance bar: a sweep with injected per-scenario exceptions finishes
+with structured error records that are *bit-identical* between the scalar
+and batch backends, and every non-error row matches the fault-free run
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.resilience import (
+    ChaosPlan,
+    Fault,
+    InjectedFault,
+    ResiliencePolicy,
+    RetryPolicy,
+    error_info,
+    is_error_record,
+)
+
+from chaos_helpers import CHAOS_COUNT, CHAOS_SPEC, baseline_records, read_rows
+
+FAULTS = (Fault(scenario=1, times=99), Fault(scenario=6, times=99))
+CONTAIN = ResiliencePolicy(retry=RetryPolicy(max_attempts=1, backoff_base_s=0.0))
+
+
+def _chaos() -> ChaosPlan:
+    # A fresh plan per run: firing claims are per-plan state.
+    return ChaosPlan(faults=FAULTS)
+
+
+class TestErrorRecordParity:
+    @pytest.mark.parametrize("backend", ["scalar", "batch"])
+    def test_contained_sweep_completes_with_error_records(self, backend):
+        result = Session(backend=backend, resilience=CONTAIN, chaos=_chaos()).sweep(
+            CHAOS_SPEC
+        )
+        records = [dict(record) for record in result.records]
+        assert len(records) == CHAOS_COUNT
+        errors = [record for record in records if is_error_record(record)]
+        assert sorted(record["scenario"] for record in errors) == [1, 6]
+        for record, reference in zip(records, baseline_records()):
+            if not is_error_record(record):
+                assert record == reference
+        assert result.summary.error_count == 2
+        assert dict(result.summary.error_codes) == {"injected": 2}
+        assert result.summary.retry_count == 0
+        # The best record ignores error rows.
+        assert result.best is not None
+        assert result.best["total_carbon_g"] == min(
+            record["total_carbon_g"]
+            for record in records
+            if not is_error_record(record)
+        )
+
+    def test_scalar_and_batch_error_records_bit_identical(self):
+        runs = {}
+        for backend in ("scalar", "batch"):
+            result = Session(
+                backend=backend, resilience=CONTAIN, chaos=_chaos()
+            ).sweep(CHAOS_SPEC)
+            runs[backend] = [
+                json.dumps(dict(record), sort_keys=True)
+                for record in result.records
+            ]
+        assert runs["scalar"] == runs["batch"]
+
+    def test_error_payload_shape(self):
+        result = Session(resilience=CONTAIN, chaos=_chaos()).sweep(CHAOS_SPEC)
+        error = next(r for r in result.records if is_error_record(r))
+        info = error_info(error)
+        assert info["code"] == "injected"
+        assert info["exception"] == "InjectedFault"
+        assert info["attempts"] == 1
+        assert info["message"] == "injected fault"
+        assert len(info["digest"]) == 12
+
+    def test_store_bytes_identical_across_backends(self, tmp_path):
+        paths = {}
+        for backend in ("scalar", "batch"):
+            path = tmp_path / f"{backend}.jsonl"
+            Session(backend=backend, resilience=CONTAIN, chaos=_chaos()).sweep(
+                CHAOS_SPEC, out=path, collect_records=False
+            )
+            paths[backend] = path
+        scalar_bytes = paths["scalar"].read_bytes()
+        assert scalar_bytes == paths["batch"].read_bytes()
+        rows = read_rows(paths["scalar"])
+        assert len(rows) == CHAOS_COUNT
+        assert len({row["scenario"] for row in rows}) == CHAOS_COUNT
+
+    def test_raise_mode_propagates(self):
+        session = Session(
+            resilience=ResiliencePolicy(on_error="raise"), chaos=_chaos()
+        )
+        with pytest.raises(InjectedFault):
+            session.sweep(CHAOS_SPEC)
+
+    def test_failed_runs_are_not_result_cached(self):
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache()
+        session = Session(resilience=CONTAIN, chaos=_chaos(), result_cache=cache)
+        result = session.sweep(CHAOS_SPEC)
+        assert result.summary.error_count == 2
+        assert cache.stats()["entries"] == 0
+
+
+class TestRetrySucceeds:
+    @pytest.mark.parametrize("backend", ["scalar", "batch"])
+    def test_transient_fault_retried_to_byte_identical_run(self, backend):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        )
+        chaos = ChaosPlan(faults=(Fault(scenario=3, times=1),))
+        result = Session(backend=backend, resilience=policy, chaos=chaos).sweep(
+            CHAOS_SPEC
+        )
+        assert [dict(record) for record in result.records] == list(
+            baseline_records()
+        )
+        assert result.summary.error_count == 0
+        assert result.summary.retry_count == 1
+
+    def test_retry_attempt_count_lands_in_error_payload(self):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+        )
+        result = Session(resilience=policy, chaos=_chaos()).sweep(CHAOS_SPEC)
+        error = next(r for r in result.records if is_error_record(r))
+        assert error_info(error)["attempts"] == 3
+        assert result.summary.retry_count == 4  # 2 scenarios x 2 retries

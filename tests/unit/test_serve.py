@@ -41,8 +41,20 @@ class TestErrors:
     def test_payload_shape(self):
         payload = QuotaExceededError("over budget").payload()
         assert payload == {
-            "error": {"code": "quota-exceeded", "message": "over budget"}
+            "error": {
+                "code": "quota-exceeded",
+                "message": "over budget",
+                "retry_after_s": 5.0,
+            }
         }
+
+    def test_payload_without_retry_hint(self):
+        payload = SpecError("bad").payload()
+        assert payload == {"error": {"code": "invalid-spec", "message": "bad"}}
+
+    def test_retry_after_override(self):
+        assert QueueFullError("full").retry_after == 1.0
+        assert QueueFullError("full", retry_after=7.5).retry_after == 7.5
 
     def test_exit_code_split(self):
         assert SpecError("x").exit_code == EXIT_SPEC_ERROR == 2

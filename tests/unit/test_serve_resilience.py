@@ -1,0 +1,329 @@
+"""Serve-layer degradation tests: partial jobs, circuit breaker,
+metadata quarantine and Retry-After plumbing."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.resilience import ChaosPlan, Fault, ResiliencePolicy, RetryPolicy
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.errors import CircuitOpenError
+from repro.serve.jobs import JOB_STATES, TERMINAL_STATES, JobManager
+from repro.serve.metrics import Metrics
+from repro.serve.quota import QuotaTracker
+
+SPEC = {"testcases": ["ga102-3chiplet"], "nodes": [7, 14], "packaging": ["rdl"]}
+
+
+def wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0)
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        metrics = Metrics()
+        breaker = CircuitBreaker(
+            threshold=3, cooldown_s=10.0, clock=clock, metrics=metrics
+        )
+        for _ in range(2):
+            breaker.record_failure("rdl")
+        breaker.check("rdl")  # still closed
+        breaker.record_failure("rdl")
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check("rdl")
+        assert excinfo.value.http_status == 503
+        assert 0 < excinfo.value.retry_after <= 10.0
+        assert metrics.snapshot()["counters"]["breaker_open_total"] == 1
+        breaker.check("other")  # independent keys
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0, clock=FakeClock())
+        breaker.record_failure("rdl")
+        breaker.record_success("rdl")
+        breaker.record_failure("rdl")
+        breaker.check("rdl")  # 1 consecutive failure < threshold
+
+    def test_half_open_admits_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure("rdl")
+        with pytest.raises(CircuitOpenError):
+            breaker.check("rdl")
+        clock.now += 11.0
+        breaker.check("rdl")  # half-open: first probe admitted
+        with pytest.raises(CircuitOpenError):
+            breaker.check("rdl")  # second submission while probing
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure("rdl")
+        clock.now += 11.0
+        breaker.check("rdl")
+        breaker.record_success("rdl")
+        breaker.check("rdl")  # closed again
+        assert breaker.snapshot()["rdl"]["state"] == "closed"
+
+    def test_probe_failure_reopens_for_full_cooldown(self):
+        clock = FakeClock()
+        metrics = Metrics()
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_s=10.0, clock=clock, metrics=metrics
+        )
+        breaker.record_failure("rdl")
+        clock.now += 11.0
+        breaker.check("rdl")
+        breaker.record_failure("rdl")  # probe failed
+        with pytest.raises(CircuitOpenError):
+            breaker.check("rdl")
+        assert metrics.snapshot()["counters"]["breaker_open_total"] == 2
+
+    def test_snapshot_states(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure("a")
+        assert breaker.snapshot()["a"]["state"] == "open"
+        clock.now += 11.0
+        assert breaker.snapshot()["a"]["state"] == "half-open"
+
+
+# ---------------------------------------------------------------------------
+# Partial jobs and metrics counters
+# ---------------------------------------------------------------------------
+class TestPartialJobs:
+    def test_partial_is_a_terminal_state(self):
+        assert "partial" in JOB_STATES
+        assert "partial" in TERMINAL_STATES
+
+    def test_contained_failure_finishes_partial(self, tmp_path):
+        manager = JobManager(
+            tmp_path,
+            workers=1,
+            chaos=ChaosPlan(faults=(Fault(scenario=1, times=99),)),
+        )
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "partial"
+            assert job.errors == {
+                "count": 1,
+                "retried": 0,
+                "codes": {"injected": 1},
+            }
+            assert job.to_dict()["errors"]["count"] == 1
+            counters = manager.metrics_snapshot()["counters"]
+            assert counters["scenarios_failed"] == 1
+            assert counters["jobs_partial"] == 1
+            # The store holds every row; the failed one carries the payload.
+            rows = [
+                json.loads(line)
+                for line in job.store_path.read_text().splitlines()
+            ]
+            assert len(rows) == job.scenario_count
+            error_rows = [row for row in rows if "error" in row]
+            assert len(error_rows) == 1
+            assert json.loads(error_rows[0]["error"])["code"] == "injected"
+        finally:
+            manager.shutdown()
+
+    def test_retried_scenarios_counted_and_job_done(self, tmp_path):
+        manager = JobManager(
+            tmp_path,
+            workers=1,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+            ),
+            chaos=ChaosPlan(faults=(Fault(scenario=1, times=1),)),
+        )
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "done"
+            assert job.errors is None
+            counters = manager.metrics_snapshot()["counters"]
+            assert counters["scenarios_retried"] == 1
+            assert "scenarios_failed" not in counters
+        finally:
+            manager.shutdown()
+
+    def test_partial_restored_terminal_on_recover(self, tmp_path):
+        manager = JobManager(
+            tmp_path,
+            workers=1,
+            chaos=ChaosPlan(faults=(Fault(scenario=0, times=99),)),
+        )
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state == "partial")
+        finally:
+            manager.shutdown()
+        adopted = JobManager(tmp_path, workers=1)
+        restored = adopted.recover()
+        assert [j.state for j in restored] == ["partial"]
+        assert restored[0].errors["count"] == 1
+        assert restored[0].errors["codes"] == {"injected": 1}
+
+    def test_resilience_false_keeps_failfast(self, tmp_path):
+        manager = JobManager(
+            tmp_path,
+            workers=1,
+            resilience=False,
+            chaos=ChaosPlan(faults=(Fault(scenario=1, times=99),)),
+        )
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state in TERMINAL_STATES)
+            assert job.state == "failed"
+            assert job.error is not None
+        finally:
+            manager.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Breaker wired into the manager
+# ---------------------------------------------------------------------------
+class TestManagerBreaker:
+    def test_partial_jobs_trip_the_breaker(self, tmp_path):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=60.0)
+        manager = JobManager(
+            tmp_path,
+            workers=1,
+            breaker=breaker,
+            chaos=ChaosPlan(faults=(Fault(scenario=1, times=99),)),
+        )
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state == "partial")
+            with pytest.raises(CircuitOpenError) as excinfo:
+                manager.submit(dict(SPEC))
+            assert excinfo.value.retry_after is not None
+            # Other packaging types are unaffected.
+            manager.submit({**SPEC, "packaging": ["silicon_bridge"]})
+            assert "breaker" in manager.metrics_snapshot()
+        finally:
+            manager.shutdown()
+
+    def test_successful_jobs_close_the_breaker(self, tmp_path):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+        manager = JobManager(tmp_path, workers=1, breaker=breaker)
+        manager.start()
+        try:
+            breaker.record_failure("rdl")  # one strike from history
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state == "done")
+            assert breaker.snapshot()["rdl"]["failures"] == 0
+        finally:
+            manager.shutdown()
+
+    def test_breaker_disabled(self, tmp_path):
+        manager = JobManager(tmp_path, workers=1, breaker=False)
+        assert manager.breaker is None
+        assert "breaker" not in manager.metrics_snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Corrupt-metadata quarantine
+# ---------------------------------------------------------------------------
+class TestRecoverQuarantine:
+    def test_corrupt_metadata_is_quarantined(self, tmp_path):
+        (tmp_path / "deadbeef0001.json").write_text('{"id": "deadbeef0001", ')
+        manager = JobManager(tmp_path, workers=1)
+        adopted = manager.recover()
+        assert adopted == []
+        assert not (tmp_path / "deadbeef0001.json").exists()
+        quarantined = tmp_path / "deadbeef0001.json.corrupt"
+        assert quarantined.is_file()
+        assert quarantined.read_text() == '{"id": "deadbeef0001", '
+        counters = manager.metrics_snapshot()["counters"]
+        assert counters["jobs_quarantined"] == 1
+
+    def test_quarantine_does_not_block_valid_jobs(self, tmp_path):
+        (tmp_path / "aaaa.json").write_text("not json at all")
+        manager = JobManager(tmp_path, workers=1)
+        manager.start()
+        try:
+            job = manager.submit(SPEC)
+            assert wait_for(lambda: job.state == "done")
+        finally:
+            manager.shutdown()
+        adopted = JobManager(tmp_path, workers=1)
+        recovered = adopted.recover()
+        assert [j.state for j in recovered] == ["done"]
+        assert (tmp_path / "aaaa.json.corrupt").is_file()
+
+    def test_quarantined_file_not_reprocessed(self, tmp_path):
+        (tmp_path / "bbbb.json").write_text("{broken")
+        manager = JobManager(tmp_path, workers=1)
+        manager.recover()
+        manager.recover()  # second pass: nothing left to quarantine
+        counters = manager.metrics_snapshot()["counters"]
+        assert counters["jobs_quarantined"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Retry-After over HTTP
+# ---------------------------------------------------------------------------
+class TestRetryAfterHTTP:
+    def test_quota_exceeded_carries_retry_after(self, tmp_path):
+        from repro.serve.app import create_server
+
+        srv = create_server(
+            port=0,
+            store_dir=tmp_path / "jobs",
+            workers=1,
+            quota=QuotaTracker(1),
+        )
+        base = "http://{}:{}".format(*srv.server_address[:2])
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            req = urllib.request.Request(
+                f"{base}/v1/sweeps",
+                data=json.dumps(SPEC).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            exc = excinfo.value
+            body = json.loads(exc.read())
+            assert exc.code == 429
+            assert exc.headers["Retry-After"] == "5"
+            assert body["error"]["code"] == "quota-exceeded"
+            assert body["error"]["retry_after_s"] == 5.0
+        finally:
+            srv.close(drain=False, timeout=10)
+            thread.join(10)
