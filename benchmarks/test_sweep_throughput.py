@@ -29,6 +29,10 @@ STEADY_STATE_SPEEDUP_FLOOR = 10.0
 #: Cold-start (compile included) speedup floor — a sanity bound, not the bar.
 COLD_START_SPEEDUP_FLOOR = 1.5
 
+#: A process-cold start against a warm persistent compile cache must beat a
+#: from-scratch compile by at least this factor (the disk-cache PR's bar).
+WARM_DISK_SPEEDUP_FLOOR = 2.0
+
 GRID = SweepSpec.preset("ga102-grid")
 
 
@@ -111,6 +115,58 @@ def test_batch_cold_start_compile(benchmark):
 
     records = benchmark(cold)
     assert len(records) == len(scenarios)
+
+
+def test_batch_cold_start_warm_disk_cache(benchmark, tmp_path):
+    """Process-cold start against a warm persistent compile cache.
+
+    Every round builds a fresh :class:`BatchEstimator` — the same
+    measurement as ``test_batch_cold_start_compile`` — but mounted on a
+    :class:`repro.fastpath.DiskCompileCache` directory a previous
+    "process" already populated, so templates and floorplans load from
+    disk instead of compiling.  Records must stay bit-identical to the
+    compiled path, and the load must beat the compile by at least
+    ``WARM_DISK_SPEEDUP_FLOOR``.
+    """
+    scenarios = SweepSpec.preset("ga102-quick").expand()
+    cache_dir = tmp_path / "compile-cache"
+
+    baseline = BatchEstimator().evaluate(scenarios)
+    seeder = BatchEstimator(persistent_cache=cache_dir)
+    assert seeder.evaluate(scenarios) == baseline
+
+    # Warm-directory precondition: a fresh estimator compiles nothing.
+    probe = BatchEstimator(persistent_cache=cache_dir)
+    assert probe.evaluate(scenarios) == baseline
+    assert probe.cache_stats()["compiles"] == 0
+
+    cold_best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        BatchEstimator().evaluate(scenarios)  # fresh caches: compile included
+        cold_best = min(cold_best, time.perf_counter() - start)
+
+    def warm_disk_cold_start():
+        return BatchEstimator(persistent_cache=cache_dir).evaluate(scenarios)
+
+    records = benchmark(warm_disk_cold_start)
+    assert records == baseline
+    # Min vs min: cold_best is already a best-of-3 minimum, and minima are
+    # the noise-robust estimator under CI contention (matching the gate).
+    warm_seconds = benchmark.stats.stats.min
+    speedup = cold_best / warm_seconds
+    print_series(
+        "Cold start vs warm disk cache, ga102-quick",
+        [
+            f"  compile from scratch: {cold_best * 1000:8.2f} ms",
+            f"  load from disk cache: {warm_seconds * 1000:8.2f} ms",
+            f"  speedup             : {speedup:8.1f}x (floor: {WARM_DISK_SPEEDUP_FLOOR}x)",
+        ],
+    )
+    assert speedup >= WARM_DISK_SPEEDUP_FLOOR, (
+        f"warm-disk-cache cold start speedup {speedup:.1f}x is below the "
+        f"{WARM_DISK_SPEEDUP_FLOOR}x acceptance floor"
+    )
 
 
 def test_scalar_estimator_microbenchmark(benchmark):

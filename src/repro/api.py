@@ -65,7 +65,7 @@ from repro.sweep.store import (
     repair_torn_tail,
     rows_from_records,
 )
-from repro.technology.nodes import TechnologyTable
+from repro.technology.nodes import TechnologyTable, table_signature
 from repro.testcases.registry import get_testcase
 
 __all__ = ["ExploreResult", "Session", "SweepResult", "sweep_cache_key"]
@@ -90,9 +90,12 @@ def sweep_cache_key(
     are served without re-evaluating anything.
     """
     hasher = hashlib.sha256()
-    # A custom table has no stable value identity; key on object identity,
-    # which is exactly the sharing a process-wide cache can rely on.
-    table_key = "builtin" if table is None else f"table#{id(table)}"
+    # Tables are keyed by *content*, never by object identity: CPython
+    # reuses addresses after garbage collection, so an id()-based key would
+    # let a different table built at a recycled address silently replay a
+    # stale sweep.  Content hashing also lets a verbatim copy of the
+    # built-in table share its entries — the results are bit-identical.
+    table_key = table_signature(table)
     hasher.update(repr((repr(config), bool(include_cost), table_key)).encode("utf-8"))
     for scenario in scenarios:
         hasher.update(
@@ -189,6 +192,12 @@ class Session:
             :class:`repro.fastpath.BatchEstimator` (``backend="batch"``,
             ``jobs=1`` only) so a long-lived process keeps one compiled-
             template cache across sessions and requests.
+        compile_cache: Persistent on-disk compile cache for the batch
+            backend — a directory path or a
+            :class:`repro.fastpath.DiskCompileCache` — mounted on the
+            sweep engine (and its worker processes when ``jobs>1``), so
+            compiled templates survive across processes and runs.
+            Mutually exclusive with ``batch_estimator``.
         resilience: Optional
             :class:`~repro.resilience.ResiliencePolicy` — contain
             per-scenario failures as structured error records (or retry
@@ -213,6 +222,7 @@ class Session:
         mp_context: Optional[str] = None,
         result_cache: Optional[Any] = None,
         batch_estimator: Optional[Any] = None,
+        compile_cache: Optional[Any] = None,
         resilience: Optional[Any] = None,
         chaos: Optional[Any] = None,
     ):
@@ -233,6 +243,7 @@ class Session:
             mp_context=mp_context,
             table=table,
             batch_estimator=batch_estimator,
+            compile_cache=compile_cache,
             resilience=resilience,
             chaos=chaos,
         )

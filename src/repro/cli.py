@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import heapq
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -163,6 +164,31 @@ def _print_sweep(system: ChipletSystem, nodes: List[float], estimator: EcoChip) 
         )
 
 
+#: Environment default of ``--compile-cache`` (sweep and serve).
+COMPILE_CACHE_ENV = "ECO_CHIP_COMPILE_CACHE"
+
+
+def resolve_compile_cache(explicit: Optional[str], backend: str) -> Optional[str]:
+    """Resolve the persistent compile-cache directory for one run.
+
+    An explicit ``--compile-cache`` combined with the scalar backend is an
+    error — the scalar pipeline compiles no templates, so the flag would
+    silently do nothing.  The ``ECO_CHIP_COMPILE_CACHE`` environment
+    default, by contrast, is meant to be set once per machine, so it is
+    simply ignored where it cannot help.
+    """
+    if explicit is not None:
+        if backend != "batch":
+            raise ValueError(
+                "--compile-cache requires --backend batch (the scalar "
+                "backend compiles no templates, so nothing would be cached)"
+            )
+        return explicit
+    if backend != "batch":
+        return None
+    return os.environ.get(COMPILE_CACHE_ENV) or None
+
+
 def build_sweep_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``eco-chip sweep`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -210,6 +236,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--chunk-size", type=int, default=None, help="Scenarios per worker shard (default: auto)"
+    )
+    parser.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "Persistent on-disk compile cache for --backend batch: compiled "
+            "templates and floorplan signatures are stored content-addressed "
+            "under DIR and shared across runs, processes, and restarts "
+            "(defaults to $ECO_CHIP_COMPILE_CACHE when set)"
+        ),
     )
     parser.add_argument(
         "--out", help="Stream results to this file (.jsonl/.ndjson or .csv)"
@@ -385,6 +422,11 @@ def _sweep_main(argv: Sequence[str]) -> int:
             on_error=args.on_error or "record",
             scenario_timeout_s=args.scenario_timeout,
         )
+    try:
+        compile_cache = resolve_compile_cache(args.compile_cache, args.backend)
+    except ValueError as exc:
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
 
     try:
         axis_sets = _parse_axis_sets(args.axis_sets)
@@ -467,6 +509,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
         memoize=not args.no_memoize,
         backend=args.backend,
         include_cost=not args.no_cost,
+        compile_cache=compile_cache,
         resilience=resilience,
     )
     # Stream with bounded memory: track a running best and a top-N heap;
@@ -612,6 +655,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="Sweep backend jobs run on (default: batch)",
     )
     parser.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "Persistent on-disk compile cache: the shared compiled-template "
+            "cache is mirrored content-addressed under DIR, so a restarted "
+            "server starts warm (defaults to $ECO_CHIP_COMPILE_CACHE when "
+            "set; requires --backend batch)"
+        ),
+    )
+    parser.add_argument(
         "--quota", type=int, default=None, metavar="SCENARIOS",
         help=(
             "Per-client in-flight scenario budget (X-Client-Id header); "
@@ -689,6 +743,12 @@ def _serve_main(argv: Sequence[str]) -> int:
     from repro.serve.app import create_server
     from repro.serve.quota import QuotaTracker
 
+    try:
+        compile_cache_dir = resolve_compile_cache(args.compile_cache, args.backend)
+    except ValueError as exc:
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
+
     quota = QuotaTracker(args.quota) if args.quota is not None else None
     try:
         server = create_server(
@@ -701,6 +761,7 @@ def _serve_main(argv: Sequence[str]) -> int:
             jobs=args.jobs,
             include_cost=not args.no_cost,
             quota=quota,
+            compile_cache_dir=compile_cache_dir,
             breaker=False if args.no_breaker else None,
             verbose=args.verbose,
         )

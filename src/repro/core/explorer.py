@@ -11,7 +11,13 @@ Pareto-optimal set under user-selected objectives.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # optional fast path, same soft dependency as repro.fastpath.batch
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the reference env
+    _np = None
 
 from repro.core.disaggregation import all_node_configurations
 from repro.core.estimator import EcoChip
@@ -66,7 +72,13 @@ class DesignPoint:
 
 
 def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
-    """True when objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimisation).
+
+    Assumes NaN-free vectors: every NaN comparison is ``False``, which would
+    make a NaN-bearing point undominatable and silently pollute the front.
+    :func:`pareto_front` screens NaN out (or raises) before any skyline runs,
+    so the skylines themselves can assume a total order per coordinate.
+    """
     return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
 
 
@@ -119,25 +131,202 @@ def _skyline_bnl(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
     return window
 
 
-def pareto_front(points: Sequence["DesignPoint"], objectives: Sequence[str]) -> List["DesignPoint"]:
+#: Below this many (pre-sorted) points the divide-and-conquer skyline stops
+#: recursing and scans the slice directly.
+_DNC_BASE_CASE = 64
+
+#: Below this many points the vectorised skyline is not worth the array
+#: round-trip and the pure-python divide-and-conquer runs instead.
+_NUMPY_MIN_POINTS = 256
+
+def _skyline_filter(
+    candidates: Sequence[int], reference: Sequence[int], vectors: Sequence[Tuple[float, ...]]
+) -> List[int]:
+    """The ``candidates`` not dominated by any ``reference`` index."""
+    return [
+        index
+        for index in candidates
+        if not any(_dominates(vectors[kept], vectors[index]) for kept in reference)
+    ]
+
+
+def _skyline_divide(
+    order: Sequence[int], vectors: Sequence[Tuple[float, ...]]
+) -> List[int]:
+    """Indices of the k-objective non-dominated set, divide and conquer.
+
+    ``order`` must be lexicographically pre-sorted.  That order means a later
+    point can never dominate an earlier one (its first differing coordinate
+    is larger; exact duplicates fail the strict-< leg of :func:`_dominates`),
+    so merging halves only filters the right skyline against the left one —
+    and filtering against the left *skyline* suffices, because any left point
+    dominating a right point is itself dominated by (or equal to) some left
+    survivor, which then dominates the right point by transitivity.  The
+    window scan of :func:`_skyline_bnl` handles slices of ``_DNC_BASE_CASE``.
+    """
+    if len(order) <= _DNC_BASE_CASE:
+        window: List[int] = []
+        for index in order:
+            candidate = vectors[index]
+            if not any(_dominates(vectors[kept], candidate) for kept in window):
+                window.append(index)
+        return window
+    mid = len(order) // 2
+    left = _skyline_divide(order[:mid], vectors)
+    right = _skyline_divide(order[mid:], vectors)
+    return left + _skyline_filter(right, left, vectors)
+
+
+def _skyline_numpy(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
+    """Indices of the k-objective non-dominated set, vectorised.
+
+    The same sorted-scan argument as :func:`_skyline_divide`: after a
+    lexicographic sort a later point never dominates an earlier one, so a
+    single left-to-right pass suffices — each surviving point culls, in one
+    whole-array comparison, every later point it dominates.  A culled
+    point's own victims need no separate pass: whatever culled it (weakly)
+    dominates them too, by transitivity.  The pass count therefore equals
+    the front size, not n.  Tie/duplicate semantics are inherited from the
+    strict-< leg: ``ge.all & gt.any`` is exactly :func:`_dominates`, so
+    exact duplicates stay mutually non-dominating.
+    """
+    matrix = _np.asarray(vectors, dtype=float)
+    if matrix.size == 0:  # an empty list collapses to shape (0,): no lexsort keys
+        return []
+    # lexsort keys run last-to-first; reversed rows of the transpose sort
+    # by objective 0 first, matching sorted(tuple) in the python skylines.
+    order = _np.lexsort(matrix.T[::-1])
+    ranked = matrix[order]
+    cursor = 0
+    while cursor < len(ranked):
+        pivot = ranked[cursor]
+        tail = ranked[cursor + 1 :]
+        culled = (tail >= pivot).all(axis=1) & (tail > pivot).any(axis=1)
+        if culled.any():
+            keep = ~culled
+            ranked = _np.concatenate([ranked[: cursor + 1], tail[keep]])
+            order = _np.concatenate([order[: cursor + 1], order[cursor + 1 :][keep]])
+        cursor += 1
+    return [int(index) for index in order]
+
+
+def _skyline_2d_numpy(matrix) -> List[int]:
+    """Indices of the 2-objective non-dominated set, vectorised.
+
+    Sort by (x, y); within an equal-x run the first y is the run minimum, and
+    a point survives iff it carries that minimum *and* beats the strictly
+    smaller-x prefix's best y (ties across runs lose: the earlier point
+    weakly dominates).  Exact duplicates of a surviving point share its y and
+    run, so all of them survive — the same tie/duplicate semantics as
+    :func:`_skyline_2d` and :func:`_dominates`.
+    """
+    if matrix.size == 0:
+        return []
+    order = _np.lexsort((matrix[:, 1], matrix[:, 0]))
+    x = matrix[order, 0]
+    y = matrix[order, 1]
+    starts = _np.empty(len(order), dtype=bool)
+    starts[0] = True
+    starts[1:] = x[1:] != x[:-1]
+    run_ids = _np.cumsum(starts) - 1
+    run_min = y[starts]  # first y of each equal-x run is its minimum
+    prefix_best = _np.empty(len(run_min))
+    prefix_best[0] = _np.inf
+    if len(run_min) > 1:
+        prefix_best[1:] = _np.minimum.accumulate(run_min)[:-1]
+    keep = (y == run_min[run_ids]) & (y < prefix_best[run_ids])
+    return [int(index) for index in order[keep]]
+
+
+def _skyline_kd(vectors: Sequence[Tuple[float, ...]]) -> List[int]:
+    """Dispatch the k>=3 skyline: vectorised when numpy is present and the
+    input is large enough to amortise the array round-trip, pure-python
+    divide and conquer otherwise.  Both compute the exact non-dominated set
+    (it is a property of the point multiset, not of the algorithm), so the
+    choice never changes results.
+    """
+    if _np is not None and len(vectors) >= _NUMPY_MIN_POINTS:
+        return _skyline_numpy(vectors)
+    order = sorted(range(len(vectors)), key=lambda i: vectors[i])
+    return _skyline_divide(order, vectors)
+
+
+def pareto_front(
+    points: Sequence["DesignPoint"],
+    objectives: Sequence[str],
+    on_nan: str = "exclude",
+) -> List["DesignPoint"]:
     """The non-dominated subset of ``points`` under the named objectives.
 
     Accepts any objects exposing ``objective(name) -> float`` (both
     :class:`DesignPoint` and :class:`repro.sweep.store.SweepRow`).  Uses a
-    sort-based skyline: O(n log n) for two objectives, a block-nested loop
-    with early exit otherwise.  The result preserves input order.
+    sort-based skyline: O(n log n) for two objectives, divide and conquer
+    (vectorised with numpy on large inputs) otherwise.  The result preserves
+    input order.
+
+    NaN objective values have no place in a domination order (every NaN
+    comparison is false, so a NaN-bearing point both escapes domination and
+    poisons single-objective ``min`` in input-order-dependent ways).  They
+    are handled up front, identically for every objective count:
+
+    * ``on_nan="exclude"`` (default): points with any NaN objective are
+      dropped from consideration with a :class:`RuntimeWarning`.
+    * ``on_nan="raise"``: a NaN objective raises :class:`ValueError`.
     """
     if not objectives:
         raise ValueError("at least one objective is required")
-    vectors = [tuple(point.objective(name) for name in objectives) for point in points]
-    if len(objectives) == 1:
-        best = min((v[0] for v in vectors), default=None)
-        return [point for point, v in zip(points, vectors) if v[0] == best]
-    if len(objectives) == 2:
-        survivors = _skyline_2d(vectors)
+    if on_nan not in ("exclude", "raise"):
+        raise ValueError(f"on_nan must be 'exclude' or 'raise', got {on_nan!r}")
+    all_vectors = [tuple(point.objective(name) for name in objectives) for point in points]
+    # Large multi-objective inputs go through numpy end to end: the NaN
+    # screen and the skyline share one matrix instead of re-walking python
+    # tuples (the culling skyline is k-agnostic, so k == 2 qualifies too).
+    vectorised = _np is not None and len(objectives) >= 2 and len(all_vectors) >= _NUMPY_MIN_POINTS
+    if vectorised:
+        matrix = _np.asarray(all_vectors, dtype=float)
+        index_map = _np.flatnonzero(~_np.isnan(matrix).any(axis=1))
+        dropped = len(all_vectors) - len(index_map)
     else:
-        survivors = _skyline_bnl(vectors)
-    keep = set(survivors)
+        indexes = [
+            index
+            for index, vector in enumerate(all_vectors)
+            if not any(value != value for value in vector)
+        ]
+        dropped = len(all_vectors) - len(indexes)
+    if dropped:
+        if on_nan == "raise":
+            raise ValueError(
+                f"{dropped} of {len(all_vectors)} points have NaN values under "
+                f"objectives {list(objectives)}"
+            )
+        warnings.warn(
+            f"pareto_front: excluding {dropped} of {len(all_vectors)} points "
+            f"with NaN objective values",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if vectorised:
+        clean = matrix if not dropped else matrix[index_map]
+        if len(objectives) == 2:
+            survivors = _skyline_2d_numpy(clean)
+        else:
+            survivors = _skyline_numpy(clean)
+        keep = {int(index) for index in index_map[survivors]}
+        return [point for index, point in enumerate(points) if index in keep]
+    vectors = [all_vectors[index] for index in indexes]
+    if not vectors:
+        return []
+    if len(objectives) == 1:
+        best = min(vector[0] for vector in vectors)
+        keep = {
+            index for index, vector in zip(indexes, vectors) if vector[0] == best
+        }
+    else:
+        if len(objectives) == 2:
+            survivors = _skyline_2d(vectors)
+        else:
+            survivors = _skyline_kd(vectors)
+        keep = {indexes[survivor] for survivor in survivors}
     return [point for index, point in enumerate(points) if index in keep]
 
 

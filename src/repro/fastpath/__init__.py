@@ -23,16 +23,24 @@ from repro.fastpath.compiled import (
     compile_packaging,
     packaging_signature,
 )
+from repro.fastpath.diskcache import (
+    CACHE_FORMAT_VERSION,
+    DiskCompileCache,
+    as_disk_cache,
+)
 
 __all__ = [
     "BatchEstimator",
+    "CACHE_FORMAT_VERSION",
     "ChipletTerms",
     "CompiledSystem",
     "CostTerms",
+    "DiskCompileCache",
     "NUMPY_MIN_GROUP",
     "PackagingTerms",
     "SourceTerms",
     "TemplateCompiler",
+    "as_disk_cache",
     "compile_packaging",
     "group_scenarios",
     "packaging_signature",

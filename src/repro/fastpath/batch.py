@@ -124,9 +124,13 @@ class _ConfigContext:
         config: Optional[EstimatorConfig],
         table: Optional[TechnologyTable],
         include_cost: bool,
+        persistent_cache: Optional[Any] = None,
     ):
         self.compiler = TemplateCompiler(
-            config=config, table=table, include_cost=include_cost
+            config=config,
+            table=table,
+            include_cost=include_cost,
+            persistent_cache=persistent_cache,
         )
         config = self.compiler.config
         self.default_fab_label = _source_name(config.fab_carbon_source)
@@ -154,6 +158,12 @@ class BatchEstimator:
             ``False`` forces the pure-Python loop, ``None`` (default) picks
             NumPy automatically when it is installed and a group is large
             enough to benefit.
+        persistent_cache: Optional on-disk compile cache
+            (:class:`repro.fastpath.DiskCompileCache` or a directory path),
+            mounted by every config context's template compiler: compiled
+            templates and floorplans persist across processes, runs and
+            server restarts, and records stay bit-identical to a cold
+            compile.  See :mod:`repro.fastpath.diskcache`.
     """
 
     def __init__(
@@ -162,16 +172,24 @@ class BatchEstimator:
         table: Optional[TechnologyTable] = None,
         include_cost: bool = True,
         use_numpy: Optional[bool] = None,
+        persistent_cache: Optional[Any] = None,
     ):
         if use_numpy and _np is None:
             raise ImportError(
                 "use_numpy=True but numpy is not installed; "
                 "install the optional extra: pip install eco-chip-repro[fast]"
             )
+        from repro.fastpath.diskcache import as_disk_cache
+
         self._table = table
         self.include_cost = include_cost
         self.use_numpy = use_numpy
-        self._base_context = _ConfigContext(config, table, include_cost)
+        #: Shared by every config context (one disk cache object, one set
+        #: of cache-wide counters, one mount point).
+        self.persistent_cache = as_disk_cache(persistent_cache)
+        self._base_context = _ConfigContext(
+            config, table, include_cost, persistent_cache=self.persistent_cache
+        )
         #: Config-override signature -> compilation context; ``None`` is
         #: the override-free base configuration.
         self._contexts: Dict[Optional[Tuple], _ConfigContext] = {
@@ -191,7 +209,12 @@ class BatchEstimator:
             config = apply_config_overrides(
                 self._base_context.compiler.config, scenario.overrides
             )
-            context = _ConfigContext(config, self._table, self.include_cost)
+            context = _ConfigContext(
+                config,
+                self._table,
+                self.include_cost,
+                persistent_cache=self.persistent_cache,
+            )
             self._contexts[signature] = context
         return context
 
@@ -206,7 +229,11 @@ class BatchEstimator:
         A process-wide estimator shared across server requests surfaces
         these through ``/v1/metrics``: ``template_hits`` /
         ``template_misses`` count :meth:`TemplateCompiler.compile` lookups,
-        ``templates`` and ``contexts`` the resident cache sizes.
+        ``templates`` and ``contexts`` the resident cache sizes,
+        ``compiles`` the full template compilations actually run (an
+        in-memory miss satisfied by the persistent disk cache is not a
+        compile), and ``disk_hits`` / ``disk_misses`` the persistent-cache
+        probes (zeros when no ``persistent_cache`` is mounted).
         """
         contexts = list(self._contexts.values())
         return {
@@ -214,6 +241,9 @@ class BatchEstimator:
             "template_misses": sum(c.compiler.template_misses for c in contexts),
             "templates": sum(len(c.compiler._templates) for c in contexts),
             "contexts": len(contexts),
+            "compiles": sum(c.compiler.compiles for c in contexts),
+            "disk_hits": sum(c.compiler.disk_hits for c in contexts),
+            "disk_misses": sum(c.compiler.disk_misses for c in contexts),
         }
 
     # -- public API -----------------------------------------------------------------

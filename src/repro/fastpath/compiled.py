@@ -49,6 +49,7 @@ from repro.axes import (
 )
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.system import ChipletSystem
+from repro.fastpath.diskcache import DiskCompileCache, as_disk_cache
 from repro.cost.model import (
     DESIGN_COST_USD_PER_GATE,
     MASK_SET_COST_USD,
@@ -61,7 +62,11 @@ from repro.floorplan.slicing import FloorplanResult, SlicingFloorplanner
 from repro.packaging.base import PackagedChiplet, PackagingModel, PackagingTerms
 from repro.packaging.registry import build_packaging_model, spec_from_dict
 from repro.sweep.spec import packaging_signature, resolve_base
-from repro.technology.nodes import TechnologyTable, _normalise_node_key
+from repro.technology.nodes import (
+    TechnologyTable,
+    _normalise_node_key,
+    table_signature,
+)
 
 __all__ = [
     "ChipletTerms",
@@ -241,6 +246,15 @@ class TemplateCompiler:
             :class:`repro.core.estimator.EcoChip`).
         table: Technology table override.
         include_cost: Also compile the dollar-cost terms for ``cost_usd``.
+        persistent_cache: Optional on-disk compile cache
+            (:class:`repro.fastpath.DiskCompileCache` or a directory path):
+            templates and floorplans missing from the in-memory caches are
+            loaded from (and compiled results stored to) disk, so cold
+            starts across processes, runs and server restarts share one
+            compile investment.  Entries are salted with the config, the
+            technology-table content hash and the cost flag, so a cache
+            directory may be shared between differently-configured
+            compilers without cross-talk.
     """
 
     def __init__(
@@ -248,19 +262,46 @@ class TemplateCompiler:
         config: Optional[EstimatorConfig] = None,
         table: Optional[TechnologyTable] = None,
         include_cost: bool = True,
+        persistent_cache: Optional[Any] = None,
     ):
         self.config = config if config is not None else EstimatorConfig()
         self.estimator = EcoChip(config=self.config, table=table)
         self.cost_model = (
             ChipletCostModel(table=self.estimator.table) if include_cost else None
         )
+        self.persistent_cache: Optional[DiskCompileCache] = as_disk_cache(
+            persistent_cache
+        )
+        #: Everything template values depend on besides the template key
+        #: itself — table content, config, cost flag — pre-digested so each
+        #: entry address hashes a short string, not the full config repr.
+        #: Computed only when a persistent cache is mounted: cache-less
+        #: compilers (the common case) skip the table walk entirely.
+        if self.persistent_cache is not None:
+            import hashlib
+
+            self._disk_salt: Optional[str] = hashlib.sha256(
+                repr(
+                    (table_signature(table), repr(self.config), bool(include_cost))
+                ).encode("utf-8")
+            ).hexdigest()
+        else:
+            self._disk_salt = None
         self._bases: Dict[Tuple[str, str], ChipletSystem] = {}
         self._templates: Dict[TemplateKey, CompiledSystem] = {}
         #: Template-cache hit/miss counters (int increments are GIL-atomic;
         #: a server sharing one compiler across threads reads these for its
-        #: /v1/metrics endpoint).
+        #: /v1/metrics endpoint).  ``template_misses`` counts in-memory
+        #: misses; ``compiles`` counts the subset that also missed the
+        #: persistent cache and ran the full compile.
         self.template_hits = 0
         self.template_misses = 0
+        self.compiles = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        # design-directory base ref -> content fingerprint (templates built
+        # on on-disk designs key their persistent entries on the files too).
+        self._dir_fingerprints: Dict[str, Tuple[Tuple[str, str], ...]] = {}
         # packaging signature -> packaging spec
         self._specs: Dict[Tuple, Any] = {}
         # (base key incl. system-override signature, chiplet name, node)
@@ -307,14 +348,27 @@ class TemplateCompiler:
     ) -> FloorplanResult:
         key = (planner.spacing_mm, tuple(areas.items()))
         entry = self._floorplans.get(key)
+        cache = self.persistent_cache
         if entry is None:
+            # Floorplans are pure geometry: independent of config and table,
+            # so their disk entries are keyed on the signature alone and
+            # shared across every compiler mounting the directory.
+            if cache is not None:
+                cached = cache.load("floorplan", None, key + (need_adjacencies,))
+                if cached is not None:
+                    self._floorplans[key] = (cached, need_adjacencies)
+                    return cached
             floorplan = planner.floorplan(areas, adjacencies=need_adjacencies)
             self._floorplans[key] = (floorplan, need_adjacencies)
+            if cache is not None:
+                cache.store("floorplan", None, key + (need_adjacencies,), floorplan)
             return floorplan
         floorplan, has_adjacencies = entry
         if need_adjacencies and not has_adjacencies:
             floorplan = planner.adjacencies_of(floorplan)
             self._floorplans[key] = (floorplan, True)
+            if cache is not None:
+                cache.store("floorplan", None, key + (True,), floorplan)
         return floorplan
 
     def _packaging_model(self, spec: Any) -> PackagingModel:
@@ -370,11 +424,65 @@ class TemplateCompiler:
         template = self._templates.get(key)
         if template is None:
             self.template_misses += 1
-            template = self._compile(base_kind, base_ref, nodes, packaging, overrides)
+            template = self._load_persistent(key)
+            if template is None:
+                template = self._compile(
+                    base_kind, base_ref, nodes, packaging, overrides
+                )
+                self.compiles += 1
+                self._store_persistent(key, template)
             self._templates[key] = template
         else:
             self.template_hits += 1
         return template
+
+    # -- persistent cache -------------------------------------------------------------
+    def _template_disk_key(self, key: TemplateKey) -> Tuple:
+        """The on-disk address material of a template key.
+
+        Templates built on a design directory depend on its files, not just
+        its path, so the key grows a content fingerprint: an edited design
+        never replays a stale entry.
+        """
+        base_kind, base_ref = key[0], key[1]
+        if base_kind != "design_dir":
+            return key
+        fingerprint = self._dir_fingerprints.get(base_ref)
+        if fingerprint is None:
+            import hashlib
+            from pathlib import Path
+
+            entries = []
+            root = Path(base_ref)
+            for path in sorted(p for p in root.rglob("*") if p.is_file()):
+                entries.append(
+                    (
+                        path.relative_to(root).as_posix(),
+                        hashlib.sha256(path.read_bytes()).hexdigest(),
+                    )
+                )
+            fingerprint = tuple(entries)
+            self._dir_fingerprints[base_ref] = fingerprint
+        return key + (fingerprint,)
+
+    def _load_persistent(self, key: TemplateKey) -> Optional[CompiledSystem]:
+        cache = self.persistent_cache
+        if cache is None:
+            return None
+        template = cache.load("template", self._disk_salt, self._template_disk_key(key))
+        if template is None:
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return template
+
+    def _store_persistent(self, key: TemplateKey, template: CompiledSystem) -> None:
+        if self.persistent_cache is not None:
+            # Stored straight after compilation, before any evaluation, so
+            # the per-source term cache ships empty and entries stay lean.
+            self.persistent_cache.store(
+                "template", self._disk_salt, self._template_disk_key(key), template
+            )
 
     def _compile(
         self,

@@ -46,7 +46,13 @@ class ResultCache:
         self.misses = 0
 
     def get(self, key: str) -> Optional[Tuple[Dict[str, Any], ...]]:
-        """The cached records of ``key``, or ``None`` (counts hit/miss)."""
+        """The cached records of ``key``, or ``None`` (counts hit/miss).
+
+        Every hit returns fresh per-record dict copies, mirroring the
+        defensive copy ``put`` makes on the way in: a caller mutating a
+        replayed record (annotating rows, popping columns) must not corrupt
+        the entry every future hit is served from.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -54,7 +60,7 @@ class ResultCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry
+            return tuple(dict(record) for record in entry)
 
     def put(self, key: str, records: Sequence[Dict[str, Any]]) -> None:
         """Store the finished sweep's records under ``key``."""
@@ -97,6 +103,10 @@ class SharedCompileCache:
         config: Estimator configuration every job evaluates under.
         table: Technology table override.
         include_cost: Compile the dollar-cost terms too.
+        persistent_cache: Optional on-disk compile cache
+            (:class:`repro.fastpath.DiskCompileCache`, or a directory
+            path) mounted under the shared estimator, so compiled
+            templates also survive server restarts.
     """
 
     def __init__(
@@ -104,11 +114,15 @@ class SharedCompileCache:
         config: Optional[Any] = None,
         table: Optional[Any] = None,
         include_cost: bool = True,
+        persistent_cache: Optional[Any] = None,
     ):
         from repro.fastpath import BatchEstimator
 
         self.estimator = BatchEstimator(
-            config=config, table=table, include_cost=include_cost
+            config=config,
+            table=table,
+            include_cost=include_cost,
+            persistent_cache=persistent_cache,
         )
 
     def stats(self) -> Dict[str, int]:

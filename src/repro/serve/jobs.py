@@ -141,6 +141,12 @@ class JobManager:
         result_cache: Session-level result cache (created when omitted).
         compile_cache: Shared compiled-template cache (created when the
             backend/jobs combination supports it, i.e. batch + in-process).
+        compile_cache_dir: Directory for the persistent on-disk compile
+            cache (``--compile-cache`` /``ECO_CHIP_COMPILE_CACHE``).
+            Mounted under the auto-created :class:`SharedCompileCache`
+            so warm templates survive server restarts; ignored when an
+            explicit ``compile_cache`` instance is passed or the
+            backend/jobs combination compiles no shared templates.
         resilience: :class:`~repro.resilience.ResiliencePolicy` jobs run
             under.  Defaults to containment (``on_error="record"``, no
             retries): a scenario that raises becomes one error record and
@@ -168,6 +174,7 @@ class JobManager:
         metrics: Optional[Metrics] = None,
         result_cache: Optional[ResultCache] = None,
         compile_cache: Optional[SharedCompileCache] = None,
+        compile_cache_dir: Optional[Union[str, Path]] = None,
         resilience: Union[ResiliencePolicy, None, bool] = None,
         chaos: Optional[ChaosPlan] = None,
         breaker: Union[CircuitBreaker, None, bool] = None,
@@ -202,7 +209,10 @@ class JobManager:
         self.result_cache = result_cache if result_cache is not None else ResultCache()
         if compile_cache is None and backend == "batch" and jobs == 1:
             compile_cache = SharedCompileCache(
-                config=config, table=table, include_cost=include_cost
+                config=config,
+                table=table,
+                include_cost=include_cost,
+                persistent_cache=compile_cache_dir,
             )
         self.compile_cache = compile_cache
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)

@@ -399,13 +399,20 @@ def _init_batch_worker(
     table: Optional[TechnologyTable] = None,
     policy: Optional[ResiliencePolicy] = None,
     chaos: Optional[Any] = None,
+    compile_cache: Optional[Any] = None,
 ) -> None:
     global _BATCH_EVALUATOR, _POLICY, _CHAOS
     from repro.fastpath import BatchEstimator
 
     import_plugin_modules(plugins)
+    # ``compile_cache`` mounts the persistent on-disk template cache in
+    # every worker: the first worker to compile a template persists it for
+    # its siblings (and for every later run against the same directory).
     _BATCH_EVALUATOR = BatchEstimator(
-        config=default_config, table=table, include_cost=include_cost
+        config=default_config,
+        table=table,
+        include_cost=include_cost,
+        persistent_cache=compile_cache,
     )
     _POLICY = policy
     _CHAOS = chaos
@@ -579,6 +586,14 @@ class SweepEngine:
             ``backend="batch"`` and ``jobs=1`` (worker processes cannot
             share an in-process cache); it must have been built with the
             same ``config``/``table``/``include_cost`` as this engine.
+        compile_cache: Persistent on-disk compile cache for the batch
+            backend — a directory path or a
+            :class:`repro.fastpath.DiskCompileCache`.  ``jobs=1`` mounts it
+            on the run's estimator; ``jobs>1`` mounts it in every worker
+            process, so templates compile once *across* workers, runs and
+            restarts (records stay bit-identical to a cold compile).
+            Mutually exclusive with ``batch_estimator`` — mount the cache
+            on the shared estimator itself instead.
         resilience: Optional :class:`repro.resilience.ResiliencePolicy`.
             When given, a raising scenario is retried per the policy and
             then (``on_error="record"``) captured as a structured error
@@ -604,6 +619,7 @@ class SweepEngine:
         mp_context: Optional[str] = None,
         table: Optional[TechnologyTable] = None,
         batch_estimator: Optional[Any] = None,
+        compile_cache: Optional[Any] = None,
         resilience: Optional[ResiliencePolicy] = None,
         chaos: Optional[Any] = None,
     ):
@@ -627,6 +643,21 @@ class SweepEngine:
                 "batch_estimator requires backend='batch' and jobs=1 "
                 f"(got backend={backend!r}, jobs={jobs})"
             )
+        if compile_cache is not None:
+            if backend != "batch":
+                raise ValueError(
+                    "compile_cache requires backend='batch' (the scalar "
+                    f"backend compiles no templates; got backend={backend!r})"
+                )
+            if batch_estimator is not None:
+                raise ValueError(
+                    "compile_cache and batch_estimator are mutually "
+                    "exclusive; mount the persistent cache on the shared "
+                    "estimator (BatchEstimator(persistent_cache=...)) instead"
+                )
+            from repro.fastpath import as_disk_cache
+
+            compile_cache = as_disk_cache(compile_cache)
         if chaos is not None and jobs > 1:
             if resilience is None:
                 raise ValueError(
@@ -648,6 +679,7 @@ class SweepEngine:
         self.mp_context = mp_context
         self.table = table
         self.batch_estimator = batch_estimator
+        self.compile_cache = compile_cache
         self.resilience = resilience
         self.chaos = chaos
         #: Kernel-cache stats of the last serial run (None after parallel runs).
@@ -887,7 +919,10 @@ class SweepEngine:
             estimator = self.batch_estimator
             if estimator is None:
                 estimator = BatchEstimator(
-                    config=self.config, table=self.table, include_cost=self.include_cost
+                    config=self.config,
+                    table=self.table,
+                    include_cost=self.include_cost,
+                    persistent_cache=self.compile_cache,
                 )
             for _, members in groups:
                 if policy is not None:
@@ -928,7 +963,7 @@ class SweepEngine:
                 initializer=_init_batch_worker,
                 initargs=(
                     self.config, self.include_cost, plugin_modules(), self.table,
-                    self.resilience, self.chaos,
+                    self.resilience, self.chaos, self.compile_cache,
                 ),
                 chunk_weight=lambda chunk: sum(
                     len(positions) for positions, _ in chunk
@@ -948,7 +983,10 @@ class SweepEngine:
         with self._pool(
             max_workers=min(self.jobs, len(chunks)),
             initializer=_init_batch_worker,
-            initargs=(self.config, self.include_cost, plugin_modules(), self.table),
+            initargs=(
+                self.config, self.include_cost, plugin_modules(), self.table,
+                None, None, self.compile_cache,
+            ),
         ) as pool:
             for chunk_results in pool.map(_evaluate_batch_chunk, chunks):
                 for position, record in chunk_results:

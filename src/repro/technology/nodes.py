@@ -25,10 +25,33 @@ relies on:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 NodeKey = Union[str, int, float]
+
+
+def table_signature(table: Optional["TechnologyTable"] = None) -> str:
+    """Content hash (SHA-256 hex digest) of a technology table.
+
+    Two tables hash equal exactly when they tabulate the same nodes with the
+    same parameter values — the condition under which every model produces
+    bit-identical results.  ``None`` hashes the built-in default table, so a
+    verbatim copy of the default shares its signature.  Used wherever table
+    identity must survive process boundaries: sweep result-cache keys
+    (:func:`repro.api.sweep_cache_key`) and persistent compile-cache entry
+    versioning (:mod:`repro.fastpath.diskcache`).
+    """
+    if table is None:
+        table = DEFAULT_TECHNOLOGY_TABLE
+    hasher = hashlib.sha256()
+    for record in table:  # __iter__ yields nodes sorted by feature size
+        # The dataclass repr spells out every field value; unlike
+        # dataclasses.astuple it involves no deep copy, keeping the
+        # signature cheap enough to compute per estimator construction.
+        hasher.update(repr(record).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def _normalise_node_key(node: NodeKey) -> float:

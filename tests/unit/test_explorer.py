@@ -198,7 +198,12 @@ class TestSkylineCorrectness:
 
 
 class TestSkylineBlockNestedLoop:
-    """The k>=3 block-nested-loop branch (_skyline_bnl) specifically."""
+    """The k>=3 branch (divide-and-conquer `_skyline_kd`) specifically.
+
+    Small inputs here run the pure-python recursion; the vectorised numpy
+    path and the legacy `_skyline_bnl` reference are held to the same
+    answers in TestSkylineKdDispatch and tests/property/test_property_skyline.py.
+    """
 
     OBJ3 = ["a", "b", "c"]
 
@@ -262,6 +267,63 @@ class TestSkylineBlockNestedLoop:
         points += [_Vector(dict(p.values)) for p in rng.sample(points, 30)]
         expected = _naive_front(points, names)
         assert pareto_front(points, names) == expected
+
+
+class TestSkylineKdDispatch:
+    """Dispatch seams of the k>=3 skyline and the NaN contract."""
+
+    OBJ3 = ["a", "b", "c"]
+
+    def _grid(self, count, seed=3):
+        import random
+
+        rng = random.Random(seed)
+        points = [
+            _Vector({n: float(rng.randint(0, 5)) for n in self.OBJ3})
+            for _ in range(count)
+        ]
+        return points + [_Vector(dict(p.values)) for p in rng.sample(points, count // 10)]
+
+    def test_large_input_crosses_the_numpy_threshold_and_matches_brute_force(self):
+        from repro.core.explorer import _NUMPY_MIN_POINTS
+
+        points = self._grid(_NUMPY_MIN_POINTS * 2)
+        assert pareto_front(points, self.OBJ3) == _naive_front(points, self.OBJ3)
+
+    def test_numpy_and_divide_agree_above_and_below_the_threshold(self):
+        from repro.core.explorer import _NUMPY_MIN_POINTS, _skyline_divide, _skyline_kd
+
+        for count in (40, _NUMPY_MIN_POINTS * 2):
+            points = self._grid(count, seed=count)
+            vectors = [tuple(p.objective(n) for n in self.OBJ3) for p in points]
+            order = sorted(range(len(vectors)), key=lambda i: vectors[i])
+            assert sorted(_skyline_kd(vectors)) == sorted(_skyline_divide(order, vectors))
+
+    def test_nan_points_are_excluded_with_a_warning(self):
+        nan = float("nan")
+        points = [
+            _Vector({"a": 1.0, "b": 1.0, "c": nan}),  # would pollute the front
+            _Vector({"a": 2.0, "b": 2.0, "c": 2.0}),
+            _Vector({"a": 3.0, "b": 3.0, "c": 3.0}),
+        ]
+        with pytest.warns(RuntimeWarning, match="NaN"):
+            assert pareto_front(points, self.OBJ3) == [points[1]]
+
+    def test_nan_raise_mode(self):
+        points = [_Vector({"a": float("nan"), "b": 1.0}), _Vector({"a": 1.0, "b": 1.0})]
+        with pytest.raises(ValueError, match="NaN"):
+            pareto_front(points, ["a", "b"], on_nan="raise")
+
+    def test_single_objective_nan_does_not_poison_min(self):
+        # Regression: min() over [nan, 1.0] is nan but over [1.0, nan] is
+        # 1.0 — the old path's front depended on input order.
+        nan = float("nan")
+        forward = [_Vector({"a": nan}), _Vector({"a": 1.0})]
+        backward = list(reversed(forward))
+        with pytest.warns(RuntimeWarning):
+            assert pareto_front(forward, ["a"]) == [forward[1]]
+        with pytest.warns(RuntimeWarning):
+            assert pareto_front(backward, ["a"]) == [backward[0]]
 
 
 class TestBestConstraints:

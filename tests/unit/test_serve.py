@@ -86,6 +86,18 @@ class TestResultCache:
         record["total_carbon_g"] = 999.0
         assert cache.get("k")[0]["total_carbon_g"] == 1.0
 
+    def test_replayed_records_are_mutation_safe(self):
+        # Regression: get() used to return the cached tuple's own dicts, so
+        # a caller annotating (or popping columns from) a replayed record
+        # corrupted the entry every future hit was served from.
+        cache = ResultCache()
+        cache.put("k", [{"scenario": 0, "total_carbon_g": 1.0}])
+        replay = cache.get("k")
+        replay[0]["total_carbon_g"] = 999.0
+        replay[0]["injected"] = True
+        assert cache.get("k") == ({"scenario": 0, "total_carbon_g": 1.0},)
+        assert cache.get("k")[0] is not cache.get("k")[0]
+
     def test_lru_eviction(self):
         cache = ResultCache(max_entries=2)
         cache.put("a", [])
