@@ -27,6 +27,14 @@ paper's industry testcases and :mod:`repro.cli` for the command-line tool.
 
 from repro.axes import Axis, axis_names, register_axis
 from repro.api import ExploreResult, Session, SweepResult
+from repro.search import (
+    SearchConstraint,
+    SearchObjective,
+    SearchResult,
+    SearchSpec,
+    register_strategy,
+    strategy_names,
+)
 from repro.core.chiplet import Chiplet
 from repro.core.estimator import EcoChip, EstimatorConfig
 from repro.core.results import ChipletCarbonReport, SystemCarbonReport
@@ -45,6 +53,12 @@ __all__ = [
     "Session",
     "SweepResult",
     "ExploreResult",
+    "SearchConstraint",
+    "SearchObjective",
+    "SearchResult",
+    "SearchSpec",
+    "register_strategy",
+    "strategy_names",
     "PLUGIN_API_VERSION",
     "Chiplet",
     "ChipletSystem",

@@ -50,6 +50,7 @@ from repro.core.explorer import DesignPoint, DesignSpaceExplorer, pareto_front
 from repro.core.results import SystemCarbonReport
 from repro.core.system import ChipletSystem
 from repro.packaging.registry import spec_from_dict
+from repro.search import SearchResult, SearchSpec, run_search
 from repro.sweep.engine import (
     Record,
     SweepEngine,
@@ -68,7 +69,14 @@ from repro.sweep.store import (
 from repro.technology.nodes import TechnologyTable, table_signature
 from repro.testcases.registry import get_testcase
 
-__all__ = ["ExploreResult", "Session", "SweepResult", "sweep_cache_key"]
+__all__ = [
+    "ExploreResult",
+    "SearchResult",
+    "SearchSpec",
+    "Session",
+    "SweepResult",
+    "sweep_cache_key",
+]
 
 
 def sweep_cache_key(
@@ -143,9 +151,17 @@ class SweepResult:
         """Records wrapped for the Pareto/objective tooling."""
         return rows_from_records(self.records)
 
-    def pareto(self, objectives: Sequence[str]) -> List[SweepRow]:
-        """Pareto-optimal rows under the named record metrics."""
-        return pareto_front(self.rows(), objectives)
+    def pareto(
+        self, objectives: Sequence[str], on_nan: str = "exclude"
+    ) -> List[SweepRow]:
+        """Pareto-optimal rows under the named record metrics.
+
+        ``on_nan`` has :func:`repro.core.explorer.pareto_front` semantics:
+        ``"exclude"`` (default) drops NaN-bearing rows with a warning,
+        ``"raise"`` errors on them — the same defined NaN behaviour the
+        serve layer's ``/pareto`` endpoint exposes.
+        """
+        return pareto_front(self.rows(), objectives, on_nan=on_nan)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,8 +180,13 @@ class ExploreResult:
 
     @property
     def best(self) -> DesignPoint:
-        """Single best point under the first objective."""
-        return min(self.points, key=lambda p: p.objective(self.objectives[0]))
+        """Single best point under the first objective.
+
+        Ties resolve by point label (not enumeration order), so equal-valued
+        candidates name the same winner on every backend and jobs count.
+        """
+        objective = self.objectives[0]
+        return min(self.points, key=lambda p: (p.objective(objective), p.label))
 
 
 class Session:
@@ -472,6 +493,61 @@ class Session:
             spec=spec,
             summary=summary,
             records=tuple(cached) if collect_records else (),
+        )
+
+    # -- search -----------------------------------------------------------------------
+    def search(
+        self,
+        spec: Optional[Union[SearchSpec, Mapping[str, Any]]] = None,
+        *,
+        spec_file: Optional[Union[str, Path]] = None,
+        out: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        progress: Optional[Any] = None,
+    ) -> SearchResult:
+        """Goal-driven adaptive search over a sweep grid (:mod:`repro.search`).
+
+        Instead of enumerating a grid like :meth:`sweep`, a registered
+        strategy (``random``, ``successive_halving``, ``pareto_refine``)
+        spends an evaluation budget on the most promising candidates.  All
+        evaluation routes through this session's engine — backend, jobs,
+        compile cache and resilience apply unchanged — and a fixed spec
+        seed yields bit-identical candidate sequences and results on every
+        backend and jobs count.
+
+        Args:
+            spec: A :class:`repro.search.SearchSpec` or a spec dictionary
+                (its ``space`` key is an ordinary sweep-spec mapping).
+                Exactly one of ``spec`` and ``spec_file`` must be given.
+            spec_file: Path of a ``.json``/``.yaml`` search-spec file.
+            out: Stream every evaluated record (with its ``search_round``
+                column) to this JSONL/CSV store.
+            resume: Serve candidates already present in ``out`` from their
+                stored rows and continue a killed search without
+                re-spending budget (requires ``out``).
+            progress: Optional ``(evaluations, budget)`` callback per round.
+
+        Returns:
+            A :class:`repro.search.SearchResult` — best point, Pareto
+            front, per-round trajectory and evaluations spent vs the
+            exhaustive grid size.
+        """
+        given = [value is not None for value in (spec, spec_file)]
+        if sum(given) != 1:
+            raise ValueError("exactly one of spec or spec_file must be given")
+        if spec_file is not None:
+            spec = SearchSpec.from_file(spec_file)
+        elif isinstance(spec, Mapping):
+            spec = SearchSpec.from_dict(spec)
+        if not isinstance(spec, SearchSpec):
+            raise TypeError(
+                f"spec must be a SearchSpec or a spec mapping, got "
+                f"{type(spec).__name__}"
+            )
+        if resume and out is None:
+            raise ValueError("resume=True needs an out file to resume from")
+        return run_search(
+            spec, self.engine, out=out, resume=resume, progress=progress
         )
 
     # -- explore ----------------------------------------------------------------------

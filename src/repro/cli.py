@@ -20,6 +20,10 @@ Additional conveniences:
 * ``eco-chip serve`` runs the sweep-as-a-service HTTP job server
   (:mod:`repro.serve`) with shared compile/result caches, quotas and a
   metrics endpoint.
+* ``eco-chip search --spec <file> --budget N --strategy successive_halving``
+  runs a goal-driven adaptive search (:mod:`repro.search`) over a sweep
+  grid instead of enumerating it, streaming every evaluated point to the
+  crash-safe store with its ``search_round``.
 
 Exit codes: ``2`` means the request itself was invalid (bad spec, unknown
 preset/axis/format, bad flag values), ``3`` a runtime failure (I/O,
@@ -612,6 +616,249 @@ def _sweep_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_search_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``eco-chip search`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="eco-chip search",
+        description=(
+            "Goal-driven adaptive search over a sweep grid: a strategy "
+            "(random, successive_halving, pareto_refine) spends an "
+            "evaluation budget on the most promising scenarios instead of "
+            "enumerating the grid.  The spec file holds a 'space' key (an "
+            "ordinary sweep spec), weighted 'objectives', optional hard "
+            "'constraints', a 'budget' and a 'seed'; a fixed seed gives "
+            "bit-identical results on every backend and jobs count."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--spec", help="Search-spec file (.json or YAML-ish .yaml) with a 'space' key"
+    )
+    source.add_argument(
+        "--space-preset",
+        metavar="NAME",
+        help=(
+            "Search over a built-in sweep preset as the candidate space "
+            "(see 'eco-chip sweep --list-presets')"
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        dest="axis_sets",
+        action="append",
+        default=[],
+        metavar="AXIS=V1[,V2,...]",
+        help=(
+            "Add a registered axis to the candidate space, e.g. --set "
+            "lifetimes=2,4,6 or --set wafer_diameter_mm=300,450 "
+            "(repeatable; see 'eco-chip --list-axes')"
+        ),
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="Maximum distinct candidate evaluations (overrides the spec)",
+    )
+    parser.add_argument(
+        "--strategy", default=None, metavar="NAME",
+        help=(
+            "Search strategy: random, successive_halving or pareto_refine "
+            "(overrides the spec)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="Random seed of the candidate sequence (overrides the spec)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="Candidates per evaluation batch (overrides the spec)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="Worker processes (1 = serial, default)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["scalar", "batch"],
+        default="scalar",
+        help="Evaluation backend (bit-identical results; default: scalar)",
+    )
+    parser.add_argument(
+        "--compile-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "Persistent on-disk compile cache for --backend batch "
+            "(defaults to $ECO_CHIP_COMPILE_CACHE when set)"
+        ),
+    )
+    parser.add_argument(
+        "--out", help="Stream evaluated records to this file (.jsonl/.ndjson or .csv)"
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        help=(
+            "Resume a killed search from this result file: candidates whose "
+            "rows are already in it are replayed instead of re-evaluated "
+            "(implies --out FILE)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cost",
+        action="store_true",
+        help="Omit the cost_usd (dollar-cost model) column from the records",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="Only print the run summary line"
+    )
+    return parser
+
+
+def _search_main(argv: Sequence[str]) -> int:
+    """Implementation of ``eco-chip search``; returns a process exit code."""
+    from pathlib import Path
+
+    from repro.search import SearchSpec, run_search
+    from repro.serve.errors import (
+        EXIT_RUNTIME_ERROR,
+        EXIT_SPEC_ERROR,
+        format_error_text,
+    )
+    from repro.sweep.engine import SweepEngine
+    from repro.sweep.spec import load_spec_dict, preset_dict
+    from repro.sweep.store import SweepRow
+
+    parser = build_search_parser()
+    args = parser.parse_args(argv)
+
+    if not args.spec and not args.space_preset:
+        parser.print_help()
+        return 1
+    if args.jobs < 1:
+        print(
+            format_error_text("invalid-spec", f"--jobs must be >= 1, got {args.jobs}"),
+            file=sys.stderr,
+        )
+        return EXIT_SPEC_ERROR
+    try:
+        compile_cache = resolve_compile_cache(args.compile_cache, args.backend)
+    except ValueError as exc:
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
+
+    try:
+        axis_sets = _parse_axis_sets(args.axis_sets)
+        if args.space_preset:
+            config, base_dir = {"space": preset_dict(args.space_preset)}, None
+        else:
+            config, base_dir = load_spec_dict(args.spec)
+        if axis_sets:
+            space = config.get("space")
+            if not isinstance(space, dict):
+                raise ValueError(
+                    "--set needs the spec's 'space' to be a sweep-spec "
+                    "mapping to merge axes into"
+                )
+            for name, values in axis_sets.items():
+                if name in space:
+                    raise ValueError(
+                        f"--set {name} conflicts with the space's own "
+                        f"{name!r} axis; drop one of the two"
+                    )
+                space[name] = values
+        for key, value in (
+            ("budget", args.budget),
+            ("strategy", args.strategy),
+            ("seed", args.seed),
+            ("batch_size", args.batch_size),
+        ):
+            if value is not None:
+                config[key] = value
+        spec = SearchSpec.from_dict(config, base_dir=base_dir)
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
+
+    out_path = args.out
+    resume = False
+    if args.resume:
+        if args.out and Path(args.out).resolve() != Path(args.resume).resolve():
+            print(
+                format_error_text(
+                    "invalid-spec",
+                    "--resume replays and extends the resumed file; drop "
+                    "--out or pass the same path",
+                ),
+                file=sys.stderr,
+            )
+            return EXIT_SPEC_ERROR
+        out_path = args.resume
+        resume = True
+
+    engine = SweepEngine(
+        jobs=args.jobs,
+        backend=args.backend,
+        include_cost=not args.no_cost,
+        compile_cache=compile_cache,
+    )
+    try:
+        result = run_search(spec, engine, out=out_path, resume=resume)
+    except ValueError as exc:
+        print(format_error_text("invalid-spec", str(exc)), file=sys.stderr)
+        return EXIT_SPEC_ERROR
+    except (OSError, RuntimeError) as exc:
+        print(format_error_text("runtime", str(exc)), file=sys.stderr)
+        return EXIT_RUNTIME_ERROR
+
+    fraction = 100.0 * result.evaluated_fraction
+    print(
+        f"search {spec.name!r}: strategy={spec.strategy} seed={spec.seed}, "
+        f"{result.evaluations} of {result.grid_size} grid points evaluated "
+        f"({fraction:.1f}%, budget {result.budget}), "
+        f"{len(result.rounds)} rounds, backend={args.backend}, jobs={args.jobs}"
+    )
+    if result.best is None:
+        print("no feasible point found within the budget")
+    else:
+        print(
+            f"best: score = {result.best_score:.6g}, "
+            f"Ctot = {result.best['total_carbon_g'] / 1000.0:.2f} kg, "
+            f"scenario {result.best['scenario']} ({result.best_label})"
+        )
+    if result.store_path is not None:
+        print(f"results written to {result.store_path}")
+
+    if not args.quiet:
+        header = (
+            f"{'round':>5} {'eval':>6} {'replay':>6} {'best score':>14} "
+            f"{'front':>6} {'+':>4} {'-':>4}"
+        )
+        print(f"\ntrajectory:\n{header}")
+        print("-" * len(header))
+        for stats in result.rounds:
+            best_text = (
+                f"{stats.best_score:14.6g}"
+                if stats.best_index is not None
+                else f"{'-':>14}"
+            )
+            print(
+                f"{stats.round_index:>5} {stats.evaluated:>6} "
+                f"{stats.replayed:>6} {best_text} {stats.front_size:>6} "
+                f"{stats.front_entered:>4} {stats.front_left:>4}"
+            )
+        if result.front:
+            metrics = list(spec.metric_names)
+            print(f"\nPareto front under {metrics} ({len(result.front)} points):")
+            for record in result.front:
+                row = SweepRow(record)
+                values = ", ".join(
+                    f"{name}={row.objective(name):.4g}" for name in metrics
+                )
+                print(f"  [{record['scenario']}] {row.label}: {values}")
+
+    return 0
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     """Argument parser of the ``eco-chip serve`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -810,6 +1057,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _sweep_main(arguments[1:])
     if arguments and arguments[0] == "serve":
         return _serve_main(arguments[1:])
+    if arguments and arguments[0] == "search":
+        return _search_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # optional fast path, same soft dependency as repro.fastpath.batch
     import numpy as _np
@@ -330,6 +330,35 @@ def pareto_front(
     return [point for index, point in enumerate(points) if index in keep]
 
 
+def front_delta(
+    previous: Iterable[Any], current: Iterable[Any]
+) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+    """``(entered, left)`` members between two Pareto-front snapshots.
+
+    Snapshots are iterables of hashable front-member identities (scenario
+    ids, labels, objective tuples — whatever the caller tracks fronts by).
+    ``entered`` lists current members absent from the previous snapshot and
+    ``left`` the previous members no longer present, each preserving its
+    snapshot's order.  The adaptive search strategies
+    (:mod:`repro.search.strategies`) spend evaluation batches only where
+    the front moved, and stop when it stalls — both decisions reduce to
+    this delta.
+    """
+    previous = tuple(previous)
+    current = tuple(current)
+    previous_set = set(previous)
+    current_set = set(current)
+    entered = tuple(member for member in current if member not in previous_set)
+    left = tuple(member for member in previous if member not in current_set)
+    return entered, left
+
+
+def front_moved(previous: Iterable[Any], current: Iterable[Any]) -> bool:
+    """True when the front changed between two snapshots (any churn)."""
+    entered, left = front_delta(previous, current)
+    return bool(entered or left)
+
+
 class DesignSpaceExplorer:
     """Enumerates and evaluates chiplet design spaces.
 
@@ -433,13 +462,25 @@ class DesignSpaceExplorer:
         ]
         if not feasible:
             raise ValueError("no design point satisfies the given constraints")
-        return min(feasible, key=lambda point: point.objective(objective))
+        # Ties on the objective resolve by label, not iteration order, so
+        # equal-valued candidates pick the same winner however the caller
+        # enumerated them (pareto_refine seeds its neighbourhood from best).
+        return min(
+            feasible, key=lambda point: (point.objective(objective), point.label)
+        )
 
     def pareto(
-        self, points: Sequence[DesignPoint], objectives: Sequence[str]
+        self,
+        points: Sequence[DesignPoint],
+        objectives: Sequence[str],
+        on_nan: str = "exclude",
     ) -> List[DesignPoint]:
-        """Pareto-optimal subset of ``points`` (delegates to :func:`pareto_front`)."""
-        return pareto_front(points, objectives)
+        """Pareto-optimal subset of ``points`` (delegates to :func:`pareto_front`).
+
+        ``on_nan`` has :func:`pareto_front` semantics: ``"exclude"`` drops
+        NaN-bearing points with a warning, ``"raise"`` errors on them.
+        """
+        return pareto_front(points, objectives, on_nan=on_nan)
 
     def summarise(
         self, points: Sequence[DesignPoint], objectives: Sequence[str]

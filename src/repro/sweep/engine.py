@@ -1003,6 +1003,7 @@ class SweepEngine:
         progress: Optional[Callable[[int, int], None]] = None,
         resume: Optional[Union[ResultStore, str, "Path"]] = None,
         on_record: Optional[Callable[[Record], None]] = None,
+        annotate: Optional[Mapping[str, Any]] = None,
     ) -> SweepSummary:
         """Evaluate every scenario, streaming records into ``store``.
 
@@ -1022,11 +1023,18 @@ class SweepEngine:
                 as it is computed (after the ``store`` append).  Used by
                 :class:`repro.api.Session` to collect records without
                 round-tripping through a file.
+            annotate: Constant extra columns merged into every record of
+                this run before it reaches the store and callbacks (e.g.
+                the ``search_round`` column :mod:`repro.search` stamps on
+                each evaluation batch).  A key that collides with a record
+                column raises :class:`ValueError` — annotations may never
+                silently overwrite evaluation output.
 
         Returns:
             A :class:`SweepSummary` with counts, timing and the best record.
         """
         scenarios = self._resolve_scenarios(sweep)
+        annotations = dict(annotate) if annotate else None
         skipped = 0
         best: Optional[Record] = None
         if resume is not None:
@@ -1043,6 +1051,14 @@ class SweepEngine:
         error_codes: Dict[str, int] = {}
         start = time.perf_counter()
         for record in self.iter_records(scenarios):
+            if annotations is not None:
+                collisions = [key for key in annotations if key in record]
+                if collisions:
+                    raise ValueError(
+                        f"annotate keys {sorted(collisions)} collide with "
+                        f"record columns"
+                    )
+                record = {**record, **annotations}
             if store is not None:
                 store.append(record)
             if on_record is not None:

@@ -344,6 +344,34 @@ def completed_scenario_ids(source: Union["ResultStore", PathLike]) -> Set[int]:
     return ids
 
 
+def records_by_scenario(
+    source: Union["ResultStore", PathLike],
+) -> Dict[int, Dict[str, Any]]:
+    """``{scenario id: record}`` of a store file, tolerating a torn tail.
+
+    The replay side of search resume (:mod:`repro.search`): a killed run's
+    store is reloaded so already-evaluated candidates are served from their
+    stored rows instead of re-evaluating.  Uses the same crash-tolerant
+    iteration as :func:`completed_scenario_ids` — an undecodable final line
+    counts as unwritten — and keeps the *first* record per scenario id, the
+    one a sequential reader (and therefore a resumed byte-compare) sees.
+    Records without a ``scenario`` field are skipped.
+    """
+    path = source.path if isinstance(source, ResultStore) else Path(source)
+    records: Dict[int, Dict[str, Any]] = {}
+    if not path.is_file() or path.stat().st_size == 0:
+        return records
+    if path.suffix.lower() == ".csv":
+        stream: Iterator[Dict[str, Any]] = _iter_csv_tolerating_torn_row(path)
+    else:
+        stream = _iter_jsonl_tolerating_torn_tail(path)
+    for record in stream:
+        scenario_id = record.get("scenario")
+        if scenario_id is not None:
+            records.setdefault(int(scenario_id), record)
+    return records
+
+
 def _iter_jsonl_tolerating_torn_tail(path: Path) -> Iterator[Dict[str, Any]]:
     """Like :func:`iter_records` for JSONL, but drop an undecodable last line.
 

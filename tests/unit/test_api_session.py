@@ -135,6 +135,19 @@ class TestSweep:
         front = result.pareto(["total_carbon_g", "power_w"])
         assert 1 <= len(front) <= len(result.records)
 
+    def test_pareto_forwards_on_nan(self):
+        result = Session().sweep(SMALL_SPEC)
+        records = [dict(r) for r in result.records]
+        records[0]["power_w"] = float("nan")
+        poisoned = SweepResult(
+            spec=result.spec, summary=result.summary, records=tuple(records)
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            poisoned.pareto(["total_carbon_g", "power_w"], on_nan="raise")
+        with pytest.warns(RuntimeWarning, match="NaN"):
+            front = poisoned.pareto(["total_carbon_g", "power_w"])
+        assert all(row.record["power_w"] == row.record["power_w"] for row in front)
+
     def test_preset_and_spec_file_sources(self, tmp_path):
         import json
 
@@ -193,6 +206,75 @@ class TestExplore:
         assert result.best in result.points
         assert result.best.objective("total_carbon_g") == min(
             p.objective("total_carbon_g") for p in result.points
+        )
+
+
+class _TiedPoint:
+    """Stub design point: one objective value plus a label."""
+
+    def __init__(self, label, value):
+        self.label = label
+        self.value = value
+
+    def objective(self, name):
+        return self.value
+
+
+class TestExploreResultTieBreaking:
+    def test_best_resolves_objective_ties_by_label(self):
+        # Regression: equal-valued candidates used to resolve by input
+        # order, so the winner depended on enumeration order.
+        tied = (_TiedPoint("z", 3.0), _TiedPoint("a", 3.0), _TiedPoint("m", 4.0))
+        for points in (tied, tuple(reversed(tied))):
+            result = ExploreResult(
+                points=points, front=points, objectives=("total_carbon_g",)
+            )
+            assert result.best.label == "a"
+
+
+class TestSearchFacade:
+    """`Session.search` argument plumbing (behaviour lives in test_search)."""
+
+    def test_requires_exactly_one_source(self, tmp_path):
+        session = Session()
+        with pytest.raises(ValueError, match="exactly one"):
+            session.search()
+        with pytest.raises(ValueError, match="exactly one"):
+            session.search({"space": SMALL_SPEC}, spec_file=tmp_path / "s.json")
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ValueError, match="resume"):
+            Session().search({"space": SMALL_SPEC}, resume=True)
+
+    def test_rejects_non_spec_objects(self):
+        with pytest.raises(TypeError, match="SearchSpec"):
+            Session().search(spec=42)
+
+    def test_spec_dict_and_file_agree(self, tmp_path):
+        import json
+
+        from repro import SearchResult
+
+        config = {"space": SMALL_SPEC, "budget": 4, "strategy": "random", "seed": 3}
+        spec_path = tmp_path / "search.json"
+        spec_path.write_text(json.dumps(config))
+        by_dict = Session().search(config)
+        by_file = Session().search(spec_file=spec_path)
+        assert isinstance(by_dict, SearchResult)
+        assert by_dict.best == by_file.best
+        assert by_dict.rounds == by_file.rounds
+
+    def test_exhaustive_budget_finds_the_sweep_optimum(self):
+        session = Session()
+        sweep = session.sweep(SMALL_SPEC)
+        search = session.search(
+            {"space": SMALL_SPEC, "budget": 64, "strategy": "random"}
+        )
+        assert search.evaluations == len(sweep.records)
+        best = dict(search.best)
+        assert best.pop("search_round") >= 0
+        assert best == min(
+            sweep.records, key=lambda r: (r["total_carbon_g"], r["scenario"])
         )
 
 

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.chiplet import Chiplet
-from repro.core.explorer import OBJECTIVES, DesignSpaceExplorer, pareto_front
+from repro.core.explorer import (
+    OBJECTIVES,
+    DesignSpaceExplorer,
+    front_delta,
+    front_moved,
+    pareto_front,
+)
 from repro.core.system import ChipletSystem
 from repro.operational.energy import OperatingSpec
 from repro.packaging.bridge import SiliconBridgeSpec
@@ -92,6 +98,18 @@ class TestSelection:
         assert values == sorted(values)
         assert len(rows) == len(points)
 
+    def test_best_breaks_objective_ties_by_label(self, explorer):
+        # Regression: with equal objective values the winner used to be
+        # whichever point came first in the input, so reversing the list
+        # changed the answer.  The secondary key is the point label.
+        tied = [
+            _LabelledVector("zeta", {"total_carbon_g": 5.0}),
+            _LabelledVector("alpha", {"total_carbon_g": 5.0}),
+            _LabelledVector("mid", {"total_carbon_g": 7.0}),
+        ]
+        assert explorer.best(tied, "total_carbon_g").label == "alpha"
+        assert explorer.best(list(reversed(tied)), "total_carbon_g").label == "alpha"
+
 
 class TestParetoFront:
     def test_front_is_non_empty_and_non_dominated(self, points):
@@ -133,6 +151,14 @@ class _Vector:
 
     def objective(self, name):
         return self.values[name]
+
+
+class _LabelledVector(_Vector):
+    """A vector with the ``label`` attribute ``best`` tie-breaks on."""
+
+    def __init__(self, label, values):
+        super().__init__(values)
+        self.label = label
 
 
 def _naive_front(points, objectives):
@@ -324,6 +350,45 @@ class TestSkylineKdDispatch:
             assert pareto_front(forward, ["a"]) == [forward[1]]
         with pytest.warns(RuntimeWarning):
             assert pareto_front(backward, ["a"]) == [backward[0]]
+
+
+class TestExplorerParetoNanPlumbing:
+    """`DesignSpaceExplorer.pareto` forwards `on_nan=` to `pareto_front`."""
+
+    NAN_POINTS = [
+        _Vector({"a": float("nan"), "b": 1.0}),
+        _Vector({"a": 1.0, "b": 2.0}),
+    ]
+
+    def test_default_excludes_with_a_warning(self, explorer):
+        with pytest.warns(RuntimeWarning, match="NaN"):
+            front = explorer.pareto(self.NAN_POINTS, ["a", "b"])
+        assert front == [self.NAN_POINTS[1]]
+
+    def test_raise_mode_passes_through(self, explorer):
+        with pytest.raises(ValueError, match="NaN"):
+            explorer.pareto(self.NAN_POINTS, ["a", "b"], on_nan="raise")
+
+
+class TestFrontDelta:
+    def test_entered_and_left(self):
+        entered, left = front_delta((1, 2, 3), (2, 4, 3))
+        assert entered == (4,)
+        assert left == (1,)
+
+    def test_orders_follow_the_snapshots(self):
+        entered, left = front_delta((9, 1), (5, 9, 7))
+        assert entered == (5, 7)  # current-snapshot order
+        assert left == (1,)
+
+    def test_unchanged_front_is_empty_delta(self):
+        assert front_delta((1, 2), (1, 2)) == ((), ())
+        assert not front_moved((1, 2), (1, 2))
+
+    def test_front_moved_on_any_churn(self):
+        assert front_moved((), (1,))
+        assert front_moved((1,), ())
+        assert front_moved((1, 2), (1, 3))
 
 
 class TestBestConstraints:

@@ -1,0 +1,201 @@
+"""Unit tests of repro.search.space: GridSpace vs SweepSpec.expand().
+
+The load-bearing invariant of the whole search subsystem is that
+``GridSpace(spec).scenario(i) == spec.expand()[i]`` for every ``i`` — a
+candidate's id *is* its exhaustive-grid index, which is what lets searches
+reuse the sweep store's crash-resume machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.space import GridSpace
+from repro.sweep.spec import SweepSpec
+
+
+def assert_bit_equal_to_expand(spec: SweepSpec) -> GridSpace:
+    space = GridSpace(spec)
+    expanded = spec.expand()
+    assert space.size == len(expanded)
+    decoded = [space.scenario(index) for index in range(space.size)]
+    assert decoded == expanded
+    return space
+
+
+class TestExpandEquivalence:
+    def test_full_axis_spread(self):
+        # Nodes x packaging x overrides x sources x lifetimes x volumes.
+        assert_bit_equal_to_expand(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet"],
+                    "nodes": [7, 14, 22],
+                    "packaging": ["rdl_fanout", "silicon_bridge"],
+                    "carbon_sources": ["coal", "renewable_mix"],
+                    "lifetimes": [2.0, 6.0],
+                    "system_volumes": [1e5, 1e7],
+                    "wafer_diameter_mm": [300.0, 450.0],
+                }
+            )
+        )
+
+    def test_multi_testcase_blocks(self):
+        # Different chiplet counts per base: block sizes differ (3^2 vs 3^3).
+        space = assert_bit_equal_to_expand(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet", "ga102-3chiplet"],
+                    "nodes": [7, 10, 14],
+                }
+            )
+        )
+        assert space.size == 3**2 + 3**3
+
+    def test_explicit_node_configs(self):
+        assert_bit_equal_to_expand(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet"],
+                    "node_configs": [[7, 7], [7, 14], [14, 14]],
+                    "lifetimes": [2.0, 4.0],
+                }
+            )
+        )
+
+    def test_multiple_override_axes_sort_like_expand(self):
+        assert_bit_equal_to_expand(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet"],
+                    "wafer_diameter_mm": [450.0, 300.0],
+                    "defect_density_scale": [0.5, 1.0, 2.0],
+                }
+            )
+        )
+
+    def test_axisless_spec_is_a_single_point(self):
+        space = assert_bit_equal_to_expand(
+            SweepSpec.from_dict({"testcases": ["emr-2chiplet"]})
+        )
+        assert space.size == 1
+
+    def test_preset_grid(self):
+        assert_bit_equal_to_expand(SweepSpec.preset("ga102-quick"))
+
+    def test_override_dicts_are_shared_per_combo(self):
+        # expand() hands every scenario of one override combination the
+        # same dict object; identity-keyed caches downstream rely on it.
+        spec = SweepSpec.from_dict(
+            {
+                "testcases": ["emr-2chiplet"],
+                "lifetimes": [2.0, 6.0],
+                "wafer_diameter_mm": [300.0, 450.0],
+            }
+        )
+        space = GridSpace(spec)
+        by_diameter = {}
+        for index in range(space.size):
+            scenario = space.scenario(index)
+            key = scenario.overrides["wafer_diameter_mm"]
+            by_diameter.setdefault(key, scenario.overrides)
+            assert scenario.overrides is by_diameter[key]
+
+    def test_out_of_range_indices_raise(self):
+        space = GridSpace(SweepSpec.from_dict({"testcases": ["emr-2chiplet"]}))
+        with pytest.raises(IndexError):
+            space.scenario(space.size)
+        with pytest.raises(IndexError):
+            space.scenario(-1)
+
+    def test_node_config_length_mismatch_raises(self):
+        spec = SweepSpec.from_dict(
+            {"testcases": ["ga102-3chiplet"], "node_configs": [[7, 7]]}
+        )
+        with pytest.raises(ValueError, match="chiplets"):
+            GridSpace(spec)
+
+
+class TestNeighbors:
+    @pytest.fixture(scope="class")
+    def space(self):
+        # 2 chiplets x nodes [7, 10, 14] x 2 packaging x lifetimes [2, 4, 6].
+        return GridSpace(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet"],
+                    "nodes": [7, 10, 14],
+                    "packaging": ["rdl_fanout", "silicon_bridge"],
+                    "lifetimes": [2.0, 4.0, 6.0],
+                }
+            )
+        )
+
+    def test_moves_are_one_numeric_step(self, space):
+        for index in range(space.size):
+            origin = space.scenario(index)
+            for neighbour_index in space.neighbors(index):
+                neighbour = space.scenario(neighbour_index)
+                # Same base and packaging: categorical digits never move.
+                assert neighbour.base_ref == origin.base_ref
+                assert neighbour.packaging is origin.packaging
+                changed = sum(
+                    a != b for a, b in zip(origin.nodes, neighbour.nodes)
+                ) + (origin.lifetime_years != neighbour.lifetime_years)
+                assert changed == 1
+
+    def test_steps_follow_sorted_value_order(self):
+        # Axis listed out of order: neighbours of 10 must be 7 and 14 (the
+        # adjacent *values*), not the adjacent listing positions.
+        space = GridSpace(
+            SweepSpec.from_dict(
+                {"testcases": ["emr-2chiplet"], "nodes": [14, 7, 10]}
+            )
+        )
+        centre = next(
+            index
+            for index in range(space.size)
+            if space.scenario(index).nodes == (10.0, 10.0)
+        )
+        moved = {
+            tuple(space.scenario(n).nodes) for n in space.neighbors(centre)
+        }
+        assert moved == {(7.0, 10.0), (14.0, 10.0), (10.0, 7.0), (10.0, 14.0)}
+
+    def test_edges_have_fewer_neighbours(self, space):
+        # Corner of the numeric sub-grid: every numeric digit at an extreme.
+        corner = 0
+        interior = max(range(space.size), key=lambda i: len(space.neighbors(i)))
+        assert len(space.neighbors(corner)) < len(space.neighbors(interior))
+
+    def test_neighbors_are_sorted_and_unique(self, space):
+        for index in range(space.size):
+            neighbours = space.neighbors(index)
+            assert neighbours == sorted(set(neighbours))
+            assert index not in neighbours
+
+    def test_ring_radius_one_is_neighbors(self, space):
+        assert space.ring([5], 1) == space.neighbors(5)
+
+    def test_ring_excludes_seeds_and_grows_with_radius(self, space):
+        seeds = [0, 1]
+        inner = space.ring(seeds, 1)
+        outer = space.ring(seeds, 2)
+        assert not set(seeds) & set(outer)
+        assert set(inner) <= set(outer)
+        assert len(outer) > len(inner)
+
+    def test_ring_radius_zero_is_empty(self, space):
+        assert space.ring([0], 0) == []
+
+    def test_categorical_only_space_has_no_moves(self):
+        space = GridSpace(
+            SweepSpec.from_dict(
+                {
+                    "testcases": ["emr-2chiplet"],
+                    "packaging": ["rdl_fanout", "silicon_bridge"],
+                    "carbon_sources": ["coal", "solar"],
+                }
+            )
+        )
+        assert all(space.neighbors(i) == [] for i in range(space.size))
